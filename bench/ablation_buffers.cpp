@@ -1,0 +1,48 @@
+// ablation_buffers — Sensitivity of the headline result to the switch
+// buffer provisioning (input/output buffer depth in segments).
+//
+// DESIGN.md claims the evaluation is bandwidth-contention dominated, so
+// slowdown ratios should be robust to the buffer depth (which mainly moves
+// absolute latency, not steady-state throughput).  This bench re-measures
+// the Fig. 2(b) w2=10 point under buffer depths 1..16 to substantiate that.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "patterns/applications.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "trace/harness.hpp"
+
+int main(int argc, char** argv) {
+  const benchutil::Options opt = benchutil::Options::parse(argc, argv);
+  const xgft::Topology topo(xgft::xgft2(16, 16, 10));
+  const auto cg = trace::scaleMessages(patterns::cgD128(), opt.msgScale);
+  std::cout << "== Ablation: buffer depth, CG.D-128 on "
+            << topo.params().toString() << " ==\n"
+            << "msg-scale=" << opt.msgScale << "\n\n";
+  analysis::Table table({"buffers(seg)", "d-mod-k", "Random", "max inQ",
+                         "max outQ"});
+  for (const std::uint32_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    sim::SimConfig cfg;
+    cfg.inputBufferSegments = depth;
+    cfg.outputBufferSegments = depth;
+    const double reference = static_cast<double>(
+        trace::runCrossbarReference(cg, cfg).makespanNs);
+    const trace::RunResult dmodk =
+        trace::runApp(topo, *routing::makeDModK(topo), cg, cfg);
+    const trace::RunResult random =
+        trace::runApp(topo, *routing::makeRandom(topo, 1), cg, cfg);
+    table.addRow(
+        {std::to_string(depth),
+         analysis::Table::num(static_cast<double>(dmodk.makespanNs) /
+                              reference),
+         analysis::Table::num(static_cast<double>(random.makespanNs) /
+                              reference),
+         std::to_string(dmodk.stats.maxInputQueueDepth),
+         std::to_string(dmodk.stats.maxOutputQueueDepth)});
+    std::cerr << "  depth=" << depth << " done\n";
+  }
+  table.print(std::cout);
+  return 0;
+}

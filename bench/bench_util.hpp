@@ -1,0 +1,58 @@
+// bench_util.hpp — Shared command-line handling for the figure harnesses.
+//
+// Every figure/table bench accepts:
+//   --quick            CI-sized run (few seeds, scaled-down messages)
+//   --full             paper-sized run (40+ seeds, full 750 KB messages)
+//   --seeds N          override the seed count for randomized routings
+//   --msg-scale X      scale all message sizes by X (default depends on mode)
+//   --csv              machine-readable output
+// Default (no flag) is a middle ground that completes on one core in a few
+// minutes across all benches.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace benchutil {
+
+struct Options {
+  std::uint32_t seeds = 10;
+  double msgScale = 0.125;
+  bool csv = false;
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    bool seedsSet = false;
+    bool scaleSet = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        if (!seedsSet) opt.seeds = 3;
+        if (!scaleSet) opt.msgScale = 0.03125;
+      } else if (arg == "--full") {
+        if (!seedsSet) opt.seeds = 40;
+        if (!scaleSet) opt.msgScale = 1.0;
+      } else if (arg == "--seeds" && i + 1 < argc) {
+        opt.seeds = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        seedsSet = true;
+      } else if (arg == "--msg-scale" && i + 1 < argc) {
+        opt.msgScale = std::stod(argv[++i]);
+        scaleSet = true;
+      } else if (arg == "--csv") {
+        opt.csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --quick | --full | --seeds N | --msg-scale X | "
+                     "--csv\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown flag: " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return opt;
+  }
+};
+
+}  // namespace benchutil

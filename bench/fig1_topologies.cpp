@@ -1,0 +1,30 @@
+// fig1_topologies — Regenerates Fig. 1 ("Several XGFTs"): renders a set of
+// small example topologies (per-level structure + Graphviz DOT) including
+// a k-ary n-tree, slimmed variants, and an m-ary complete tree, showing
+// the family's reach (Sec. II).
+#include <iostream>
+
+#include "xgft/printer.hpp"
+
+int main(int argc, char** argv) {
+  const bool dot = argc > 1 && std::string(argv[1]) == "--dot";
+  const std::vector<xgft::Params> examples{
+      xgft::karyNTree(2, 3),                 // 2-ary 3-tree.
+      xgft::xgft2(4, 4, 2),                  // Slimmed 4-ary 2-tree.
+      xgft::Params({3, 3}, {1, 1}),          // Ternary complete tree.
+      xgft::Params({4, 3, 2}, {1, 2, 2}),    // Irregular XGFT.
+      xgft::slimmedKaryNTree(4, 3, {4, 2}),  // Top-slimmed 4-ary 3-tree.
+  };
+  for (const xgft::Params& params : examples) {
+    const xgft::Topology topo(params);
+    std::cout << "== " << xgft::summary(topo) << " ==\n";
+    xgft::printLevelTable(topo, std::cout);
+    if (dot) {
+      std::cout << "\n";
+      xgft::printDot(topo, std::cout);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(pass --dot for Graphviz output)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// fig4_nca_distribution — Regenerates Fig. 4: the distribution of routes
+// assigned per NCA (root) for all ordered host pairs, on the full
+// XGFT(2;16,16;1,16) and the slimmed XGFT(2;16,16;1,10).
+//
+// Expected shape (Sec. VII-D): S-mod-k and D-mod-k are perfectly flat at
+// 3840 routes/NCA on the full tree but skewed 7680/3840 on the slimmed one
+// (digits 10-15 wrap onto roots 0-5); Random and the r-NCA proposals are
+// balanced (boxplots centred on the flat share) on both.
+#include <iostream>
+
+#include "analysis/contention.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "xgft/printer.hpp"
+
+namespace {
+
+void censusFor(const xgft::Topology& topo, const benchutil::Options& opt) {
+  std::cout << "-- " << xgft::summary(topo) << " --\n\n";
+  const auto modCensus = [&](const routing::RouterPtr& router) {
+    return analysis::ncaRouteCensus(topo, *router, 2);
+  };
+  const auto sCensus = modCensus(routing::makeSModK(topo));
+  const auto dCensus = modCensus(routing::makeDModK(topo));
+
+  // Seeded algorithms: per-NCA boxplots over seeds.
+  const auto seededStats = [&](auto make) {
+    std::vector<std::vector<double>> perNca(topo.nodesAtLevel(2));
+    for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
+      const routing::RouterPtr router = make(topo, seed);
+      const auto census = analysis::ncaRouteCensus(topo, *router, 2);
+      for (std::size_t n = 0; n < census.size(); ++n) {
+        perNca[n].push_back(static_cast<double>(census[n]));
+      }
+    }
+    std::vector<analysis::BoxStats> stats;
+    stats.reserve(perNca.size());
+    for (auto& sample : perNca) stats.push_back(analysis::boxStats(sample));
+    return stats;
+  };
+  const auto randomStats =
+      seededStats([](const xgft::Topology& t, std::uint64_t s) {
+        return routing::makeRandom(t, s);
+      });
+  const auto rncaUStats =
+      seededStats([](const xgft::Topology& t, std::uint64_t s) {
+        return routing::makeRNcaUp(t, s);
+      });
+  const auto rncaDStats =
+      seededStats([](const xgft::Topology& t, std::uint64_t s) {
+        return routing::makeRNcaDown(t, s);
+      });
+
+  analysis::Table table({"NCA", "s-mod-k", "d-mod-k", "Random(med)",
+                         "Random(min..max)", "r-NCA-u(med)", "r-NCA-d(med)"});
+  for (std::size_t n = 0; n < sCensus.size(); ++n) {
+    table.addRow(
+        {std::to_string(n), std::to_string(sCensus[n]),
+         std::to_string(dCensus[n]),
+         analysis::Table::num(randomStats[n].median, 0),
+         analysis::Table::num(randomStats[n].min, 0) + ".." +
+             analysis::Table::num(randomStats[n].max, 0),
+         analysis::Table::num(rncaUStats[n].median, 0),
+         analysis::Table::num(rncaDStats[n].median, 0)});
+  }
+  if (opt.csv) {
+    table.printCsv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Options opt = benchutil::Options::parse(argc, argv);
+  std::cout << "== Fig. 4: distribution of routes per NCA (all " << 256 * 240
+            << " inter-switch pairs; " << opt.seeds
+            << " seeds for randomized algorithms) ==\n\n";
+  censusFor(xgft::Topology(xgft::karyNTree(16, 2)), opt);
+  censusFor(xgft::Topology(xgft::xgft2(16, 16, 10)), opt);
+  return 0;
+}

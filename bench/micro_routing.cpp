@@ -1,0 +1,104 @@
+// micro_routing — google-benchmark microbenchmarks for the routing layer:
+// per-pair route computation throughput of every scheme, relabel-scheme
+// construction, Colored optimization and the edge-coloring substrate.
+#include <benchmark/benchmark.h>
+
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "routing/colored.hpp"
+#include "routing/edge_coloring.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "xgft/rng.hpp"
+
+namespace {
+
+const xgft::Topology& paperTopo() {
+  static const xgft::Topology topo(xgft::xgft2(16, 16, 10));
+  return topo;
+}
+
+void routeSweep(benchmark::State& state, const routing::Router& router) {
+  const xgft::Count n = router.topology().numHosts();
+  std::uint64_t pair = 0;
+  for (auto _ : state) {
+    const xgft::NodeIndex s = static_cast<xgft::NodeIndex>(pair % n);
+    const xgft::NodeIndex d =
+        static_cast<xgft::NodeIndex>((pair * 37 + 11) % n);
+    benchmark::DoNotOptimize(router.route(s, d));
+    ++pair;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RouteSModK(benchmark::State& state) {
+  const routing::RouterPtr r = routing::makeSModK(paperTopo());
+  routeSweep(state, *r);
+}
+BENCHMARK(BM_RouteSModK);
+
+void BM_RouteDModK(benchmark::State& state) {
+  const routing::RouterPtr r = routing::makeDModK(paperTopo());
+  routeSweep(state, *r);
+}
+BENCHMARK(BM_RouteDModK);
+
+void BM_RouteRandom(benchmark::State& state) {
+  const routing::RouterPtr r = routing::makeRandom(paperTopo(), 1);
+  routeSweep(state, *r);
+}
+BENCHMARK(BM_RouteRandom);
+
+void BM_RouteRNcaDown(benchmark::State& state) {
+  const routing::RouterPtr r = routing::makeRNcaDown(paperTopo(), 1);
+  routeSweep(state, *r);
+}
+BENCHMARK(BM_RouteRNcaDown);
+
+void BM_RouteColored(benchmark::State& state) {
+  static const routing::ColoredRouter router(paperTopo(),
+                                             patterns::cgD128(1024));
+  routeSweep(state, router);
+}
+BENCHMARK(BM_RouteColored);
+
+void BM_BuildBalancedRandomScheme(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const xgft::Topology topo(xgft::karyNTree(n, 2));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::RelabelScheme::balancedRandom(topo, ++seed));
+  }
+}
+BENCHMARK(BM_BuildBalancedRandomScheme)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ColoredOptimizeCg(benchmark::State& state) {
+  const patterns::PhasedPattern cg = patterns::cgD128(1024);
+  for (auto _ : state) {
+    const routing::ColoredRouter router(paperTopo(), cg);
+    benchmark::DoNotOptimize(router.estimatedMaxDemand());
+  }
+}
+BENCHMARK(BM_ColoredOptimizeCg);
+
+void BM_EdgeColoring(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  routing::BipartiteMultigraph g;
+  g.numLeft = g.numRight = 16;
+  xgft::Rng rng(7);
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.edges.emplace_back(static_cast<std::uint32_t>(rng.below(16)),
+                         static_cast<std::uint32_t>(rng.below(16)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::colorBipartiteEdges(g));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * edges));
+}
+BENCHMARK(BM_EdgeColoring)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// micro_sim — google-benchmark microbenchmarks for the simulator and the
+// replay engine: event throughput under contended and uncontended traffic,
+// and end-to-end application replay cost.
+#include <benchmark/benchmark.h>
+
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "routing/relabel.hpp"
+#include "trace/harness.hpp"
+
+namespace {
+
+void BM_PermutationOnFullTree(benchmark::State& state) {
+  const xgft::Topology topo(xgft::karyNTree(16, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const patterns::Pattern perm =
+      patterns::randomPermutation(256, 3).toPattern(16 * 1024);
+  patterns::PhasedPattern app;
+  app.numRanks = 256;
+  app.phases.push_back(perm);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const trace::RunResult r = trace::runApp(topo, *router, app);
+    events += r.stats.eventsProcessed;
+    benchmark::DoNotOptimize(r.makespanNs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_PermutationOnFullTree)->Unit(benchmark::kMillisecond);
+
+void BM_HotspotContention(benchmark::State& state) {
+  // Worst-case queueing pressure: everyone hammers host 0.
+  const xgft::Topology topo(xgft::xgft2(8, 8, 4));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::PhasedPattern app;
+  app.numRanks = 64;
+  patterns::Pattern hot(64);
+  for (patterns::Rank r = 1; r < 64; ++r) hot.add(r, 0, 16 * 1024);
+  app.phases.push_back(hot);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const trace::RunResult r = trace::runApp(topo, *router, app);
+    events += r.stats.eventsProcessed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_HotspotContention)->Unit(benchmark::kMillisecond);
+
+void BM_CgReplayScaled(benchmark::State& state) {
+  // The Fig. 2(b) inner loop at the default bench message scale.
+  const xgft::Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const patterns::PhasedPattern cg =
+      trace::scaleMessages(patterns::cgD128(), 0.125);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::runApp(topo, *router, cg).makespanNs);
+  }
+}
+BENCHMARK(BM_CgReplayScaled)->Unit(benchmark::kMillisecond);
+
+void BM_CrossbarReference(benchmark::State& state) {
+  const patterns::PhasedPattern cg =
+      trace::scaleMessages(patterns::cgD128(), 0.125);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::runCrossbarReference(cg).makespanNs);
+  }
+}
+BENCHMARK(BM_CrossbarReference)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const xgft::Topology topo(xgft::karyNTree(k, 2));
+  for (auto _ : state) {
+    sim::Network net(topo, sim::SimConfig{});
+    benchmark::DoNotOptimize(net.numGlobalPorts());
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// sweep_util.hpp — The progressive tree-slimming sweep shared by the
+// Fig. 2 and Fig. 5 harnesses.
+//
+// Both figures plot slowdown vs. Full-Crossbar on XGFT(2;16,16;1,w2) for
+// w2 = 16..1.  Fig. 2 compares {Random, S-mod-k, D-mod-k, Colored}; Fig. 5
+// adds the proposals {r-NCA-u, r-NCA-d} as boxplots over many seeds.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "patterns/pattern.hpp"
+#include "routing/colored.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "trace/harness.hpp"
+#include "xgft/topology.hpp"
+
+namespace benchutil {
+
+/// Measured slowdowns at one w2 point.
+struct SweepPoint {
+  std::uint32_t w2 = 0;
+  std::map<std::string, double> centered;           ///< Deterministic lines.
+  std::map<std::string, analysis::BoxStats> boxes;  ///< Seeded algorithms.
+};
+
+/// Runs the progressive-slimming sweep of the given application.
+/// @p withRnca adds the Fig. 5 proposals; Random is always box-plotted over
+/// opt.seeds seeds (the paper plots it centered in Fig. 2 and boxed in
+/// Fig. 5 — the median is reported either way).
+inline std::vector<SweepPoint> slimmingSweep(
+    const patterns::PhasedPattern& fullApp, const Options& opt,
+    bool withRnca, std::ostream& log) {
+  const patterns::PhasedPattern app =
+      trace::scaleMessages(fullApp, opt.msgScale);
+  const sim::SimConfig cfg;
+  // The crossbar reference does not depend on the topology: compute once.
+  const double reference = static_cast<double>(
+      trace::runCrossbarReference(app, cfg).makespanNs);
+
+  std::vector<SweepPoint> points;
+  for (std::uint32_t w2 = 16; w2 >= 1; --w2) {
+    const xgft::Topology topo(xgft::xgft2(16, 16, w2));
+    SweepPoint point;
+    point.w2 = w2;
+    const auto slowdownOf = [&](const routing::Router& router) {
+      return static_cast<double>(
+                 trace::runApp(topo, router, app, cfg).makespanNs) /
+             reference;
+    };
+
+    point.centered["s-mod-k"] = slowdownOf(*routing::makeSModK(topo));
+    point.centered["d-mod-k"] = slowdownOf(*routing::makeDModK(topo));
+    const routing::ColoredRouter colored(topo, app);
+    point.centered["colored"] = slowdownOf(colored);
+
+    std::vector<double> random;
+    std::vector<double> rncaU;
+    std::vector<double> rncaD;
+    for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
+      random.push_back(slowdownOf(*routing::makeRandom(topo, seed)));
+      if (withRnca) {
+        rncaU.push_back(slowdownOf(*routing::makeRNcaUp(topo, seed)));
+        rncaD.push_back(slowdownOf(*routing::makeRNcaDown(topo, seed)));
+      }
+    }
+    point.boxes["Random"] = analysis::boxStats(random);
+    if (withRnca) {
+      point.boxes["r-NCA-u"] = analysis::boxStats(rncaU);
+      point.boxes["r-NCA-d"] = analysis::boxStats(rncaD);
+    }
+    log << "  w2=" << w2 << " done\n" << std::flush;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+/// Renders the sweep in the paper's orientation: one row per w2, one column
+/// per algorithm (medians for boxed algorithms), then per-algorithm boxplot
+/// detail tables.
+inline void printSweep(const std::vector<SweepPoint>& points,
+                       const Options& opt, std::ostream& os) {
+  if (points.empty()) return;
+  std::vector<std::string> header{"w2", "Full-Crossbar"};
+  for (const auto& [name, v] : points.front().centered) header.push_back(name);
+  for (const auto& [name, v] : points.front().boxes) {
+    header.push_back(name + "(med)");
+  }
+  analysis::Table table(header);
+  for (const SweepPoint& p : points) {
+    std::vector<std::string> row{std::to_string(p.w2), "1.000"};
+    for (const auto& [name, v] : p.centered) {
+      row.push_back(analysis::Table::num(v));
+    }
+    for (const auto& [name, b] : p.boxes) {
+      row.push_back(analysis::Table::num(b.median));
+    }
+    table.addRow(std::move(row));
+  }
+  if (opt.csv) {
+    table.printCsv(os);
+  } else {
+    table.print(os);
+  }
+
+  for (const auto& [name, unused] : points.front().boxes) {
+    os << "\nboxplot: " << name << " (" << opt.seeds << " seeds)\n";
+    analysis::Table box({"w2", "min", "q1", "median", "q3", "max"});
+    for (const SweepPoint& p : points) {
+      const analysis::BoxStats& b = p.boxes.at(name);
+      box.addRow({std::to_string(p.w2), analysis::Table::num(b.min),
+                  analysis::Table::num(b.q1), analysis::Table::num(b.median),
+                  analysis::Table::num(b.q3), analysis::Table::num(b.max)});
+    }
+    if (opt.csv) {
+      box.printCsv(os);
+    } else {
+      box.print(os);
+    }
+  }
+}
+
+}  // namespace benchutil

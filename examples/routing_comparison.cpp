@@ -1,0 +1,87 @@
+// routing_comparison.cpp — Pick the right oblivious scheme for a workload.
+//
+// Runs the full scheme family (Random, S-mod-k, D-mod-k, r-NCA-u, r-NCA-d,
+// Colored) over a battery of classic patterns on one topology, reporting
+// both the static contention analysis and the simulated slowdown — the
+// two-view methodology of the paper (Sec. VII).  Watch the schemes trade
+// places: mod-k wins the endpoint-heavy halo, Random wins the congruent
+// transpose, r-NCA is never the worst — the paper's thesis in one table.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "analysis/contention.hpp"
+#include "analysis/report.hpp"
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "patterns/synthetic.hpp"
+#include "routing/colored.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "trace/harness.hpp"
+
+namespace {
+
+patterns::PhasedPattern wrap(patterns::Pattern p, std::string name) {
+  patterns::PhasedPattern app;
+  app.name = std::move(name);
+  app.numRanks = p.numRanks();
+  app.phases.push_back(std::move(p));
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  const xgft::Topology topo(xgft::xgft2(8, 8, 6));  // 64 hosts, slimmed.
+  std::cout << "topology: " << topo.params().toString() << "\n\n";
+  const patterns::Bytes kBytes = 32 * 1024;
+
+  std::vector<patterns::PhasedPattern> workloads;
+  workloads.push_back(wrap(
+      patterns::wrfHalo(8, 8, kBytes).phases[0], "halo 8x8 (+/-8)"));
+  workloads.push_back(
+      wrap(patterns::transpose(8, 8).toPattern(kBytes), "transpose 8x8"));
+  workloads.push_back(
+      wrap(patterns::bitReversal(64).toPattern(kBytes), "bit-reversal"));
+  workloads.push_back(
+      wrap(patterns::shiftPermutation(64, 8).toPattern(kBytes), "shift-8"));
+  workloads.push_back(wrap(
+      patterns::randomPermutation(64, 17).toPattern(kBytes), "random perm"));
+  workloads.push_back(
+      wrap(patterns::ringExchange(64, kBytes), "ring exchange"));
+
+  analysis::Table table({"workload", "scheme", "max flows/link",
+                         "effective demand", "slowdown vs crossbar"});
+  for (const patterns::PhasedPattern& app : workloads) {
+    using Factory =
+        std::function<routing::RouterPtr(const xgft::Topology&)>;
+    const std::vector<Factory> factories{
+        [](const xgft::Topology& t) { return routing::makeRandom(t, 1); },
+        [](const xgft::Topology& t) { return routing::makeSModK(t); },
+        [](const xgft::Topology& t) { return routing::makeDModK(t); },
+        [](const xgft::Topology& t) { return routing::makeRNcaUp(t, 1); },
+        [](const xgft::Topology& t) { return routing::makeRNcaDown(t, 1); },
+    };
+    for (const Factory& make : factories) {
+      const routing::RouterPtr router = make(topo);
+      const analysis::LoadSummary loads =
+          analysis::computeLoads(topo, app.phases[0], *router);
+      const double slowdown = trace::slowdownVsCrossbar(topo, *router, app);
+      table.addRow({app.name, router->name(),
+                    std::to_string(loads.maxFlowsPerChannel),
+                    analysis::Table::num(loads.maxDemand, 2),
+                    analysis::Table::num(slowdown, 2)});
+    }
+    const routing::ColoredRouter colored(topo, app);
+    const analysis::LoadSummary loads =
+        analysis::computeLoads(topo, app.phases[0], colored);
+    table.addRow({app.name, colored.name(),
+                  std::to_string(loads.maxFlowsPerChannel),
+                  analysis::Table::num(loads.maxDemand, 2),
+                  analysis::Table::num(
+                      trace::slowdownVsCrossbar(topo, colored, app), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "analysis/contention.hpp"
+
+#include <algorithm>
+
+namespace analysis {
+
+double LoadSummary::meanFlowsPerUsedChannel() const {
+  if (usedChannels == 0) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [k, load] : channels) total += load.flows;
+  return static_cast<double>(total) / static_cast<double>(usedChannels);
+}
+
+LoadSummary computeLoads(const xgft::Topology& topo,
+                         const patterns::Pattern& pattern,
+                         const routing::Router& router) {
+  LoadSummary summary;
+  std::vector<std::uint32_t> fanOut(pattern.numRanks(), 0);
+  std::vector<std::uint32_t> fanIn(pattern.numRanks(), 0);
+  for (const patterns::Flow& f : pattern.flows()) {
+    if (f.src == f.dst) continue;
+    ++fanOut[f.src];
+    ++fanIn[f.dst];
+  }
+  for (const patterns::Flow& f : pattern.flows()) {
+    if (f.src == f.dst) continue;
+    const xgft::Route r = router.route(f.src, f.dst);
+    const double rhoUp = 1.0 / fanOut[f.src];
+    const double rhoDown = 1.0 / fanIn[f.dst];
+    for (const xgft::Channel& ch : channelsOf(topo, f.src, f.dst, r)) {
+      ChannelLoad& load = summary.channels[keyOf(ch)];
+      load.flows += 1;
+      load.bytes += f.bytes;
+      load.demand += ch.up ? rhoUp : rhoDown;
+    }
+  }
+  for (const auto& [k, load] : summary.channels) {
+    summary.maxFlowsPerChannel = std::max(summary.maxFlowsPerChannel,
+                                          load.flows);
+    summary.maxDemand = std::max(summary.maxDemand, load.demand);
+  }
+  summary.usedChannels = summary.channels.size();
+  return summary;
+}
+
+std::vector<std::uint64_t> ncaRouteCensus(const xgft::Topology& topo,
+                                          const routing::Router& router,
+                                          std::uint32_t level) {
+  std::vector<std::uint64_t> census(topo.nodesAtLevel(level), 0);
+  const xgft::Count n = topo.numHosts();
+  for (xgft::NodeIndex s = 0; s < n; ++s) {
+    for (xgft::NodeIndex d = 0; d < n; ++d) {
+      if (s == d || topo.ncaLevel(s, d) != level) continue;
+      const xgft::Route r = router.route(s, d);
+      ++census[ncaOf(topo, s, r)];
+    }
+  }
+  return census;
+}
+
+std::vector<std::uint64_t> ncaRouteCensusForPattern(
+    const xgft::Topology& topo, const patterns::Pattern& pattern,
+    const routing::Router& router, std::uint32_t level) {
+  std::vector<std::uint64_t> census(topo.nodesAtLevel(level), 0);
+  for (const patterns::Flow& f : pattern.flows()) {
+    if (f.src == f.dst || topo.ncaLevel(f.src, f.dst) != level) continue;
+    const xgft::Route r = router.route(f.src, f.dst);
+    ++census[ncaOf(topo, f.src, r)];
+  }
+  return census;
+}
+
+std::unordered_map<std::uint64_t, std::uint32_t> ncaContention(
+    const xgft::Topology& topo, const patterns::Pattern& pattern,
+    const routing::Router& router) {
+  // Pass 1: per-channel flow counts.
+  std::unordered_map<ChannelKey, std::uint32_t> flows;
+  for (const patterns::Flow& f : pattern.flows()) {
+    if (f.src == f.dst) continue;
+    const xgft::Route r = router.route(f.src, f.dst);
+    for (const xgft::Channel& ch : channelsOf(topo, f.src, f.dst, r)) {
+      ++flows[keyOf(ch)];
+    }
+  }
+  // Pass 2: per NCA, the worst channel anywhere on its flows' paths.  The
+  // whole up/down path "belongs" to the NCA assignment, so the NCA's
+  // contention is the bottleneck its assigned pairs experience.
+  std::unordered_map<std::uint64_t, std::uint32_t> result;
+  for (const patterns::Flow& f : pattern.flows()) {
+    if (f.src == f.dst) continue;
+    const xgft::Route r = router.route(f.src, f.dst);
+    const std::uint32_t level = r.ncaLevel();
+    if (level == 0) continue;
+    const std::uint64_t nca = topo.globalId(level, ncaOf(topo, f.src, r));
+    std::uint32_t worst = 0;
+    for (const xgft::Channel& ch : channelsOf(topo, f.src, f.dst, r)) {
+      worst = std::max(worst, flows[keyOf(ch)]);
+    }
+    auto [it, inserted] = result.emplace(nca, worst);
+    if (!inserted) it->second = std::max(it->second, worst);
+  }
+  return result;
+}
+
+std::uint32_t contentionLevel(const xgft::Topology& topo,
+                              const patterns::Pattern& pattern,
+                              const routing::Router& router) {
+  std::uint32_t level = 0;
+  for (const auto& [nca, c] : ncaContention(topo, pattern, router)) {
+    level = std::max(level, c);
+  }
+  return level;
+}
+
+ContentionSplit contentionSplit(const xgft::Topology& topo,
+                                const patterns::Pattern& pattern,
+                                const routing::Router& router) {
+  ContentionSplit split;
+  for (patterns::Rank r = 0; r < pattern.numRanks(); ++r) {
+    split.maxFanOut = std::max(split.maxFanOut, pattern.fanOut(r));
+    split.maxFanIn = std::max(split.maxFanIn, pattern.fanIn(r));
+  }
+  split.endpointBound = std::max(split.maxFanOut, split.maxFanIn);
+  split.networkBound = computeLoads(topo, pattern, router).maxDemand;
+  return split;
+}
+
+}  // namespace analysis

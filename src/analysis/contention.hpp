@@ -1,0 +1,99 @@
+// contention.hpp — Static contention analysis (Sec. IV and VII of the paper).
+//
+// Given a topology, a communication pattern and a routing scheme, these
+// functions compute the link-level picture *before* any simulation:
+//
+//  * per-channel flow counts, byte loads and effective demand (the metric of
+//    [4]/Sec. IV: a flow contributes 1/fanout(src) on its ascent and
+//    1/fanin(dst) on its descent — the rate its endpoints allow it anyway);
+//  * the paper's contention level C: the maximum network contention over
+//    the NCAs assigned to the communicating pairs (Sec. VII-B);
+//  * the routes-per-NCA census of Fig. 4;
+//  * the endpoint vs. network contention decomposition of Sec. IV.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "routing/router.hpp"
+#include "xgft/route.hpp"
+#include "xgft/topology.hpp"
+
+namespace analysis {
+
+/// Key of one unidirectional channel: link id * 2 + (up ? 1 : 0).
+using ChannelKey = std::uint64_t;
+
+[[nodiscard]] inline ChannelKey keyOf(const xgft::Channel& ch) {
+  return ch.link * 2 + (ch.up ? 1 : 0);
+}
+
+/// Accumulated load of one unidirectional channel.
+struct ChannelLoad {
+  std::uint32_t flows = 0;     ///< Number of flows crossing the channel.
+  patterns::Bytes bytes = 0;   ///< Total bytes crossing the channel.
+  double demand = 0.0;         ///< Effective (endpoint-weighted) demand.
+};
+
+/// Whole-pattern load picture under a routing scheme.
+struct LoadSummary {
+  std::unordered_map<ChannelKey, ChannelLoad> channels;
+  std::uint32_t maxFlowsPerChannel = 0;
+  double maxDemand = 0.0;          ///< The Sec. IV slowdown estimate (>= 1
+                                   ///< when any flow crosses the network).
+  std::uint64_t usedChannels = 0;  ///< Channels carrying at least one flow.
+
+  /// Mean flows over channels that carry traffic.
+  [[nodiscard]] double meanFlowsPerUsedChannel() const;
+};
+
+/// Routes every (non-self) flow of @p pattern with @p router and accumulates
+/// channel loads.
+[[nodiscard]] LoadSummary computeLoads(const xgft::Topology& topo,
+                                       const patterns::Pattern& pattern,
+                                       const routing::Router& router);
+
+/// The routes-per-NCA census of Fig. 4: routes of *all* ordered host pairs
+/// (s != d) whose NCA sits at @p level, counted per NCA node at that level.
+/// Entry i is the number of pairs whose route ascends to node i of the
+/// level.  For the paper's two-level trees, level = 2 counts routes per root.
+[[nodiscard]] std::vector<std::uint64_t> ncaRouteCensus(
+    const xgft::Topology& topo, const routing::Router& router,
+    std::uint32_t level);
+
+/// As ncaRouteCensus but restricted to the pairs of @p pattern — "the routes
+/// effectively used by the communication pattern" (Sec. VII-D).
+[[nodiscard]] std::vector<std::uint64_t> ncaRouteCensusForPattern(
+    const xgft::Topology& topo, const patterns::Pattern& pattern,
+    const routing::Router& router, std::uint32_t level);
+
+/// Per-NCA network contention (Sec. VII-B): for every NCA node actually used
+/// by the pattern, the maximum number of flows sharing any single channel on
+/// the way into or out of that NCA.  Keyed by (level, node) flattened to the
+/// node's global id.
+[[nodiscard]] std::unordered_map<std::uint64_t, std::uint32_t> ncaContention(
+    const xgft::Topology& topo, const patterns::Pattern& pattern,
+    const routing::Router& router);
+
+/// The contention level C of Sec. VII-B: max over NCAs of ncaContention.
+[[nodiscard]] std::uint32_t contentionLevel(const xgft::Topology& topo,
+                                            const patterns::Pattern& pattern,
+                                            const routing::Router& router);
+
+/// Endpoint vs. network contention decomposition of a pattern (Sec. IV).
+struct ContentionSplit {
+  std::uint32_t maxFanOut = 0;   ///< Worst source endpoint contention.
+  std::uint32_t maxFanIn = 0;    ///< Worst destination endpoint contention.
+  double endpointBound = 0.0;    ///< max(maxFanOut, maxFanIn): the slowdown
+                                 ///< no routing scheme can remove.
+  double networkBound = 0.0;     ///< maxDemand of the routed pattern: the
+                                 ///< slowdown including routing contention.
+};
+
+[[nodiscard]] ContentionSplit contentionSplit(const xgft::Topology& topo,
+                                              const patterns::Pattern& pattern,
+                                              const routing::Router& router);
+
+}  // namespace analysis

@@ -1,0 +1,80 @@
+#include "analysis/dependency.hpp"
+
+#include <vector>
+
+namespace analysis {
+
+void ChannelDependencyGraph::addRoute(const xgft::Topology& topo,
+                                      xgft::NodeIndex s, xgft::NodeIndex d,
+                                      const xgft::Route& r) {
+  const std::vector<xgft::Channel> channels = channelsOf(topo, s, d, r);
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    // Ensure every used channel exists as a node even without successors.
+    adjacency_.try_emplace(keyOf(channels[i]));
+    if (i + 1 < channels.size()) {
+      adjacency_[keyOf(channels[i])].insert(keyOf(channels[i + 1]));
+    }
+  }
+}
+
+std::size_t ChannelDependencyGraph::numDependencies() const {
+  std::size_t edges = 0;
+  for (const auto& [node, next] : adjacency_) edges += next.size();
+  return edges;
+}
+
+bool ChannelDependencyGraph::isAcyclic() const {
+  // Iterative three-color DFS (the graphs can have hundreds of thousands of
+  // edges for all-pairs route sets; recursion depth is unbounded).
+  enum class Color : std::uint8_t { kWhite, kGrey, kBlack };
+  std::unordered_map<std::uint64_t, Color> color;
+  color.reserve(adjacency_.size());
+  for (const auto& [node, next] : adjacency_) color[node] = Color::kWhite;
+
+  std::vector<std::pair<std::uint64_t, bool>> stack;  // (node, expanded).
+  for (const auto& [start, next] : adjacency_) {
+    if (color[start] != Color::kWhite) continue;
+    stack.emplace_back(start, false);
+    while (!stack.empty()) {
+      auto& [node, expanded] = stack.back();
+      if (expanded) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      expanded = true;
+      color[node] = Color::kGrey;
+      const auto it = adjacency_.find(node);
+      if (it != adjacency_.end()) {
+        for (const std::uint64_t succ : it->second) {
+          const Color c = color[succ];
+          if (c == Color::kGrey) return false;  // Back edge: cycle.
+          if (c == Color::kWhite) stack.emplace_back(succ, false);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool routesAreDeadlockFree(const xgft::Topology& topo,
+                           const routing::Router& router,
+                           const patterns::Pattern* pattern) {
+  ChannelDependencyGraph cdg;
+  if (pattern != nullptr) {
+    for (const patterns::Flow& f : pattern->flows()) {
+      if (f.src == f.dst) continue;
+      cdg.addRoute(topo, f.src, f.dst, router.route(f.src, f.dst));
+    }
+  } else {
+    for (xgft::NodeIndex s = 0; s < topo.numHosts(); ++s) {
+      for (xgft::NodeIndex d = 0; d < topo.numHosts(); ++d) {
+        if (s == d) continue;
+        cdg.addRoute(topo, s, d, router.route(s, d));
+      }
+    }
+  }
+  return cdg.isAcyclic();
+}
+
+}  // namespace analysis

@@ -1,0 +1,56 @@
+// dependency.hpp — Channel-dependency analysis: the deadlock-freedom
+// argument for up/down routing, checked rather than assumed.
+//
+// A set of routes is deadlock-free under credit/wormhole flow control iff
+// its channel dependency graph (CDG) — nodes are unidirectional channels,
+// edges connect consecutive channels of some route — is acyclic (Dally &
+// Seitz).  Minimal up/down routes can only chain up->up, up->down and
+// down->down, which is acyclic by level monotonicity; this module builds
+// the CDG for an *arbitrary* route set so tests (and users plugging in
+// custom RelabelSchemes) can verify the property instead of trusting it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "patterns/pattern.hpp"
+#include "routing/router.hpp"
+#include "xgft/route.hpp"
+#include "xgft/topology.hpp"
+
+namespace analysis {
+
+/// Channel dependency graph over Channel keys (link * 2 + up).
+class ChannelDependencyGraph {
+ public:
+  /// Adds the dependencies induced by one route.
+  void addRoute(const xgft::Topology& topo, xgft::NodeIndex s,
+                xgft::NodeIndex d, const xgft::Route& r);
+
+  /// Number of channels that appear in at least one route.
+  [[nodiscard]] std::size_t numChannels() const { return adjacency_.size(); }
+
+  /// Number of dependency edges.
+  [[nodiscard]] std::size_t numDependencies() const;
+
+  /// True iff the graph has no directed cycle (deadlock freedom).
+  [[nodiscard]] bool isAcyclic() const;
+
+ private:
+  static std::uint64_t keyOf(const xgft::Channel& ch) {
+    return ch.link * 2 + (ch.up ? 1 : 0);
+  }
+
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      adjacency_;
+};
+
+/// Builds the CDG of every (s, d) pair routed by @p router (all pairs when
+/// @p pattern is null, else only the pattern's pairs) and reports
+/// acyclicity.
+[[nodiscard]] bool routesAreDeadlockFree(
+    const xgft::Topology& topo, const routing::Router& router,
+    const patterns::Pattern* pattern = nullptr);
+
+}  // namespace analysis

@@ -1,0 +1,37 @@
+// report.hpp — Aligned-column table rendering for the bench harnesses.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// regenerates; this tiny formatter keeps those tables consistent and
+// greppable (plain text, one header row, fixed-width columns, optional CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with @p precision decimals.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+
+  /// Aligned plain-text rendering.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (no alignment, for machine consumption).
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t numRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace analysis

@@ -1,0 +1,63 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace analysis {
+
+double quantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantileSorted: empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantileSorted: q outside [0, 1]");
+  }
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxStats boxStats(std::vector<double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("boxStats: empty sample");
+  }
+  std::sort(sample.begin(), sample.end());
+  BoxStats s;
+  s.samples = sample.size();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.q1 = quantileSorted(sample, 0.25);
+  s.median = quantileSorted(sample, 0.50);
+  s.q3 = quantileSorted(sample, 0.75);
+  double sum = 0.0;
+  for (const double x : sample) sum += x;
+  s.mean = sum / static_cast<double>(sample.size());
+  return s;
+}
+
+std::string BoxStats::toString(int precision) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << "med=" << median << " [q1=" << q1 << " q3=" << q3 << " min=" << min
+     << " max=" << max << "]";
+  return os.str();
+}
+
+MeanStd meanStd(const std::vector<double>& sample) {
+  MeanStd r;
+  if (sample.empty()) return r;
+  double sum = 0.0;
+  for (const double x : sample) sum += x;
+  r.mean = sum / static_cast<double>(sample.size());
+  double var = 0.0;
+  for (const double x : sample) var += (x - r.mean) * (x - r.mean);
+  r.std = std::sqrt(var / static_cast<double>(sample.size()));
+  return r;
+}
+
+}  // namespace analysis

@@ -1,0 +1,44 @@
+// stats.hpp — Small statistics helpers for the evaluation harnesses.
+//
+// The paper reports randomized routings as boxplots: median, the 25/75
+// percentiles, and min/max whiskers over 40–60 seeds (Sec. IX).  BoxStats
+// reproduces exactly that five-number summary (quartiles by linear
+// interpolation, R type-7, the convention of the plotting tools of the era).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+/// Five-number summary plus mean of a sample.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t samples = 0;
+
+  /// "med=1.23 [q1=1.10 q3=1.40 min=1.02 max=1.77]"
+  [[nodiscard]] std::string toString(int precision = 3) const;
+};
+
+/// Computes the summary; throws std::invalid_argument on an empty sample.
+[[nodiscard]] BoxStats boxStats(std::vector<double> sample);
+
+/// Quantile with linear interpolation (R type 7); @p q in [0, 1].
+/// @p sorted must be non-empty and ascending.
+[[nodiscard]] double quantileSorted(const std::vector<double>& sorted,
+                                    double q);
+
+/// Mean and (population) standard deviation.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+[[nodiscard]] MeanStd meanStd(const std::vector<double>& sample);
+
+}  // namespace analysis

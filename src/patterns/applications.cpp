@@ -1,0 +1,81 @@
+#include "patterns/applications.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace patterns {
+
+PhasedPattern wrfHalo(Rank rows, Rank cols, Bytes bytes) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("wrfHalo: mesh dimensions must be >= 1");
+  }
+  const Rank n = rows * cols;
+  Pattern phase(n);
+  for (Rank i = 0; i < n; ++i) {
+    if (i + cols < n) phase.add(i, i + cols, bytes);
+    if (i >= cols) phase.add(i, i - cols, bytes);
+  }
+  PhasedPattern app;
+  app.name = "WRF-" + std::to_string(n) + " halo (" + std::to_string(rows) +
+             "x" + std::to_string(cols) + " mesh, +/-" +
+             std::to_string(cols) + ")";
+  app.numRanks = n;
+  app.phases.push_back(std::move(phase));
+  return app;
+}
+
+PhasedPattern wrf256(Bytes bytes) { return wrfHalo(16, 16, bytes); }
+
+Rank cgPhase5Destination(Rank s, Rank numRanks, Rank blockSize) {
+  const Rank numBlocks = numRanks / blockSize;
+  const Rank g = blockSize / numBlocks;  // Group width; 2 in the paper (Eq. 2).
+  const Rank b = s / blockSize;
+  const Rank j = s % blockSize;
+  const Rank destBlock = j / g;
+  const Rank destLocal = g * b + (j % g);
+  return destBlock * blockSize + destLocal;
+}
+
+PhasedPattern cgPhases(Rank numRanks, Rank blockSize, Bytes bytes) {
+  if (blockSize == 0 || numRanks % blockSize != 0) {
+    throw std::invalid_argument("cgPhases: numRanks must be a multiple of blockSize");
+  }
+  if ((blockSize & (blockSize - 1)) != 0) {
+    throw std::invalid_argument("cgPhases: blockSize must be a power of two");
+  }
+  const Rank numBlocks = numRanks / blockSize;
+  if (numBlocks == 0 || blockSize % numBlocks != 0) {
+    throw std::invalid_argument(
+        "cgPhases: Eq. (2) requires numBlocks to divide blockSize "
+        "(the paper's instance is 128 ranks in blocks of 16)");
+  }
+  PhasedPattern app;
+  app.name = "CG-" + std::to_string(numRanks) + " (blocks of " +
+             std::to_string(blockSize) + ")";
+  app.numRanks = numRanks;
+
+  // Local phases: pairwise exchange along each hypercube dimension of the
+  // in-block index.  All flows stay within a block, i.e. within a
+  // first-level switch when blockSize == m_1 and ranks map sequentially.
+  for (Rank dim = 1; dim < blockSize; dim <<= 1) {
+    Pattern phase(numRanks);
+    for (Rank s = 0; s < numRanks; ++s) {
+      const Rank block = s / blockSize;
+      const Rank j = s % blockSize;
+      phase.add(s, block * blockSize + (j ^ dim), bytes);
+    }
+    app.phases.push_back(std::move(phase));
+  }
+
+  // Phase 5: the non-local involution of Eq. (2).
+  Pattern phase5(numRanks);
+  for (Rank s = 0; s < numRanks; ++s) {
+    phase5.add(s, cgPhase5Destination(s, numRanks, blockSize), bytes);
+  }
+  app.phases.push_back(std::move(phase5));
+  return app;
+}
+
+PhasedPattern cgD128(Bytes bytes) { return cgPhases(128, 16, bytes); }
+
+}  // namespace patterns

@@ -1,0 +1,62 @@
+// applications.hpp — The application traffic of the paper's evaluation.
+//
+// The paper drives its simulations with post-mortem MPI traces of WRF (256
+// processes) and NAS CG class D (128 processes).  We do not have the BSC
+// trace archive, so these generators rebuild the communication structure the
+// paper itself documents (Sec. VI-A, VII-A, Fig. 3 and Eq. (2)); DESIGN.md
+// records the substitution.  Both patterns are symmetric, which is what
+// makes S-mod-k and D-mod-k behave identically on them (Sec. VII-C).
+#pragma once
+
+#include <cstdint>
+
+#include "patterns/pattern.hpp"
+
+namespace patterns {
+
+/// Default per-message size for the CG phases: the paper reports all five
+/// CG.D-128 exchanges carry 750 KB per message.
+inline constexpr Bytes kCgMessageBytes = 750 * 1024;
+
+/// WRF per-message size is not stated in the paper; 512 KB keeps the run in
+/// the same bandwidth-dominated regime as CG (the slowdown *shape* is
+/// insensitive to this choice — see PatternSizeSweep tests).
+inline constexpr Bytes kWrfMessageBytes = 512 * 1024;
+
+/// WRF-256 halo exchange (Sec. VII-A): the tasks form a 16 x 16 mesh and
+/// every task T_i sends to T_{i+16} and T_{i-16} (truncated at the
+/// boundaries), both messages outstanding simultaneously — a single phase.
+///
+/// Generalized to any @p rows x @p cols task mesh: T_i exchanges with
+/// T_{i +/- cols}.
+[[nodiscard]] PhasedPattern wrfHalo(Rank rows, Rank cols, Bytes bytes);
+
+/// The paper's WRF-256 instance: 16 x 16 mesh.
+[[nodiscard]] PhasedPattern wrf256(Bytes bytes = kWrfMessageBytes);
+
+/// NAS CG communication structure as described in Sec. VII-A: five exchange
+/// phases of equal message size.  With 16 processes per first-level switch,
+/// the first four phases are switch-local pairwise exchanges (hypercube
+/// dimensions 1, 2, 4, 8 within each 16-process block); the fifth phase is
+/// the non-local involution of Eq. (2):
+///
+///     within a block, source j  ->  destination  floor(j/2)*16 + (j mod 2),
+///
+/// lifted to all blocks so that phase 5 is a symmetric permutation over all
+/// ranks: rank (b, j) -> (floor(j/2), 2b + (j mod 2)), with b the block and
+/// j the in-block index.
+///
+/// @p numRanks must be a multiple of @p blockSize, and blockSize a power of
+/// two; the paper's instance is numRanks = 128, blockSize = 16.
+[[nodiscard]] PhasedPattern cgPhases(Rank numRanks, Rank blockSize,
+                                     Bytes bytes);
+
+/// The paper's CG.D-128 instance.
+[[nodiscard]] PhasedPattern cgD128(Bytes bytes = kCgMessageBytes);
+
+/// Eq. (2) of the paper lifted to a global permutation: the destination of
+/// rank s with blocks of @p blockSize ranks.  Exposed separately so tests
+/// can check the involution/symmetry properties the paper relies on.
+[[nodiscard]] Rank cgPhase5Destination(Rank s, Rank numRanks, Rank blockSize);
+
+}  // namespace patterns

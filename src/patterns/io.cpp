@@ -1,0 +1,94 @@
+#include "patterns/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace patterns {
+
+void writePhasedPattern(const PhasedPattern& app, std::ostream& os) {
+  os << "# pattern " << (app.name.empty() ? "unnamed" : app.name) << "\n";
+  os << "# ranks " << app.numRanks << "\n";
+  for (std::size_t i = 0; i < app.phases.size(); ++i) {
+    os << "# phase " << i << "\n";
+    for (const Flow& f : app.phases[i].flows()) {
+      os << f.src << " " << f.dst << " " << f.bytes << "\n";
+    }
+  }
+}
+
+PhasedPattern readPhasedPattern(std::istream& is) {
+  PhasedPattern app;
+  app.name = "unnamed";
+  bool ranksSeen = false;
+  bool phaseSeen = false;
+  std::string line;
+  std::size_t lineNo = 0;
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("readPhasedPattern: line " +
+                                std::to_string(lineNo) + ": " + why);
+  };
+  while (std::getline(is, line)) {
+    ++lineNo;
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // Blank line.
+    if (first == "#") {
+      std::string directive;
+      if (!(ls >> directive)) continue;
+      if (directive == "pattern") {
+        std::string rest;
+        std::getline(ls, rest);
+        const std::size_t start = rest.find_first_not_of(' ');
+        app.name = start == std::string::npos ? "" : rest.substr(start);
+      } else if (directive == "ranks") {
+        std::uint64_t n = 0;
+        if (!(ls >> n) || n == 0 || n > 0xffffffffull) {
+          fail("bad '# ranks' directive");
+        }
+        app.numRanks = static_cast<Rank>(n);
+        ranksSeen = true;
+      } else if (directive == "phase") {
+        app.phases.emplace_back(app.numRanks);
+        phaseSeen = true;
+      }
+      // Unknown directives are comments.
+      continue;
+    }
+    if (!ranksSeen) fail("flow before '# ranks' directive");
+    if (!phaseSeen) {
+      app.phases.emplace_back(app.numRanks);
+      phaseSeen = true;
+    }
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    std::uint64_t bytes = 0;
+    std::istringstream flowLine(line);
+    if (!(flowLine >> src >> dst >> bytes)) fail("malformed flow line");
+    if (src >= app.numRanks || dst >= app.numRanks) {
+      fail("rank out of range");
+    }
+    app.phases.back().add(static_cast<Rank>(src), static_cast<Rank>(dst),
+                          bytes);
+  }
+  if (!ranksSeen) {
+    throw std::invalid_argument(
+        "readPhasedPattern: missing '# ranks' directive");
+  }
+  if (app.phases.empty()) app.phases.emplace_back(app.numRanks);
+  return app;
+}
+
+std::string toString(const PhasedPattern& app) {
+  std::ostringstream os;
+  writePhasedPattern(app, os);
+  return os.str();
+}
+
+PhasedPattern phasedPatternFromString(const std::string& text) {
+  std::istringstream is(text);
+  return readPhasedPattern(is);
+}
+
+}  // namespace patterns

@@ -1,0 +1,116 @@
+#include "patterns/pattern.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace patterns {
+
+void Pattern::add(Rank src, Rank dst, Bytes bytes) {
+  if (src >= numRanks_ || dst >= numRanks_) {
+    throw std::out_of_range("Pattern::add: rank out of range");
+  }
+  flows_.push_back(Flow{src, dst, bytes});
+}
+
+Bytes Pattern::totalBytes() const {
+  Bytes total = 0;
+  for (const Flow& f : flows_) total += f.bytes;
+  return total;
+}
+
+std::uint32_t Pattern::fanOut(Rank src) const {
+  std::set<Rank> dsts;
+  for (const Flow& f : flows_) {
+    if (f.src == src && f.dst != f.src) dsts.insert(f.dst);
+  }
+  return static_cast<std::uint32_t>(dsts.size());
+}
+
+std::uint32_t Pattern::fanIn(Rank dst) const {
+  std::set<Rank> srcs;
+  for (const Flow& f : flows_) {
+    if (f.dst == dst && f.dst != f.src) srcs.insert(f.src);
+  }
+  return static_cast<std::uint32_t>(srcs.size());
+}
+
+std::vector<Bytes> Pattern::bytesOut() const {
+  std::vector<Bytes> out(numRanks_, 0);
+  for (const Flow& f : flows_) {
+    if (f.src != f.dst) out[f.src] += f.bytes;
+  }
+  return out;
+}
+
+std::vector<Bytes> Pattern::bytesIn() const {
+  std::vector<Bytes> in(numRanks_, 0);
+  for (const Flow& f : flows_) {
+    if (f.src != f.dst) in[f.dst] += f.bytes;
+  }
+  return in;
+}
+
+bool Pattern::isPermutation() const {
+  std::vector<std::int64_t> sendsTo(numRanks_, -1);
+  std::vector<std::int64_t> recvsFrom(numRanks_, -1);
+  for (const Flow& f : flows_) {
+    if (f.src == f.dst) continue;
+    if (sendsTo[f.src] != -1 && sendsTo[f.src] != f.dst) return false;
+    if (recvsFrom[f.dst] != -1 && recvsFrom[f.dst] != f.src) return false;
+    sendsTo[f.src] = f.dst;
+    recvsFrom[f.dst] = f.src;
+  }
+  return true;
+}
+
+bool Pattern::isSymmetric() const {
+  std::set<std::pair<Rank, Rank>> conns;
+  for (const Flow& f : flows_) conns.insert({f.src, f.dst});
+  return std::all_of(conns.begin(), conns.end(), [&](const auto& c) {
+    return conns.count({c.second, c.first}) > 0;
+  });
+}
+
+Pattern Pattern::inverse() const {
+  Pattern inv(numRanks_);
+  for (const Flow& f : flows_) inv.add(f.dst, f.src, f.bytes);
+  return inv;
+}
+
+Pattern Pattern::unionWith(const Pattern& other) const {
+  if (other.numRanks_ != numRanks_) {
+    throw std::invalid_argument("Pattern::unionWith: rank count mismatch");
+  }
+  Pattern u(numRanks_, flows_);
+  for (const Flow& f : other.flows_) u.flows_.push_back(f);
+  return u;
+}
+
+std::vector<std::vector<Bytes>> Pattern::connectivityMatrix() const {
+  std::vector<std::vector<Bytes>> m(numRanks_,
+                                    std::vector<Bytes>(numRanks_, 0));
+  for (const Flow& f : flows_) m[f.src][f.dst] += f.bytes;
+  return m;
+}
+
+std::string Pattern::matrixArt() const {
+  const auto m = connectivityMatrix();
+  std::ostringstream os;
+  for (Rank i = 0; i < numRanks_; ++i) {
+    for (Rank j = 0; j < numRanks_; ++j) {
+      os << (m[i][j] > 0 ? '#' : '.');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Pattern PhasedPattern::flattened() const {
+  Pattern all(numRanks);
+  for (const Pattern& p : phases) all = all.unionWith(p);
+  return all;
+}
+
+}  // namespace patterns

@@ -1,0 +1,96 @@
+// pattern.hpp — Communication patterns (Sec. III of the paper).
+//
+// A communication pattern C over N ranks is a set of directed flows
+// (src -> dst, bytes); its connectivity matrix M is N x N with m_ij > 0 iff
+// (i -> j) is in C.  Applications are modelled as a *sequence of phases*
+// (each phase a pattern whose messages are all in flight together, the next
+// phase starting only when the previous one completed end-to-end), which is
+// exactly how the paper's trace-driven experiments inject traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace patterns {
+
+using Rank = std::uint32_t;
+using Bytes = std::uint64_t;
+
+/// One directed flow.
+struct Flow {
+  Rank src = 0;
+  Rank dst = 0;
+  Bytes bytes = 0;
+
+  friend bool operator==(const Flow&, const Flow&) = default;
+};
+
+/// A communication pattern: a multiset of flows over ranks [0, numRanks).
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(Rank numRanks) : numRanks_(numRanks) {}
+  Pattern(Rank numRanks, std::vector<Flow> flows)
+      : numRanks_(numRanks), flows_(std::move(flows)) {}
+
+  [[nodiscard]] Rank numRanks() const { return numRanks_; }
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] bool empty() const { return flows_.empty(); }
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+  /// Adds a flow; self-flows (src == dst) are legal but never enter the
+  /// network (delivered locally).
+  void add(Rank src, Rank dst, Bytes bytes);
+
+  /// Total bytes across all flows.
+  [[nodiscard]] Bytes totalBytes() const;
+
+  /// Number of flows leaving @p src / entering @p dst (self-flows excluded).
+  [[nodiscard]] std::uint32_t fanOut(Rank src) const;
+  [[nodiscard]] std::uint32_t fanIn(Rank dst) const;
+
+  /// Per-rank outgoing / incoming byte totals (self-flows excluded).
+  [[nodiscard]] std::vector<Bytes> bytesOut() const;
+  [[nodiscard]] std::vector<Bytes> bytesIn() const;
+
+  /// True iff the non-self flows form a (partial) permutation: every source
+  /// sends to at most one distinct destination and every destination
+  /// receives from at most one distinct source.
+  [[nodiscard]] bool isPermutation() const;
+
+  /// True iff the pattern equals its own inverse as a set of (src, dst)
+  /// connections (byte counts ignored).
+  [[nodiscard]] bool isSymmetric() const;
+
+  /// The inverse pattern: every flow (s -> d) becomes (d -> s) (Sec. VII-B).
+  [[nodiscard]] Pattern inverse() const;
+
+  /// Union of two patterns over the same rank count.
+  [[nodiscard]] Pattern unionWith(const Pattern& other) const;
+
+  /// Dense connectivity matrix (row = src, col = dst, value = bytes);
+  /// only sensible for small N.
+  [[nodiscard]] std::vector<std::vector<Bytes>> connectivityMatrix() const;
+
+  /// ASCII art of the connectivity matrix ('.' empty, '#' non-empty), the
+  /// rendering used by the Fig. 3 bench.
+  [[nodiscard]] std::string matrixArt() const;
+
+ private:
+  Rank numRanks_ = 0;
+  std::vector<Flow> flows_;
+};
+
+/// A phase sequence; phase i+1 starts only after phase i fully completes.
+struct PhasedPattern {
+  std::string name;
+  Rank numRanks = 0;
+  std::vector<Pattern> phases;
+
+  /// Flattens all phases into one pattern (what a single connectivity-matrix
+  /// view of the application shows).
+  [[nodiscard]] Pattern flattened() const;
+};
+
+}  // namespace patterns

@@ -1,0 +1,127 @@
+#include "patterns/permutation.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "xgft/rng.hpp"
+
+namespace patterns {
+namespace {
+
+bool isPowerOfTwo(Rank n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::uint32_t log2Of(Rank n) {
+  std::uint32_t b = 0;
+  while ((Rank{1} << (b + 1)) <= n) ++b;
+  return b;
+}
+
+}  // namespace
+
+Permutation::Permutation(Rank n) : map_(n) {
+  std::iota(map_.begin(), map_.end(), Rank{0});
+}
+
+Permutation::Permutation(std::vector<Rank> mapping) : map_(std::move(mapping)) {
+  std::vector<bool> seen(map_.size(), false);
+  for (const Rank d : map_) {
+    if (d >= map_.size() || seen[d]) {
+      throw std::invalid_argument("Permutation: mapping is not a bijection");
+    }
+    seen[d] = true;
+  }
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Rank> inv(map_.size());
+  for (Rank s = 0; s < size(); ++s) inv[map_[s]] = s;
+  return Permutation(std::move(inv));
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Permutation::compose: size mismatch");
+  }
+  std::vector<Rank> composed(map_.size());
+  for (Rank s = 0; s < size(); ++s) composed[s] = map_[other.map_[s]];
+  return Permutation(std::move(composed));
+}
+
+bool Permutation::isInvolution() const {
+  for (Rank s = 0; s < size(); ++s) {
+    if (map_[map_[s]] != s) return false;
+  }
+  return true;
+}
+
+Pattern Permutation::toPattern(Bytes bytes, bool keepSelf) const {
+  Pattern p(size());
+  for (Rank s = 0; s < size(); ++s) {
+    if (map_[s] != s || keepSelf) p.add(s, map_[s], bytes);
+  }
+  return p;
+}
+
+Permutation randomPermutation(Rank n, std::uint64_t seed) {
+  std::vector<Rank> map(n);
+  std::iota(map.begin(), map.end(), Rank{0});
+  xgft::Rng rng(seed);
+  rng.shuffle(map);
+  return Permutation(std::move(map));
+}
+
+Permutation shiftPermutation(Rank n, Rank s) {
+  std::vector<Rank> map(n);
+  for (Rank i = 0; i < n; ++i) map[i] = (i + s) % n;
+  return Permutation(std::move(map));
+}
+
+Permutation bitReversal(Rank n) {
+  if (!isPowerOfTwo(n)) {
+    throw std::invalid_argument("bitReversal: n must be a power of two");
+  }
+  const std::uint32_t bits = log2Of(n);
+  std::vector<Rank> map(n);
+  for (Rank i = 0; i < n; ++i) {
+    Rank r = 0;
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      if ((i >> b) & 1u) r |= Rank{1} << (bits - 1 - b);
+    }
+    map[i] = r;
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation bitComplement(Rank n) {
+  if (!isPowerOfTwo(n)) {
+    throw std::invalid_argument("bitComplement: n must be a power of two");
+  }
+  std::vector<Rank> map(n);
+  for (Rank i = 0; i < n; ++i) map[i] = (n - 1) ^ i;
+  return Permutation(std::move(map));
+}
+
+Permutation transpose(Rank rows, Rank cols) {
+  const Rank n = rows * cols;
+  std::vector<Rank> map(n);
+  for (Rank i = 0; i < rows; ++i) {
+    for (Rank j = 0; j < cols; ++j) {
+      map[i * cols + j] = j * rows + i;
+    }
+  }
+  return Permutation(std::move(map));
+}
+
+Permutation butterfly(Rank n, std::uint32_t bit) {
+  if (!isPowerOfTwo(n)) {
+    throw std::invalid_argument("butterfly: n must be a power of two");
+  }
+  if ((Rank{1} << bit) >= n) {
+    throw std::invalid_argument("butterfly: bit out of range");
+  }
+  std::vector<Rank> map(n);
+  for (Rank i = 0; i < n; ++i) map[i] = i ^ (Rank{1} << bit);
+  return Permutation(std::move(map));
+}
+
+}  // namespace patterns

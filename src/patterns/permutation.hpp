@@ -1,0 +1,71 @@
+// permutation.hpp — Permutation patterns and classic synthetic permutations.
+//
+// Permutations are the paper's analytic workhorse (Sec. III, VII-B): every
+// source sends to a distinct destination, so all degradation under a routing
+// scheme is *network* contention.  This module provides a Permutation value
+// type plus the classic families used to stress fat-tree routings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+
+namespace patterns {
+
+/// A bijection on [0, n).  map()[s] is the destination of source s.
+class Permutation {
+ public:
+  /// Identity permutation on n ranks.
+  explicit Permutation(Rank n);
+
+  /// Wraps an explicit mapping; throws std::invalid_argument unless it is a
+  /// bijection.
+  explicit Permutation(std::vector<Rank> mapping);
+
+  [[nodiscard]] Rank size() const {
+    return static_cast<Rank>(map_.size());
+  }
+  [[nodiscard]] Rank operator()(Rank s) const { return map_.at(s); }
+  [[nodiscard]] const std::vector<Rank>& map() const { return map_; }
+
+  /// The inverse bijection.
+  [[nodiscard]] Permutation inverse() const;
+
+  /// Composition: (this ∘ other)(x) = this(other(x)).
+  [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+  /// True iff p == p^{-1}.
+  [[nodiscard]] bool isInvolution() const;
+
+  /// Converts to a Pattern with @p bytes per flow (self-flows skipped when
+  /// @p keepSelf is false).
+  [[nodiscard]] Pattern toPattern(Bytes bytes, bool keepSelf = false) const;
+
+  friend bool operator==(const Permutation&, const Permutation&) = default;
+
+ private:
+  std::vector<Rank> map_;
+};
+
+/// Uniform random permutation (deterministic per seed).
+[[nodiscard]] Permutation randomPermutation(Rank n, std::uint64_t seed);
+
+/// Cyclic shift by @p s: d = (src + s) mod n.  The shift family is the
+/// canonical workload for fat-tree routing studies (Zahavi et al.).
+[[nodiscard]] Permutation shiftPermutation(Rank n, Rank s);
+
+/// Bit reversal of the log2(n)-bit rank (n must be a power of two).
+[[nodiscard]] Permutation bitReversal(Rank n);
+
+/// Bit complement: d = ~src mod n (n must be a power of two).
+[[nodiscard]] Permutation bitComplement(Rank n);
+
+/// Matrix transpose on an r x c grid (n = r*c): rank (i, j) -> (j, i);
+/// requires r*c == c*r trivially, with rank = i*c + j.
+[[nodiscard]] Permutation transpose(Rank rows, Rank cols);
+
+/// Butterfly / exchange on dimension bit b: d = src XOR (1 << b).
+[[nodiscard]] Permutation butterfly(Rank n, std::uint32_t bit);
+
+}  // namespace patterns

@@ -1,0 +1,86 @@
+#include "patterns/synthetic.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "xgft/rng.hpp"
+
+namespace patterns {
+
+Pattern uniformRandom(Rank n, std::uint32_t flowsPerRank, Bytes bytes,
+                      std::uint64_t seed) {
+  Pattern p(n);
+  for (Rank s = 0; s < n; ++s) {
+    for (std::uint32_t f = 0; f < flowsPerRank; ++f) {
+      const Rank d = static_cast<Rank>(xgft::hashMix(seed, s, f) % n);
+      p.add(s, d, bytes);
+    }
+  }
+  return p;
+}
+
+Pattern unionOfRandomPermutations(Rank n, std::uint32_t k, Bytes bytes,
+                                  std::uint64_t seed) {
+  Pattern all(n);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const Permutation perm = randomPermutation(n, xgft::hashMix(seed, i));
+    all = all.unionWith(perm.toPattern(bytes));
+  }
+  return all;
+}
+
+Pattern allToAll(Rank n, Bytes bytes) {
+  Pattern p(n);
+  for (Rank s = 0; s < n; ++s) {
+    for (Rank d = 0; d < n; ++d) {
+      if (s != d) p.add(s, d, bytes);
+    }
+  }
+  return p;
+}
+
+Pattern hotspot(Rank n, Rank hot, Bytes bytes) {
+  if (hot >= n) throw std::out_of_range("hotspot: hot rank out of range");
+  Pattern p(n);
+  for (Rank s = 0; s < n; ++s) {
+    if (s != hot) p.add(s, hot, bytes);
+  }
+  return p;
+}
+
+Pattern ringExchange(Rank n, Bytes bytes) {
+  if (n < 2) throw std::invalid_argument("ringExchange: need >= 2 ranks");
+  Pattern p(n);
+  for (Rank s = 0; s < n; ++s) {
+    p.add(s, (s + 1) % n, bytes);
+    p.add(s, (s + n - 1) % n, bytes);
+  }
+  return p;
+}
+
+Pattern stencil2D(Rank rows, Rank cols, Bytes bytes) {
+  const Rank n = rows * cols;
+  Pattern p(n);
+  for (Rank i = 0; i < rows; ++i) {
+    for (Rank j = 0; j < cols; ++j) {
+      const Rank s = i * cols + j;
+      if (j + 1 < cols) p.add(s, s + 1, bytes);
+      if (j >= 1) p.add(s, s - 1, bytes);
+      if (i + 1 < rows) p.add(s, s + cols, bytes);
+      if (i >= 1) p.add(s, s - cols, bytes);
+    }
+  }
+  return p;
+}
+
+PhasedPattern shiftAllToAll(Rank n, Bytes bytes) {
+  PhasedPattern app;
+  app.name = "shift all-to-all, n=" + std::to_string(n);
+  app.numRanks = n;
+  for (Rank s = 1; s < n; ++s) {
+    app.phases.push_back(shiftPermutation(n, s).toPattern(bytes));
+  }
+  return app;
+}
+
+}  // namespace patterns

@@ -1,0 +1,47 @@
+// synthetic.hpp — Synthetic traffic generators.
+//
+// The random-traffic and general-pattern workloads used in the paper's
+// combinatorial analysis (Sec. VII-C analyses "general patterns" as unions
+// of permutations) and standard HPC microbenchmark patterns used by the
+// examples and the extended evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "patterns/permutation.hpp"
+
+namespace patterns {
+
+/// Uniform random traffic: @p flowsPerRank flows per source, each to an
+/// independently uniform destination (possibly equal to the source, matching
+/// the "random traffic" of the works the paper cites).
+[[nodiscard]] Pattern uniformRandom(Rank n, std::uint32_t flowsPerRank,
+                                    Bytes bytes, std::uint64_t seed);
+
+/// A general pattern built as the union of @p k independent uniform random
+/// permutations (the decomposition view of Sec. VII-C).
+[[nodiscard]] Pattern unionOfRandomPermutations(Rank n, std::uint32_t k,
+                                                Bytes bytes,
+                                                std::uint64_t seed);
+
+/// All-to-all (personalized): every rank sends @p bytes to every other rank.
+[[nodiscard]] Pattern allToAll(Rank n, Bytes bytes);
+
+/// Hotspot: every rank sends to rank @p hot; the pure endpoint-contention
+/// extreme (no routing scheme can help, Sec. IV).
+[[nodiscard]] Pattern hotspot(Rank n, Rank hot, Bytes bytes);
+
+/// Ring: rank i sends to (i+1) mod n and (i-1+n) mod n.
+[[nodiscard]] Pattern ringExchange(Rank n, Bytes bytes);
+
+/// 2D 5-point stencil halo on an r x c grid (±1 in both dimensions,
+/// truncated at the grid boundary).
+[[nodiscard]] Pattern stencil2D(Rank rows, Rank cols, Bytes bytes);
+
+/// The shift sequence used by all-to-all algorithms (Zahavi et al., cited as
+/// [9]): phase s is the cyclic shift by s, s = 1..n-1.
+[[nodiscard]] PhasedPattern shiftAllToAll(Rank n, Bytes bytes);
+
+}  // namespace patterns

@@ -1,0 +1,60 @@
+#include "routing/advisor.hpp"
+
+namespace routing {
+
+std::string toString(SchemeAdvice advice) {
+  switch (advice) {
+    case SchemeAdvice::kEither:
+      return "either (equivalent)";
+    case SchemeAdvice::kPreferSModK:
+      return "prefer s-mod-k";
+    case SchemeAdvice::kPreferDModK:
+      return "prefer d-mod-k";
+  }
+  return "?";
+}
+
+DominanceReport adviseScheme(const patterns::Pattern& pattern, double bias) {
+  DominanceReport report;
+  report.symmetric = pattern.isSymmetric();
+  std::uint64_t fanOutSum = 0;
+  std::uint32_t activeSources = 0;
+  std::uint64_t fanInSum = 0;
+  std::uint32_t activeDests = 0;
+  for (patterns::Rank r = 0; r < pattern.numRanks(); ++r) {
+    const std::uint32_t out = pattern.fanOut(r);
+    const std::uint32_t in = pattern.fanIn(r);
+    if (out > 0) {
+      fanOutSum += out;
+      ++activeSources;
+    }
+    if (in > 0) {
+      fanInSum += in;
+      ++activeDests;
+    }
+  }
+  if (activeSources > 0) {
+    report.meanFanOut =
+        static_cast<double>(fanOutSum) / static_cast<double>(activeSources);
+  }
+  if (activeDests > 0) {
+    report.meanFanIn =
+        static_cast<double>(fanInSum) / static_cast<double>(activeDests);
+  }
+  // A symmetric pattern is its own inverse: provably a tie (Sec. VII-C).
+  if (report.symmetric) {
+    report.advice = SchemeAdvice::kEither;
+    return report;
+  }
+  if (report.meanFanOut > bias * report.meanFanIn) {
+    // Many destinations per source: let every source own one ascent.
+    report.advice = SchemeAdvice::kPreferSModK;
+  } else if (report.meanFanIn > bias * report.meanFanOut) {
+    report.advice = SchemeAdvice::kPreferDModK;
+  } else {
+    report.advice = SchemeAdvice::kEither;
+  }
+  return report;
+}
+
+}  // namespace routing

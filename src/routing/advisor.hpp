@@ -1,0 +1,41 @@
+// advisor.hpp — The scheme-selection heuristic of Sec. VII-C.
+//
+// "A possible heuristic would be to choose S-mod-k for a many-destinations
+// dominated pattern.  And D-mod-k for a many-source dominated pattern."
+//
+// Rationale: S-mod-k concentrates each *source's* flows onto one ascent, so
+// it helps when sources fan out to many destinations (the fan-out is
+// endpoint contention anyway); symmetrically D-mod-k concentrates each
+// destination's flows onto one descent.  For symmetric patterns both are
+// provably equivalent (Sec. VII-B/C) and the advisor reports a tie.
+#pragma once
+
+#include <string>
+
+#include "patterns/pattern.hpp"
+
+namespace routing {
+
+enum class SchemeAdvice {
+  kEither,        ///< Symmetric or balanced pattern: S/D-mod-k equivalent.
+  kPreferSModK,   ///< Destination-dominated: concentrate at the sources.
+  kPreferDModK,   ///< Source-dominated: concentrate at the destinations.
+};
+
+[[nodiscard]] std::string toString(SchemeAdvice advice);
+
+/// Degree statistics driving the advice.
+struct DominanceReport {
+  double meanFanOut = 0.0;  ///< Mean distinct destinations per active source.
+  double meanFanIn = 0.0;   ///< Mean distinct sources per active destination.
+  bool symmetric = false;
+  SchemeAdvice advice = SchemeAdvice::kEither;
+};
+
+/// Analyzes a pattern per the Sec. VII-C heuristic.  @p bias is the ratio
+/// the dominant side must exceed before a preference is issued (ties within
+/// the bias report kEither).
+[[nodiscard]] DominanceReport adviseScheme(const patterns::Pattern& pattern,
+                                           double bias = 1.25);
+
+}  // namespace routing

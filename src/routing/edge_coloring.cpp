@@ -1,0 +1,113 @@
+#include "routing/edge_coloring.hpp"
+
+#include <stdexcept>
+
+namespace routing {
+namespace {
+
+constexpr std::int64_t kNone = -1;
+
+}  // namespace
+
+std::uint32_t maxDegree(const BipartiteMultigraph& g) {
+  std::vector<std::uint32_t> degL(g.numLeft, 0);
+  std::vector<std::uint32_t> degR(g.numRight, 0);
+  std::uint32_t best = 0;
+  for (const auto& [u, v] : g.edges) {
+    best = std::max(best, ++degL.at(u));
+    best = std::max(best, ++degR.at(v));
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> colorBipartiteEdges(const BipartiteMultigraph& g) {
+  const std::uint32_t delta = maxDegree(g);
+  const std::size_t E = g.edges.size();
+  std::vector<std::uint32_t> color(E, 0);
+  if (delta == 0) return color;
+
+  // atL/atR[vertex * delta + c] = index of the edge colored c at that vertex.
+  std::vector<std::int64_t> atL(static_cast<std::size_t>(g.numLeft) * delta,
+                                kNone);
+  std::vector<std::int64_t> atR(static_cast<std::size_t>(g.numRight) * delta,
+                                kNone);
+  const auto slotL = [&](std::uint32_t u, std::uint32_t c) -> std::int64_t& {
+    return atL[static_cast<std::size_t>(u) * delta + c];
+  };
+  const auto slotR = [&](std::uint32_t v, std::uint32_t c) -> std::int64_t& {
+    return atR[static_cast<std::size_t>(v) * delta + c];
+  };
+  const auto freeColor = [&](auto& slot, std::uint32_t vertex) {
+    for (std::uint32_t c = 0; c < delta; ++c) {
+      if (slot(vertex, c) == kNone) return c;
+    }
+    throw std::logic_error("edge coloring: vertex has no free color");
+  };
+
+  std::vector<std::size_t> chain;
+  for (std::size_t e = 0; e < E; ++e) {
+    const auto [u, v] = g.edges[e];
+    const std::uint32_t a = freeColor(slotL, u);
+    const std::uint32_t b = freeColor(slotR, v);
+    if (a != b && slotR(v, a) != kNone) {
+      // Walk the (a, b)-alternating chain starting at v's a-edge.  In a
+      // properly colored graph this chain is a simple path; since b is free
+      // at v the walk starts at a path endpoint, and by the bipartite parity
+      // argument it never reaches u.
+      chain.clear();
+      std::uint32_t vertex = v;
+      bool onRight = true;
+      std::uint32_t want = a;
+      while (true) {
+        const std::int64_t next =
+            onRight ? slotR(vertex, want) : slotL(vertex, want);
+        if (next == kNone) break;
+        const auto idx = static_cast<std::size_t>(next);
+        chain.push_back(idx);
+        const auto [eu, ev] = g.edges[idx];
+        vertex = onRight ? eu : ev;
+        onRight = !onRight;
+        want = want == a ? b : a;
+      }
+      // Flip the whole chain a <-> b (clear all old slots first so parallel
+      // updates cannot clobber each other).
+      for (const std::size_t idx : chain) {
+        const auto [eu, ev] = g.edges[idx];
+        slotL(eu, color[idx]) = kNone;
+        slotR(ev, color[idx]) = kNone;
+      }
+      for (const std::size_t idx : chain) {
+        const auto [eu, ev] = g.edges[idx];
+        color[idx] = color[idx] == a ? b : a;
+        slotL(eu, color[idx]) = static_cast<std::int64_t>(idx);
+        slotR(ev, color[idx]) = static_cast<std::int64_t>(idx);
+      }
+    }
+    color[e] = a;
+    slotL(u, a) = static_cast<std::int64_t>(e);
+    slotR(v, a) = static_cast<std::int64_t>(e);
+  }
+  return color;
+}
+
+bool isProperEdgeColoring(const BipartiteMultigraph& g,
+                          const std::vector<std::uint32_t>& colors) {
+  if (colors.size() != g.edges.size()) return false;
+  std::uint32_t maxColor = 0;
+  for (const std::uint32_t c : colors) maxColor = std::max(maxColor, c + 1);
+  std::vector<bool> seenL(static_cast<std::size_t>(g.numLeft) * maxColor,
+                          false);
+  std::vector<bool> seenR(static_cast<std::size_t>(g.numRight) * maxColor,
+                          false);
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const auto [u, v] = g.edges[e];
+    const std::size_t iu = static_cast<std::size_t>(u) * maxColor + colors[e];
+    const std::size_t iv = static_cast<std::size_t>(v) * maxColor + colors[e];
+    if (seenL[iu] || seenR[iv]) return false;
+    seenL[iu] = true;
+    seenR[iv] = true;
+  }
+  return true;
+}
+
+}  // namespace routing

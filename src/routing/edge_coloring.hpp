@@ -1,0 +1,40 @@
+// edge_coloring.hpp — Proper edge coloring of bipartite multigraphs.
+//
+// Assigning NCAs to the inter-switch flows of a 2-level XGFT is exactly edge
+// coloring: build the multigraph whose left vertices are source switches,
+// right vertices destination switches, and edges the flows; two flows
+// sharing a source (destination) switch collide on an up (down) link iff
+// they were assigned the same root.  König's theorem guarantees a proper
+// coloring with Δ (max degree) colors for bipartite graphs, and the classic
+// alternating-path algorithm constructs one in O(E · V).  This is the
+// optimality core of the pattern-aware "Colored" baseline [4] and of
+// level-wise scheduling for permutations [15].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace routing {
+
+/// An undirected bipartite multigraph; parallel edges are allowed.
+struct BipartiteMultigraph {
+  std::uint32_t numLeft = 0;
+  std::uint32_t numRight = 0;
+  /// (left, right) endpoint indices per edge.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+/// Maximum vertex degree.
+[[nodiscard]] std::uint32_t maxDegree(const BipartiteMultigraph& g);
+
+/// Proper edge coloring using exactly maxDegree(g) colors (König): no two
+/// edges sharing an endpoint receive the same color.  Returns one color in
+/// [0, maxDegree) per edge, in input order.
+[[nodiscard]] std::vector<std::uint32_t> colorBipartiteEdges(
+    const BipartiteMultigraph& g);
+
+/// Verifies that @p colors is a proper edge coloring of @p g.
+[[nodiscard]] bool isProperEdgeColoring(const BipartiteMultigraph& g,
+                                        const std::vector<std::uint32_t>& colors);
+
+}  // namespace routing

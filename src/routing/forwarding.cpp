@@ -1,0 +1,128 @@
+#include "routing/forwarding.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace routing {
+
+ForwardingTables::ForwardingTables(const xgft::Topology& topo)
+    : topo_(&topo) {
+  const std::uint32_t h = topo.height();
+  tables_.resize(h);
+  for (std::uint32_t l = 1; l <= h; ++l) {
+    tables_[l - 1].assign(topo.nodesAtLevel(l) * topo.numHosts(), kUnused);
+  }
+}
+
+ForwardingTables ForwardingTables::build(const xgft::Topology& topo,
+                                         const Router& router) {
+  ForwardingTables ft(topo);
+  const xgft::Count n = topo.numHosts();
+  for (xgft::NodeIndex s = 0; s < n; ++s) {
+    for (xgft::NodeIndex d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const xgft::Route r = router.route(s, d);
+      for (const xgft::Hop& hop : hopsOf(topo, s, d, r)) {
+        if (hop.level == 0) continue;  // Host NIC, not a switch.
+        std::uint32_t& slot =
+            ft.tables_[hop.level - 1][hop.node * n + d];
+        if (slot == kUnused) {
+          slot = hop.outPort;
+        } else if (slot != hop.outPort) {
+          throw std::invalid_argument(
+              "ForwardingTables: scheme '" + router.name() +
+              "' is not destination-consistent at level " +
+              std::to_string(hop.level) + " switch " +
+              std::to_string(hop.node) + " for destination " +
+              std::to_string(d) + " (ports " + std::to_string(slot) +
+              " vs " + std::to_string(hop.outPort) + ")");
+        }
+      }
+    }
+  }
+  return ft;
+}
+
+bool ForwardingTables::isDestinationBased(const xgft::Topology& topo,
+                                          const Router& router) {
+  try {
+    (void)build(topo, router);
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+std::uint32_t ForwardingTables::port(std::uint32_t level,
+                                     xgft::NodeIndex switchIdx,
+                                     xgft::NodeIndex dest) const {
+  if (level == 0 || level > topo_->height()) {
+    throw std::out_of_range("ForwardingTables::port: bad level");
+  }
+  return tables_[level - 1].at(switchIdx * topo_->numHosts() + dest);
+}
+
+std::optional<std::uint32_t> ForwardingTables::walk(
+    xgft::NodeIndex srcHost, xgft::NodeIndex dest) const {
+  if (srcHost == dest) return 0;
+  // Host uplink: hosts have w1 choices; with destination-based tables the
+  // host's NIC also forwards by destination — we take port 0 (w1 = 1 in
+  // every paper topology).
+  std::uint32_t level = 1;
+  xgft::NodeIndex node = topo_->parentIndex(0, srcHost, 0);
+  std::uint32_t hops = 1;
+  const std::uint32_t limit = 4 * topo_->height() + 2;
+  while (hops < limit) {
+    const std::uint32_t out = port(level, node, dest);
+    if (out == kUnused) return std::nullopt;
+    ++hops;
+    if (out < topo_->params().m(level)) {
+      // Down port.
+      if (level == 1) {
+        const xgft::NodeIndex host = topo_->childIndex(1, node, out);
+        return host == dest ? std::optional<std::uint32_t>(hops)
+                            : std::nullopt;
+      }
+      node = topo_->childIndex(level, node, out);
+      --level;
+    } else {
+      // Up port.
+      node = topo_->parentIndex(level, node,
+                                out - topo_->params().m(level));
+      ++level;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t ForwardingTables::numEntries() const {
+  std::uint64_t entries = 0;
+  for (const auto& table : tables_) {
+    for (const std::uint32_t slot : table) {
+      if (slot != kUnused) ++entries;
+    }
+  }
+  return entries;
+}
+
+void ForwardingTables::printSwitch(std::uint32_t level,
+                                   xgft::NodeIndex switchIdx,
+                                   std::ostream& os) const {
+  os << "LFT of level-" << level << " switch " << switchIdx << " ("
+     << topo_->params().toString() << ")\n";
+  for (xgft::NodeIndex d = 0; d < topo_->numHosts(); ++d) {
+    const std::uint32_t out = port(level, switchIdx, d);
+    os << "  dest " << d << " -> ";
+    if (out == kUnused) {
+      os << "(unused)";
+    } else if (out < topo_->params().m(level)) {
+      os << "down port " << out;
+    } else {
+      os << "up port " << out - topo_->params().m(level);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace routing

@@ -1,0 +1,72 @@
+// forwarding.hpp — Destination-indexed per-switch forwarding tables.
+//
+// Real fat-tree deployments (InfiniBand subnet manager, Myrinet mapper)
+// install *destination-based* forwarding: each switch holds one output
+// port per destination LID (a linear forwarding table, LFT).  This module
+// materializes LFTs from a Router and verifies the precondition: the
+// scheme must be destination-consistent, i.e. every flow towards d must
+// leave a given switch through the same port regardless of its source.
+//
+// D-mod-k and r-NCA-d are destination-consistent by construction (that is
+// what "concentrating endpoint contention on the way down" means —
+// Sec. VII); S-mod-k, r-NCA-u, Random and Colored generally are NOT, which
+// is exactly why the paper notes S-mod-k-style schemes need source-routing
+// support ("self-routing") rather than LFTs.  isDestinationBased() lets
+// callers probe the property.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "xgft/route.hpp"
+#include "xgft/topology.hpp"
+
+namespace routing {
+
+class ForwardingTables {
+ public:
+  static constexpr std::uint32_t kUnused = 0xffffffffu;
+
+  /// Builds the LFTs by tracing every ordered host pair through @p router.
+  /// Throws std::invalid_argument if the router is not
+  /// destination-consistent (two sources want different ports at the same
+  /// switch for the same destination).
+  [[nodiscard]] static ForwardingTables build(const xgft::Topology& topo,
+                                              const Router& router);
+
+  /// True iff build() would succeed.
+  [[nodiscard]] static bool isDestinationBased(const xgft::Topology& topo,
+                                               const Router& router);
+
+  /// Output port installed at (level, switchIdx) for destination @p dest;
+  /// kUnused when no route towards dest traverses that switch.
+  [[nodiscard]] std::uint32_t port(std::uint32_t level,
+                                   xgft::NodeIndex switchIdx,
+                                   xgft::NodeIndex dest) const;
+
+  /// Walks the tables from @p srcHost towards @p dest; returns the hop
+  /// count, or std::nullopt if the walk dead-ends or exceeds 4 * height
+  /// hops (a broken table).  Used to validate that LFT forwarding agrees
+  /// with the router's source view.
+  [[nodiscard]] std::optional<std::uint32_t> walk(xgft::NodeIndex srcHost,
+                                                  xgft::NodeIndex dest) const;
+
+  /// Number of installed (non-kUnused) entries.
+  [[nodiscard]] std::uint64_t numEntries() const;
+
+  /// Human-readable dump of one switch's table.
+  void printSwitch(std::uint32_t level, xgft::NodeIndex switchIdx,
+                   std::ostream& os) const;
+
+ private:
+  explicit ForwardingTables(const xgft::Topology& topo);
+
+  const xgft::Topology* topo_;
+  // tables_[level-1][switchIdx * numHosts + dest] = port.
+  std::vector<std::vector<std::uint32_t>> tables_;
+};
+
+}  // namespace routing

@@ -1,0 +1,17 @@
+#include "routing/random_router.hpp"
+
+#include "xgft/rng.hpp"
+
+namespace routing {
+
+Route RandomRouter::route(NodeIndex s, NodeIndex d) const {
+  const xgft::Count choices = topo_->numNcas(s, d);
+  const xgft::Count pick = xgft::hashMix(seed_, s, d) % choices;
+  return xgft::routeViaNca(*topo_, s, d, pick);
+}
+
+RouterPtr makeRandom(const Topology& topo, std::uint64_t seed) {
+  return std::make_unique<RandomRouter>(topo, seed);
+}
+
+}  // namespace routing

@@ -1,0 +1,449 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+#include "xgft/rng.hpp"
+#include <stdexcept>
+#include <string>
+
+namespace sim {
+
+namespace {
+constexpr std::uint32_t kNoPeer = 0xffffffffu;
+}  // namespace
+
+Network::Network(const xgft::Topology& topo, SimConfig cfg)
+    : topo_(&topo), cfg_(cfg) {
+  const std::uint32_t h = topo.height();
+  // Port bases per global node (hosts first, then switches level by level).
+  portBase_.resize(topo.numNodes());
+  std::uint64_t base = 0;
+  for (std::uint32_t l = 0; l <= h; ++l) {
+    const std::uint32_t perNode = topo.numPorts(l);
+    for (xgft::NodeIndex idx = 0; idx < topo.nodesAtLevel(l); ++idx) {
+      portBase_[topo.globalId(l, idx)] = base;
+      base += perNode;
+    }
+    if (l == 0) hostPortEnd_ = static_cast<std::uint32_t>(base);
+  }
+  if (base > 0xfffffff0ull) {
+    throw std::invalid_argument("Network: topology too large (port count)");
+  }
+  ports_.resize(base);
+  peer_.assign(base, kNoPeer);
+  portOwner_.resize(base);
+  for (std::uint32_t l = 0; l <= h; ++l) {
+    for (xgft::NodeIndex idx = 0; idx < topo.nodesAtLevel(l); ++idx) {
+      const std::uint64_t nodeBase = portBase_[topo.globalId(l, idx)];
+      for (std::uint32_t p = 0; p < topo.numPorts(l); ++p) {
+        portOwner_[nodeBase + p] = PortOwner{l, idx, p};
+      }
+    }
+  }
+  adaptiveRR_.assign(topo.numNodes(), 0);
+
+  // Wire the peers: every up-link connects (child, upPort) <-> (parent,
+  // downPort = child's M_{l+1} digit).
+  for (std::uint32_t l = 0; l < h; ++l) {
+    for (xgft::NodeIndex idx = 0; idx < topo.nodesAtLevel(l); ++idx) {
+      for (std::uint32_t p = 0; p < topo.params().w(l + 1); ++p) {
+        const std::uint32_t childGport = static_cast<std::uint32_t>(
+            portBase_[topo.globalId(l, idx)] + topo.upPortBase(l) + p);
+        const xgft::NodeIndex parent = topo.parentIndex(l, idx, p);
+        const std::uint32_t downPort = topo.digit(l, idx, l + 1);
+        const std::uint32_t parentGport = static_cast<std::uint32_t>(
+            portBase_[topo.globalId(l + 1, parent)] + downPort);
+        peer_[childGport] = parentGport;
+        peer_[parentGport] = childGport;
+      }
+    }
+  }
+  for (std::uint32_t g = 0; g < peer_.size(); ++g) {
+    if (peer_[g] == kNoPeer) {
+      throw std::logic_error("Network: unwired port " + std::to_string(g));
+    }
+    ports_[g].credits = cfg_.inputBufferSegments;
+  }
+}
+
+std::uint32_t Network::globalPort(std::uint32_t level, xgft::NodeIndex node,
+                                  std::uint32_t port) const {
+  return static_cast<std::uint32_t>(portBase_[topo_->globalId(level, node)] +
+                                    port);
+}
+
+MsgId Network::addMessage(xgft::NodeIndex src, xgft::NodeIndex dst,
+                          Bytes bytes, const xgft::Route& route) {
+  return addMessageMultipath(src, dst, bytes, {route},
+                             SprayPolicy::kRoundRobin);
+}
+
+MsgId Network::addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
+                                   Bytes bytes,
+                                   const std::vector<xgft::Route>& routes,
+                                   SprayPolicy policy,
+                                   std::uint64_t spraySeed) {
+  if (routes.empty()) {
+    throw std::invalid_argument("addMessageMultipath: need >= 1 route");
+  }
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.policy = policy;
+  m.spraySeed = spraySeed;
+  m.numSegments = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
+  if (src != dst) {
+    for (const xgft::Route& route : routes) {
+      std::string error;
+      if (!validateRoute(*topo_, src, dst, route, &error)) {
+        throw std::invalid_argument("addMessage: " + error);
+      }
+      std::vector<std::uint32_t> path;
+      for (const xgft::Hop& hop : hopsOf(*topo_, src, dst, route)) {
+        path.push_back(globalPort(hop.level, hop.node, hop.outPort));
+      }
+      if (!m.paths.empty() && path[0] != m.paths[0][0]) {
+        throw std::invalid_argument(
+            "addMessageMultipath: routes must share the first-hop port");
+      }
+      m.paths.push_back(std::move(path));
+    }
+  }
+  messages_.push_back(std::move(m));
+  return static_cast<MsgId>(messages_.size() - 1);
+}
+
+MsgId Network::addMessageAdaptive(xgft::NodeIndex src, xgft::NodeIndex dst,
+                                  Bytes bytes) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.adaptive = true;
+  m.numSegments = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
+  if (src != dst) {
+    // The host uplink is fixed per message (w1 = 1 in the paper's trees;
+    // for w1 > 1 messages stripe across NIC ports by id).
+    const std::uint32_t port =
+        static_cast<std::uint32_t>(messages_.size() % topo_->params().w(1));
+    m.paths.push_back({globalPort(0, src, port)});
+  }
+  messages_.push_back(std::move(m));
+  return static_cast<MsgId>(messages_.size() - 1);
+}
+
+void Network::release(MsgId msg, TimeNs t) {
+  if (msg >= messages_.size()) {
+    throw std::out_of_range("release: unknown message");
+  }
+  if (t < now_) {
+    throw std::invalid_argument("release: time in the past");
+  }
+  schedule(t, Kind::kRelease, msg);
+}
+
+void Network::scheduleCallback(TimeNs t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("scheduleCallback: time in the past");
+  }
+  callbacks_.push_back(std::move(fn));
+  schedule(t, Kind::kCallback,
+           static_cast<std::uint32_t>(callbacks_.size() - 1));
+}
+
+void Network::run(TimeNs until) {
+  while (!queue_.empty() && queue_.top().t <= until) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    handle(ev);
+    ++stats_.eventsProcessed;
+  }
+  if (queue_.empty()) {
+    std::uint64_t stranded = 0;
+    for (const Message& m : messages_) {
+      if (m.released && !m.delivered) ++stranded;
+    }
+    if (stranded > 0) {
+      throw std::runtime_error(
+          "Network::run: event queue drained with " +
+          std::to_string(stranded) +
+          " undelivered released message(s) — routing or flow-control bug");
+    }
+  }
+}
+
+TimeNs Network::deliveryTime(MsgId msg) const {
+  const Message& m = messages_.at(msg);
+  if (!m.delivered) {
+    throw std::logic_error("deliveryTime: message not delivered");
+  }
+  return m.deliveredAt;
+}
+
+TimeNs Network::wireBusyNs(std::uint32_t gport) const {
+  return ports_.at(gport).busyNs;
+}
+
+void Network::schedule(TimeNs t, Kind kind, std::uint32_t a,
+                       std::uint32_t seg) {
+  queue_.push(Event{t, nextSeq_++, kind, a, seg});
+}
+
+void Network::handle(const Event& ev) {
+  switch (ev.kind) {
+    case Kind::kRelease:
+      handleRelease(ev.a);
+      break;
+    case Kind::kWireArrive:
+      handleWireArrive(ev.a, ev.seg);
+      break;
+    case Kind::kWireFree:
+      handleWireFree(ev.a);
+      break;
+    case Kind::kTransfer:
+      handleTransfer(ev.a, ev.seg);
+      break;
+    case Kind::kCallback:
+      callbacks_[ev.a]();
+      break;
+  }
+}
+
+void Network::handleRelease(MsgId msg) {
+  Message& m = messages_[msg];
+  m.released = true;
+  if (m.src == m.dst) {
+    // Local delivery: never enters the network (Sec. III self-flows).
+    m.delivered = true;
+    m.deliveredAt = now_;
+    ++stats_.messagesDelivered;
+    stats_.lastDeliveryNs = std::max(stats_.lastDeliveryNs, now_);
+    if (sink_ != nullptr) sink_->onMessageDelivered(msg, now_);
+    return;
+  }
+  ports_[m.paths[0][0]].active.push_back(msg);
+  tryInjectHost(m.paths[0][0]);
+}
+
+std::uint32_t Network::segmentPayload(const Message& m,
+                                      std::uint32_t index) const {
+  const Bytes offset = static_cast<Bytes>(index) * cfg_.segmentBytes;
+  const Bytes remaining = m.bytes > offset ? m.bytes - offset : 0;
+  return static_cast<std::uint32_t>(
+      std::min<Bytes>(remaining, cfg_.segmentBytes));
+}
+
+std::uint32_t Network::allocSegment(MsgId msg, std::uint32_t pathIdx,
+                                    std::uint32_t bytes) {
+  std::uint32_t idx;
+  if (!freeSegments_.empty()) {
+    idx = freeSegments_.back();
+    freeSegments_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(segments_.size());
+    segments_.emplace_back();
+  }
+  segments_[idx] = Segment{msg, 0, pathIdx, bytes};
+  return idx;
+}
+
+void Network::freeSegment(std::uint32_t seg) { freeSegments_.push_back(seg); }
+
+void Network::tryInjectHost(std::uint32_t gOutPort) {
+  PortState& port = ports_[gOutPort];
+  if (port.wireBusy || port.credits == 0 || port.active.empty()) return;
+  const MsgId msgId = port.active.front();
+  port.active.pop_front();
+  Message& m = messages_[msgId];
+  const std::uint32_t payload = segmentPayload(m, m.injectedSegments);
+  std::uint32_t pathIdx = 0;
+  if (m.paths.size() > 1) {
+    switch (m.policy) {
+      case SprayPolicy::kRoundRobin:
+        pathIdx = m.injectedSegments % m.paths.size();
+        break;
+      case SprayPolicy::kRandom:
+        pathIdx = static_cast<std::uint32_t>(
+            xgft::hashMix(m.spraySeed, msgId, m.injectedSegments) %
+            m.paths.size());
+        break;
+    }
+  }
+  const std::uint32_t seg = allocSegment(msgId, pathIdx, payload);
+  ++m.injectedSegments;
+  ++stats_.segmentsInjected;
+  // Round robin: messages with segments left rejoin the tail, so concurrent
+  // messages interleave segment by segment (Sec. VI-B).
+  if (m.injectedSegments < m.numSegments) port.active.push_back(msgId);
+  startTransmission(gOutPort, seg);
+}
+
+void Network::startTransmission(std::uint32_t gOutPort, std::uint32_t seg) {
+  PortState& port = ports_[gOutPort];
+  assert(!port.wireBusy && port.credits > 0);
+  port.wireBusy = true;
+  --port.credits;
+  const TimeNs ser = cfg_.serializationNs(segments_[seg].payloadBytes);
+  port.busyNs += ser;
+  schedule(now_ + ser, Kind::kWireFree, gOutPort);
+  schedule(now_ + ser + cfg_.linkLatencyNs, Kind::kWireArrive, peer_[gOutPort],
+           seg);
+}
+
+void Network::outputDispatch(std::uint32_t gOutPort) {
+  if (isHostPort(gOutPort)) {
+    tryInjectHost(gOutPort);
+  } else {
+    tryTransmitSwitch(gOutPort);
+  }
+}
+
+void Network::handleWireFree(std::uint32_t gOutPort) {
+  ports_[gOutPort].wireBusy = false;
+  outputDispatch(gOutPort);
+}
+
+void Network::tryTransmitSwitch(std::uint32_t gOutPort) {
+  PortState& port = ports_[gOutPort];
+  if (port.wireBusy || port.credits == 0 || port.outQ.empty()) return;
+  const std::uint32_t seg = port.outQ.front();
+  port.outQ.pop_front();
+  startTransmission(gOutPort, seg);
+  serveWaitingInputs(gOutPort);
+}
+
+void Network::handleWireArrive(std::uint32_t gInPort, std::uint32_t seg) {
+  Segment& segment = segments_[seg];
+  ++segment.hop;
+  if (isHostPort(gInPort)) {
+    // Arriving at a host means delivery (the descent always ends at the
+    // destination; routes are validated or, for adaptive segments,
+    // minimal by construction).
+    deliverSegment(gInPort, seg);
+    return;
+  }
+  PortState& port = ports_[gInPort];
+  port.inQ.push_back(seg);
+  stats_.maxInputQueueDepth = std::max(
+      stats_.maxInputQueueDepth, static_cast<std::uint32_t>(port.inQ.size()));
+  tryAdvanceInput(gInPort);
+}
+
+void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
+  const MsgId msgId = segments_[seg].msg;
+  freeSegment(seg);
+  returnCredit(peer_[gInPort]);
+  ++stats_.segmentsDelivered;
+  Message& m = messages_[msgId];
+  ++m.deliveredSegments;
+  if (m.deliveredSegments == m.numSegments) {
+    m.delivered = true;
+    m.deliveredAt = now_;
+    ++stats_.messagesDelivered;
+    stats_.lastDeliveryNs = std::max(stats_.lastDeliveryNs, now_);
+    if (sink_ != nullptr) sink_->onMessageDelivered(msgId, now_);
+  }
+}
+
+void Network::tryAdvanceInput(std::uint32_t gInPort) {
+  PortState& port = ports_[gInPort];
+  if (port.transferring || port.inQ.empty()) return;
+  const std::uint32_t seg = port.inQ.front();
+  Segment& segment = segments_[seg];
+  // Adaptive segments (re-)pick their output now; a segment woken after
+  // blocking re-evaluates against current queue occupancies.
+  const std::uint32_t out = messages_[segment.msg].adaptive
+                                ? resolveAdaptive(gInPort, segment)
+                                : pathOf(segment)[segment.hop];
+  segment.resolvedOut = out;
+  PortState& outPort = ports_[out];
+  if (outPort.outQ.size() + outPort.reserved < cfg_.outputBufferSegments) {
+    ++outPort.reserved;
+    port.transferring = true;
+    schedule(now_ + cfg_.switchLatencyNs, Kind::kTransfer, gInPort, seg);
+  } else if (!port.queuedWaiting) {
+    outPort.waitingInputs.push_back(gInPort);
+    port.queuedWaiting = true;
+  }
+}
+
+void Network::handleTransfer(std::uint32_t gInPort, std::uint32_t seg) {
+  PortState& port = ports_[gInPort];
+  const Segment& segment = segments_[seg];
+  const std::uint32_t out = segment.resolvedOut;
+  PortState& outPort = ports_[out];
+  --outPort.reserved;
+  outPort.outQ.push_back(seg);
+  stats_.maxOutputQueueDepth =
+      std::max(stats_.maxOutputQueueDepth,
+               static_cast<std::uint32_t>(outPort.outQ.size()));
+  assert(!port.inQ.empty() && port.inQ.front() == seg);
+  port.inQ.pop_front();
+  port.transferring = false;
+  returnCredit(peer_[gInPort]);
+  tryAdvanceInput(gInPort);
+  tryTransmitSwitch(out);
+}
+
+std::uint32_t Network::resolveAdaptive(std::uint32_t gInPort,
+                                       const Segment& seg) {
+  const PortOwner owner = portOwner_[gInPort];
+  const std::uint32_t level = owner.level;
+  const Message& m = messages_[seg.msg];
+  // Descend as soon as this switch is an ancestor of the destination: all
+  // label digits above the switch's level must match the destination's.
+  bool ancestor = true;
+  for (std::uint32_t i = level + 1; i <= topo_->height(); ++i) {
+    if (topo_->digit(level, owner.node, i) != topo_->digit(0, m.dst, i)) {
+      ancestor = false;
+      break;
+    }
+  }
+  if (ancestor) {
+    return globalPort(level, owner.node, topo_->digit(0, m.dst, level));
+  }
+  // Ascend through the least-occupied up-port; a per-switch rotor breaks
+  // ties round-robin so symmetric traffic does not herd onto port 0.
+  const std::uint32_t upBase = topo_->params().m(level);
+  const std::uint32_t numUp = topo_->params().w(level + 1);
+  const xgft::GlobalNodeId nid = topo_->globalId(level, owner.node);
+  const std::uint32_t start = adaptiveRR_[nid]++ % numUp;
+  std::uint32_t bestPort = 0;
+  std::uint64_t bestScore = ~std::uint64_t{0};
+  for (std::uint32_t i = 0; i < numUp; ++i) {
+    const std::uint32_t p = (start + i) % numUp;
+    const std::uint32_t gout = globalPort(level, owner.node, upBase + p);
+    const PortState& out = ports_[gout];
+    const std::uint64_t score =
+        (static_cast<std::uint64_t>(out.outQ.size()) + out.reserved) * 2 +
+        (out.wireBusy ? 1 : 0);
+    if (score < bestScore) {
+      bestScore = score;
+      bestPort = gout;
+    }
+  }
+  return bestPort;
+}
+
+void Network::returnCredit(std::uint32_t gOutPort) {
+  ++ports_[gOutPort].credits;
+  outputDispatch(gOutPort);
+}
+
+void Network::serveWaitingInputs(std::uint32_t gOutPort) {
+  PortState& outPort = ports_[gOutPort];
+  while (!outPort.waitingInputs.empty() &&
+         outPort.outQ.size() + outPort.reserved <
+             cfg_.outputBufferSegments) {
+    const std::uint32_t gInPort = outPort.waitingInputs.front();
+    outPort.waitingInputs.pop_front();
+    ports_[gInPort].queuedWaiting = false;
+    tryAdvanceInput(gInPort);
+  }
+}
+
+}  // namespace sim

@@ -1,0 +1,267 @@
+// network.hpp — Event-driven XGFT network simulator (the Venus substitute).
+//
+// Model (see DESIGN.md for the substitution rationale):
+//
+//  * Source routing.  A message carries its precomputed output-port path
+//    (host NIC port, then one output port per switch).
+//  * Adapters.  Each host NIC keeps a round-robin list of active messages
+//    per port; whenever the host link is free (and the first switch has
+//    buffer credit) the NIC emits the *next segment of the next message* —
+//    the per-segment interleaving of Sec. VI-B.
+//  * Switches.  Input- and output-buffered: segments arriving on an input
+//    port move (after the switch latency) into the FIFO output buffer of
+//    their next hop when it has space; otherwise they wait in the input
+//    buffer, and inputs blocked on the same output are served round-robin
+//    as slots free up.  Input buffer occupancy is governed by credits, so
+//    an upstream transmitter never overruns a full input buffer.
+//  * Wires.  One segment at a time, serialization time exact in flit
+//    arithmetic, plus a propagation latency.
+//
+// Up/down routes on a tree give an acyclic channel-dependency graph, so the
+// credit protocol cannot deadlock; run() checks full drainage and throws on
+// any stranded segment (a routing-table bug would surface here, not hang).
+//
+// Determinism: ties in the event queue break by insertion order, so equal
+// configurations and inputs replay identically on every platform.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "xgft/route.hpp"
+#include "xgft/topology.hpp"
+
+namespace sim {
+
+using MsgId = std::uint32_t;
+using Bytes = std::uint64_t;
+
+/// How a multipath message distributes its segments over its routes.
+/// Per-segment spraying is the packet-granular randomized routing of
+/// Greenberg & Leiserson [16], provided as an extension (DESIGN.md):
+/// segments of one message may arrive out of order, which the paper's
+/// segment-reassembling adapters tolerate.
+enum class SprayPolicy : std::uint8_t {
+  kRoundRobin,  ///< Segment i takes route i mod |routes|.
+  kRandom,      ///< Segment i takes a seeded pseudo-random route.
+};
+
+/// Receives end-to-end message completions (the Dimemas coupling point).
+class TrafficSink {
+ public:
+  virtual ~TrafficSink() = default;
+  virtual void onMessageDelivered(MsgId msg, TimeNs time) = 0;
+};
+
+/// Aggregate counters exposed after (or during) a run.
+struct NetworkStats {
+  std::uint64_t segmentsInjected = 0;
+  std::uint64_t segmentsDelivered = 0;
+  std::uint64_t messagesDelivered = 0;
+  std::uint64_t eventsProcessed = 0;
+  TimeNs lastDeliveryNs = 0;
+  std::uint32_t maxOutputQueueDepth = 0;
+  std::uint32_t maxInputQueueDepth = 0;
+};
+
+class Network {
+ public:
+  /// Builds the port-level machine for @p topo.  The topology reference must
+  /// outlive the Network.
+  Network(const xgft::Topology& topo, SimConfig cfg);
+
+  /// Registers the completion listener (optional).
+  void setSink(TrafficSink* sink) { sink_ = sink; }
+
+  /// Registers a message and its minimal up/down route; the message starts
+  /// injecting only after release().  s == d messages are legal and complete
+  /// instantly upon release (local delivery, no network traversal).
+  MsgId addMessage(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
+                   const xgft::Route& route);
+
+  /// Registers a multipath message: each segment is sprayed over one of the
+  /// given routes per @p policy.  All routes must share the same first-hop
+  /// (host) port.  At least one route is required.
+  MsgId addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
+                            Bytes bytes,
+                            const std::vector<xgft::Route>& routes,
+                            SprayPolicy policy,
+                            std::uint64_t spraySeed = 1);
+
+  /// Registers a minimally-adaptive message (the adaptive routing the
+  /// paper's Sec. I discusses via Gómez et al. [6]): no precomputed route —
+  /// at every switch on the ascent the segment picks the least-occupied
+  /// up-port (round-robin tie-breaking per switch) until it reaches an
+  /// ancestor of the destination, then descends deterministically.  Routes
+  /// stay minimal, so deadlock freedom is preserved.
+  MsgId addMessageAdaptive(xgft::NodeIndex src, xgft::NodeIndex dst,
+                           Bytes bytes);
+
+  /// Makes the message visible to the source adapter at time @p t (must not
+  /// precede the current simulation time).
+  void release(MsgId msg, TimeNs t);
+
+  /// Schedules an arbitrary callback (trace compute/barrier hooks).
+  void scheduleCallback(TimeNs t, std::function<void()> fn);
+
+  /// Processes events until the queue drains (or @p until, if given).
+  /// Throws std::runtime_error if released traffic is left stranded once
+  /// the queue is empty.
+  void run(TimeNs until = std::numeric_limits<TimeNs>::max());
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+  [[nodiscard]] const xgft::Topology& topology() const { return *topo_; }
+
+  /// Completion time of a delivered message; throws if not yet delivered.
+  [[nodiscard]] TimeNs deliveryTime(MsgId msg) const;
+
+  /// Busy (serializing) nanoseconds of the wire leaving global port @p gport.
+  [[nodiscard]] TimeNs wireBusyNs(std::uint32_t gport) const;
+
+  /// Global output-port id crossed by hop (level, node, outPort) — exposed
+  /// for utilization reports.
+  [[nodiscard]] std::uint32_t globalPort(std::uint32_t level,
+                                         xgft::NodeIndex node,
+                                         std::uint32_t port) const;
+
+  [[nodiscard]] std::uint32_t numGlobalPorts() const {
+    return static_cast<std::uint32_t>(peer_.size());
+  }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kRelease,
+    kWireArrive,
+    kWireFree,
+    kTransfer,
+    kCallback,
+  };
+
+  struct Event {
+    TimeNs t = 0;
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kRelease;
+    std::uint32_t a = 0;    ///< Port / message / callback index.
+    std::uint32_t seg = 0;  ///< Segment pool index where applicable.
+
+    bool operator>(const Event& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  struct Segment {
+    MsgId msg = 0;
+    std::uint32_t hop = 0;      ///< Hops completed so far.
+    std::uint32_t pathIdx = 0;  ///< Which of the message's routes.
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t resolvedOut = 0;  ///< Output gport chosen at this switch.
+  };
+
+  struct Message {
+    xgft::NodeIndex src = 0;
+    xgft::NodeIndex dst = 0;
+    Bytes bytes = 0;
+    std::uint32_t numSegments = 0;
+    std::uint32_t injectedSegments = 0;
+    std::uint32_t deliveredSegments = 0;
+    bool released = false;
+    bool delivered = false;
+    bool adaptive = false;
+    SprayPolicy policy = SprayPolicy::kRoundRobin;
+    std::uint64_t spraySeed = 1;
+    TimeNs deliveredAt = 0;
+    /// Global output ports per hop, one sequence per candidate route
+    /// (empty for adaptive messages).
+    std::vector<std::vector<std::uint32_t>> paths;
+  };
+
+  /// Reverse port lookup: which node owns a global port.
+  struct PortOwner {
+    std::uint32_t level = 0;
+    xgft::NodeIndex node = 0;
+    std::uint32_t localPort = 0;
+  };
+
+  struct PortState {
+    // Output side.
+    std::deque<std::uint32_t> outQ;  ///< Segment pool indices.
+    std::uint32_t reserved = 0;      ///< Transfers in flight into outQ.
+    bool wireBusy = false;
+    std::uint32_t credits = 0;  ///< Free slots at the peer's input buffer.
+    std::deque<std::uint32_t> waitingInputs;  ///< Blocked inputs (RR order).
+    // Input side.
+    std::deque<std::uint32_t> inQ;
+    bool transferring = false;
+    bool queuedWaiting = false;  ///< Already parked in some waitingInputs.
+    // Host adapter (host ports only): active-message round robin.
+    std::deque<MsgId> active;
+    // Accounting.
+    TimeNs busyNs = 0;
+  };
+
+  void schedule(TimeNs t, Kind kind, std::uint32_t a, std::uint32_t seg = 0);
+  void handle(const Event& ev);
+
+  void handleRelease(MsgId msg);
+  void handleWireArrive(std::uint32_t gInPort, std::uint32_t seg);
+  void handleWireFree(std::uint32_t gOutPort);
+  void handleTransfer(std::uint32_t gInPort, std::uint32_t seg);
+
+  void tryInjectHost(std::uint32_t gOutPort);
+  void tryTransmitSwitch(std::uint32_t gOutPort);
+  void startTransmission(std::uint32_t gOutPort, std::uint32_t seg);
+  void tryAdvanceInput(std::uint32_t gInPort);
+  void serveWaitingInputs(std::uint32_t gOutPort);
+  void returnCredit(std::uint32_t gOutPort);
+  void deliverSegment(std::uint32_t gInPort, std::uint32_t seg);
+  void outputDispatch(std::uint32_t gOutPort);
+
+  [[nodiscard]] std::uint32_t allocSegment(MsgId msg, std::uint32_t pathIdx,
+                                           std::uint32_t bytes);
+  [[nodiscard]] const std::vector<std::uint32_t>& pathOf(
+      const Segment& seg) const {
+    return messages_[seg.msg].paths[seg.pathIdx];
+  }
+  /// Picks the output gport for an adaptive segment sitting at the node
+  /// owning @p gInPort.
+  [[nodiscard]] std::uint32_t resolveAdaptive(std::uint32_t gInPort,
+                                              const Segment& seg);
+  void freeSegment(std::uint32_t seg);
+  [[nodiscard]] bool isHostPort(std::uint32_t gport) const {
+    return gport < hostPortEnd_;
+  }
+  [[nodiscard]] std::uint32_t segmentPayload(const Message& m,
+                                             std::uint32_t index) const;
+
+  const xgft::Topology* topo_;
+  SimConfig cfg_;
+  TrafficSink* sink_ = nullptr;
+
+  std::vector<std::uint64_t> portBase_;  ///< Per global node id.
+  std::vector<std::uint32_t> peer_;      ///< Peer gport per gport.
+  std::vector<PortOwner> portOwner_;     ///< Owning node per gport.
+  std::vector<std::uint32_t> adaptiveRR_;  ///< Per-node tie-break rotor.
+  std::uint32_t hostPortEnd_ = 0;        ///< Host ports occupy [0, end).
+
+  std::vector<PortState> ports_;
+  std::vector<Message> messages_;
+  std::vector<Segment> segments_;
+  std::vector<std::uint32_t> freeSegments_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<std::function<void()>> callbacks_;
+  std::uint64_t nextSeq_ = 0;
+  TimeNs now_ = 0;
+  NetworkStats stats_;
+};
+
+}  // namespace sim

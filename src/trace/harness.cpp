@@ -1,0 +1,95 @@
+#include "trace/harness.hpp"
+
+#include <algorithm>
+
+#include "routing/relabel.hpp"
+#include "trace/replayer.hpp"
+
+namespace trace {
+
+RunResult runApp(const xgft::Topology& topo, const routing::Router& router,
+                 const patterns::PhasedPattern& app, const Mapping& mapping,
+                 const sim::SimConfig& cfg) {
+  sim::Network net(topo, cfg);
+  const Trace t = traceFromPhases(app);
+  Replayer replayer(net, t, mapping, router);
+  RunResult result;
+  result.makespanNs = replayer.run();
+  result.stats = net.stats();
+  return result;
+}
+
+RunResult runApp(const xgft::Topology& topo, const routing::Router& router,
+                 const patterns::PhasedPattern& app,
+                 const sim::SimConfig& cfg) {
+  return runApp(topo, router, app, Mapping::sequential(app.numRanks), cfg);
+}
+
+RunResult runAppSprayed(const xgft::Topology& topo,
+                        const patterns::PhasedPattern& app,
+                        const SprayConfig& spray, const sim::SimConfig& cfg) {
+  sim::Network net(topo, cfg);
+  const Trace t = traceFromPhases(app);
+  const Mapping mapping = Mapping::sequential(app.numRanks);
+  // The router is only consulted when spraying is disabled; D-mod-k serves
+  // as the inert default.
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  Replayer replayer(net, t, mapping, *router, spray);
+  RunResult result;
+  result.makespanNs = replayer.run();
+  result.stats = net.stats();
+  return result;
+}
+
+RunResult runAppAdaptive(const xgft::Topology& topo,
+                         const patterns::PhasedPattern& app,
+                         const sim::SimConfig& cfg) {
+  SprayConfig spray;
+  spray.adaptive = true;
+  return runAppSprayed(topo, app, spray, cfg);
+}
+
+RunResult runCrossbarReference(const patterns::PhasedPattern& app,
+                               const sim::SimConfig& cfg) {
+  // XGFT(1; N; 1) *is* the single-stage crossbar: one switch, N hosts.
+  const xgft::Topology crossbar(
+      xgft::Params({app.numRanks}, {1}));
+  sim::SimConfig ideal = cfg;
+  ideal.switchLatencyNs = 0;
+  ideal.linkLatencyNs = 0;
+  ideal.inputBufferSegments = 1u << 20;
+  ideal.outputBufferSegments = 1u << 20;
+  // Routing is trivial (one path per pair); D-mod-k digits produce it.
+  const routing::RouterPtr router = routing::makeDModK(crossbar);
+  return runApp(crossbar, *router, app, ideal);
+}
+
+double slowdownVsCrossbar(const xgft::Topology& topo,
+                          const routing::Router& router,
+                          const patterns::PhasedPattern& app,
+                          const sim::SimConfig& cfg) {
+  const RunResult network = runApp(topo, router, app, cfg);
+  const RunResult reference = runCrossbarReference(app, cfg);
+  if (reference.makespanNs == 0) return 1.0;
+  return static_cast<double>(network.makespanNs) /
+         static_cast<double>(reference.makespanNs);
+}
+
+patterns::PhasedPattern scaleMessages(const patterns::PhasedPattern& app,
+                                      double factor) {
+  patterns::PhasedPattern scaled;
+  scaled.name = app.name;
+  scaled.numRanks = app.numRanks;
+  for (const patterns::Pattern& phase : app.phases) {
+    patterns::Pattern p(phase.numRanks());
+    for (const patterns::Flow& f : phase.flows()) {
+      const auto bytes = static_cast<patterns::Bytes>(
+          std::max(1.0, static_cast<double>(f.bytes) * factor));
+      p.add(f.src, f.dst, bytes);
+    }
+    scaled.phases.push_back(std::move(p));
+  }
+  return scaled;
+}
+
+}  // namespace trace

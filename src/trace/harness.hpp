@@ -1,0 +1,72 @@
+// harness.hpp — One-call experiment driver.
+//
+// Reproduces the paper's measurement loop (Sec. VI-B): replay an
+// application's phases on an XGFT under a routing scheme, replay the same
+// application on the ideal single-stage Full-Crossbar, and report the
+// slowdown ratio — the y-axis of Figs. 2 and 5.
+#pragma once
+
+#include <memory>
+
+#include "patterns/pattern.hpp"
+#include "routing/router.hpp"
+#include "sim/network.hpp"
+#include "trace/mapping.hpp"
+#include "trace/replayer.hpp"
+#include "trace/trace.hpp"
+
+namespace trace {
+
+struct RunResult {
+  sim::TimeNs makespanNs = 0;
+  sim::NetworkStats stats;
+};
+
+/// Replays @p app on @p topo routed by @p router (sequential placement).
+[[nodiscard]] RunResult runApp(const xgft::Topology& topo,
+                               const routing::Router& router,
+                               const patterns::PhasedPattern& app,
+                               const sim::SimConfig& cfg = {});
+
+/// As runApp with an explicit placement.
+[[nodiscard]] RunResult runApp(const xgft::Topology& topo,
+                               const routing::Router& router,
+                               const patterns::PhasedPattern& app,
+                               const Mapping& mapping,
+                               const sim::SimConfig& cfg);
+
+/// Replays @p app with per-segment multipath spraying instead of a static
+/// per-pair route (the packet-granular randomized routing extension; see
+/// SprayConfig in replayer.hpp).  Sequential placement.
+[[nodiscard]] RunResult runAppSprayed(const xgft::Topology& topo,
+                                      const patterns::PhasedPattern& app,
+                                      const SprayConfig& spray,
+                                      const sim::SimConfig& cfg = {});
+
+/// Replays @p app with minimally-adaptive per-hop routing (least-occupied
+/// up-port at every switch) instead of a precomputed route.  Sequential
+/// placement.
+[[nodiscard]] RunResult runAppAdaptive(const xgft::Topology& topo,
+                                       const patterns::PhasedPattern& app,
+                                       const sim::SimConfig& cfg = {});
+
+/// Replays @p app on the ideal single-stage crossbar connecting exactly
+/// app.numRanks hosts: same link speed and segmentation, unbounded switch
+/// buffering, no routing choices — the paper's Full-Crossbar reference.
+[[nodiscard]] RunResult runCrossbarReference(const patterns::PhasedPattern& app,
+                                             const sim::SimConfig& cfg = {});
+
+/// makespan(topo, router) / makespan(Full-Crossbar): the paper's slowdown.
+[[nodiscard]] double slowdownVsCrossbar(const xgft::Topology& topo,
+                                        const routing::Router& router,
+                                        const patterns::PhasedPattern& app,
+                                        const sim::SimConfig& cfg = {});
+
+/// Scales every message of @p app by @p factor (>= 0; sizes are clamped to
+/// at least one byte).  Used by the bench harnesses' --msg-scale knob: the
+/// runs are bandwidth-dominated, so slowdown ratios are insensitive to the
+/// scale while wall-clock simulation cost drops linearly.
+[[nodiscard]] patterns::PhasedPattern scaleMessages(
+    const patterns::PhasedPattern& app, double factor);
+
+}  // namespace trace

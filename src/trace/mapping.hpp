@@ -1,0 +1,68 @@
+// mapping.hpp — Process-to-node placement.
+//
+// The paper maps MPI processes to hosts sequentially (Sec. VI-B: "the
+// mapping of processes to nodes (sequential)"); alternative placements are
+// supported for placement-sensitivity studies (CG's locality depends on 16
+// consecutive ranks landing in one switch).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "xgft/labels.hpp"
+#include "xgft/rng.hpp"
+
+namespace trace {
+
+class Mapping {
+ public:
+  /// rank i -> host i.
+  [[nodiscard]] static Mapping sequential(patterns::Rank numRanks) {
+    std::vector<xgft::NodeIndex> hosts(numRanks);
+    for (patterns::Rank r = 0; r < numRanks; ++r) hosts[r] = r;
+    return Mapping(std::move(hosts));
+  }
+
+  /// Uniformly random placement onto @p numHosts hosts (injective).
+  [[nodiscard]] static Mapping random(patterns::Rank numRanks,
+                                      std::uint64_t numHosts,
+                                      std::uint64_t seed) {
+    if (numHosts < numRanks) {
+      throw std::invalid_argument("Mapping::random: more ranks than hosts");
+    }
+    std::vector<xgft::NodeIndex> hosts(numHosts);
+    for (std::uint64_t h = 0; h < numHosts; ++h) hosts[h] = h;
+    xgft::Rng rng(seed);
+    rng.shuffle(hosts);
+    hosts.resize(numRanks);
+    return Mapping(std::move(hosts));
+  }
+
+  /// Explicit placement; must be injective.
+  [[nodiscard]] static Mapping custom(std::vector<xgft::NodeIndex> hosts) {
+    return Mapping(std::move(hosts));
+  }
+
+  [[nodiscard]] patterns::Rank numRanks() const {
+    return static_cast<patterns::Rank>(hosts_.size());
+  }
+  [[nodiscard]] xgft::NodeIndex hostOf(patterns::Rank r) const {
+    return hosts_.at(r);
+  }
+
+ private:
+  explicit Mapping(std::vector<xgft::NodeIndex> hosts)
+      : hosts_(std::move(hosts)) {
+    std::vector<xgft::NodeIndex> sorted = hosts_;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument("Mapping: placement must be injective");
+    }
+  }
+
+  std::vector<xgft::NodeIndex> hosts_;
+};
+
+}  // namespace trace

@@ -1,0 +1,203 @@
+#include "trace/replayer.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "xgft/rng.hpp"
+
+namespace trace {
+
+Replayer::Replayer(sim::Network& net, const Trace& trace,
+                   const Mapping& mapping, const routing::Router& router,
+                   SprayConfig spray)
+    : net_(&net),
+      trace_(&trace),
+      mapping_(&mapping),
+      router_(&router),
+      spray_(spray) {
+  if (mapping.numRanks() != trace.numRanks) {
+    throw std::invalid_argument("Replayer: mapping/trace rank mismatch");
+  }
+  ranks_.resize(trace.numRanks);
+  finishNs_.resize(trace.numRanks, 0);
+  postedRecvs_.resize(trace.numRanks);
+  unexpected_.resize(trace.numRanks);
+  net_->setSink(this);
+}
+
+std::uint64_t Replayer::matchKey(patterns::Rank src, std::uint32_t tag) const {
+  return (static_cast<std::uint64_t>(src) << 32) | tag;
+}
+
+sim::TimeNs Replayer::run() {
+  if (ran_) throw std::logic_error("Replayer::run: single-use");
+  ran_ = true;
+  for (patterns::Rank r = 0; r < trace_->numRanks; ++r) progress(r);
+  net_->run();
+  sim::TimeNs makespan = 0;
+  std::uint32_t blocked = 0;
+  for (patterns::Rank r = 0; r < trace_->numRanks; ++r) {
+    if (!ranks_[r].finished) ++blocked;
+    makespan = std::max(makespan, finishNs_[r]);
+  }
+  if (blocked > 0) {
+    throw std::runtime_error("Replayer::run: " + std::to_string(blocked) +
+                             " rank(s) blocked at drain — unmatched receive "
+                             "or missing barrier participant");
+  }
+  return makespan;
+}
+
+void Replayer::progress(patterns::Rank r) {
+  RankState& state = ranks_[r];
+  if (state.finished || state.inCompute || state.blockingRecv ||
+      state.blockingSend >= 0) {
+    return;
+  }
+  const std::vector<Op>& program = trace_->programs[r];
+  while (state.pc < program.size()) {
+    const Op& op = program[state.pc];
+    switch (op.kind) {
+      case OpKind::kIsend:
+      case OpKind::kSend: {
+        const xgft::NodeIndex src = mapping_->hostOf(r);
+        const xgft::NodeIndex dst = mapping_->hostOf(op.peer);
+        sim::MsgId msg = 0;
+        if (spray_.adaptive) {
+          msg = net_->addMessageAdaptive(src, dst, op.bytes);
+        } else if (spray_.enabled) {
+          const xgft::Topology& topo = net_->topology();
+          const xgft::Count n = topo.numNcas(src, dst);
+          std::vector<xgft::Route> routes;
+          if (n <= spray_.maxPaths) {
+            for (xgft::Count c = 0; c < n; ++c) {
+              routes.push_back(routeViaNca(topo, src, dst, c));
+            }
+          } else {
+            for (std::uint32_t i = 0; i < spray_.maxPaths; ++i) {
+              routes.push_back(routeViaNca(
+                  topo, src, dst, xgft::hashMix(spray_.seed, src, dst, i) % n));
+            }
+          }
+          // Spraying happens above the first hop: all candidate routes must
+          // leave the host through the same NIC port (relevant only when
+          // w1 > 1).
+          if (!routes.empty() && !routes[0].up.empty()) {
+            const std::uint32_t port0 = routes[0].up[0];
+            std::erase_if(routes, [port0](const xgft::Route& r) {
+              return r.up[0] != port0;
+            });
+          }
+          msg = net_->addMessageMultipath(src, dst, op.bytes, routes,
+                                          spray_.policy, spray_.seed);
+        } else {
+          msg = net_->addMessage(src, dst, op.bytes, router_->route(src, dst));
+        }
+        if (msg != msgInfo_.size()) {
+          throw std::logic_error("Replayer: non-dense message ids");
+        }
+        msgInfo_.push_back(MsgInfo{r, op.peer, op.tag});
+        net_->release(msg, net_->now());
+        ++state.pendingSends;
+        ++state.pc;
+        if (op.kind == OpKind::kSend) {
+          state.blockingSend = static_cast<std::int64_t>(msg);
+          return;  // Blocks until this very message is delivered.
+        }
+        break;
+      }
+      case OpKind::kIrecv:
+      case OpKind::kRecv: {
+        const std::uint64_t k = matchKey(op.peer, op.tag);
+        auto& unexpected = unexpected_[r];
+        const auto it = unexpected.find(k);
+        if (it != unexpected.end()) {
+          // Already arrived: match immediately.
+          if (--it->second == 0) unexpected.erase(it);
+          ++state.pc;
+        } else {
+          ++postedRecvs_[r][k];
+          ++state.outstandingRecvs;
+          ++state.pc;
+          if (op.kind == OpKind::kRecv) {
+            state.blockingRecv = true;
+            return;  // Blocks until some posted recv is matched.
+          }
+        }
+        break;
+      }
+      case OpKind::kWaitAll:
+        if (state.pendingSends > 0 || state.outstandingRecvs > 0) return;
+        ++state.pc;
+        break;
+      case OpKind::kBarrier: {
+        const std::uint32_t index = state.barriersPassed;
+        auto [it, inserted] = barrierArrivals_.emplace(index, 0);
+        if (++it->second == trace_->numRanks) {
+          // Last arrival releases everyone (including this rank).
+          barrierArrivals_.erase(it);
+          if (barrierNs_.size() <= index) barrierNs_.resize(index + 1);
+          barrierNs_[index] = net_->now();
+          ++state.barriersPassed;
+          ++state.pc;
+          for (patterns::Rank other = 0; other < trace_->numRanks; ++other) {
+            if (other == r) continue;
+            RankState& os = ranks_[other];
+            const std::vector<Op>& oprog = trace_->programs[other];
+            if (!os.finished && os.pc < oprog.size() &&
+                oprog[os.pc].kind == OpKind::kBarrier &&
+                os.barriersPassed == index) {
+              ++os.barriersPassed;
+              ++os.pc;
+              progress(other);
+            }
+          }
+          break;
+        }
+        return;  // Blocked at the barrier.
+      }
+      case OpKind::kCompute: {
+        state.inCompute = true;
+        ++state.pc;
+        net_->scheduleCallback(net_->now() + op.durationNs, [this, r]() {
+          ranks_[r].inCompute = false;
+          progress(r);
+        });
+        return;
+      }
+    }
+  }
+  state.finished = true;
+  finishNs_[r] = net_->now();
+}
+
+void Replayer::onMessageDelivered(sim::MsgId msg, sim::TimeNs /*time*/) {
+  const MsgInfo& info = msgInfo_.at(msg);
+  // Sender side: the isend/send completes.
+  RankState& sender = ranks_[info.src];
+  --sender.pendingSends;
+  const bool senderUnblocked =
+      sender.blockingSend == static_cast<std::int64_t>(msg);
+  if (senderUnblocked) sender.blockingSend = -1;
+  // Receiver side: match a posted receive or buffer as unexpected.
+  RankState& receiver = ranks_[info.dst];
+  const std::uint64_t k = matchKey(info.src, info.tag);
+  auto& posted = postedRecvs_[info.dst];
+  const auto it = posted.find(k);
+  bool receiverMatched = false;
+  if (it != posted.end()) {
+    if (--it->second == 0) posted.erase(it);
+    --receiver.outstandingRecvs;
+    receiverMatched = true;
+    if (receiver.blockingRecv) receiver.blockingRecv = false;
+  } else {
+    ++unexpected_[info.dst][k];
+  }
+  // Wake both sides; progress() is a no-op for ranks still blocked.
+  (void)senderUnblocked;
+  (void)receiverMatched;
+  progress(info.src);
+  progress(info.dst);
+}
+
+}  // namespace trace

@@ -1,0 +1,116 @@
+// replayer.hpp — Trace replay engine coupled to the network simulator.
+//
+// Mirrors the Venus–Dimemas co-simulation of Sec. VI-B: the replayer walks
+// every rank's program, hands point-to-point messages to the Network (routed
+// by the configured routing scheme), and advances ranks as completions come
+// back.  Semantics:
+//
+//  * kIsend starts a message; it counts as outstanding until delivered
+//    end-to-end (we model synchronous completion — DESIGN.md).
+//  * kIrecv matches arrivals by (source rank, tag), multiset semantics;
+//    arrivals before the post are buffered as unexpected messages.
+//  * kWaitAll blocks until the rank's outstanding sends are delivered and
+//    posted receives have arrived.
+//  * kBarrier blocks until every rank reached the same barrier index.
+//  * kCompute advances the rank after a fixed local delay.
+//
+// The replayer is single-use: construct, run(), read the makespan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "sim/network.hpp"
+#include "trace/mapping.hpp"
+#include "trace/trace.hpp"
+
+namespace trace {
+
+/// Optional per-segment multipath spraying (the Greenberg–Leiserson
+/// packet-granular randomized routing, provided as an extension): when
+/// enabled, each message is given up to maxPaths NCA-distinct routes and
+/// the adapter sprays segments across them.
+struct SprayConfig {
+  bool enabled = false;
+  std::uint32_t maxPaths = 16;
+  sim::SprayPolicy policy = sim::SprayPolicy::kRandom;
+  std::uint64_t seed = 1;
+  /// Minimally-adaptive per-hop routing instead of spraying (mutually
+  /// exclusive with `enabled`): every segment picks the least-occupied
+  /// up-port at each switch (Network::addMessageAdaptive).
+  bool adaptive = false;
+};
+
+class Replayer final : public sim::TrafficSink {
+ public:
+  /// All references must outlive the replayer.  The replayer installs
+  /// itself as the network's sink.
+  Replayer(sim::Network& net, const Trace& trace, const Mapping& mapping,
+           const routing::Router& router, SprayConfig spray = {});
+
+  /// Replays the whole trace; returns the time the last rank finished.
+  /// Throws std::runtime_error if ranks are left blocked when the network
+  /// drains (e.g. an unmatched receive).
+  sim::TimeNs run();
+
+  void onMessageDelivered(sim::MsgId msg, sim::TimeNs time) override;
+
+  /// Completion time of an individual rank (valid after run()).
+  [[nodiscard]] sim::TimeNs finishTimeOf(patterns::Rank r) const {
+    return finishNs_.at(r);
+  }
+
+  /// Completion time of every global barrier, in order (valid after
+  /// run()).  For traces built by traceFromPhases these are exactly the
+  /// phase boundaries, so barrierTimes()[i] - barrierTimes()[i-1] is the
+  /// duration of phase i — the per-phase breakdown behind the Sec. VII-A
+  /// "fifth phase takes eight times longer" analysis.
+  [[nodiscard]] const std::vector<sim::TimeNs>& barrierTimes() const {
+    return barrierNs_;
+  }
+
+ private:
+  struct RankState {
+    std::size_t pc = 0;
+    std::uint32_t pendingSends = 0;       ///< Isends not yet delivered.
+    std::uint32_t outstandingRecvs = 0;   ///< Posted, not yet arrived.
+    std::int64_t blockingSend = -1;       ///< MsgId a kSend waits on.
+    bool blockingRecv = false;            ///< A kRecv waits for a match.
+    bool inCompute = false;
+    std::uint32_t barriersPassed = 0;
+    bool finished = false;
+  };
+
+  /// Advances rank r until it blocks or finishes.
+  void progress(patterns::Rank r);
+  void arriveAtBarrier(patterns::Rank r);
+  [[nodiscard]] std::uint64_t matchKey(patterns::Rank src,
+                                       std::uint32_t tag) const;
+
+  sim::Network* net_;
+  const Trace* trace_;
+  const Mapping* mapping_;
+  const routing::Router* router_;
+  SprayConfig spray_;
+
+  std::vector<RankState> ranks_;
+  std::vector<sim::TimeNs> finishNs_;
+  // Message bookkeeping: msg id -> (sender, receiver, tag).
+  struct MsgInfo {
+    patterns::Rank src = 0;
+    patterns::Rank dst = 0;
+    std::uint32_t tag = 0;
+  };
+  std::vector<MsgInfo> msgInfo_;  ///< Indexed by MsgId (dense).
+  // Per receiving rank: (src, tag) -> counts.
+  std::vector<std::map<std::uint64_t, std::uint32_t>> postedRecvs_;
+  std::vector<std::map<std::uint64_t, std::uint32_t>> unexpected_;
+  // Barrier accounting: barrier index -> arrivals so far.
+  std::map<std::uint32_t, std::uint32_t> barrierArrivals_;
+  std::vector<sim::TimeNs> barrierNs_;  ///< Completion time per barrier.
+  bool ran_ = false;
+};
+
+}  // namespace trace

@@ -1,0 +1,46 @@
+#include "trace/trace.hpp"
+
+namespace trace {
+
+std::uint64_t Trace::numMessages() const {
+  std::uint64_t count = 0;
+  for (const auto& program : programs) {
+    for (const Op& op : program) {
+      if (op.kind == OpKind::kIsend || op.kind == OpKind::kSend) ++count;
+    }
+  }
+  return count;
+}
+
+Trace traceFromPhases(const patterns::PhasedPattern& app) {
+  Trace t;
+  t.numRanks = app.numRanks;
+  t.programs.resize(app.numRanks);
+  for (std::size_t phase = 0; phase < app.phases.size(); ++phase) {
+    const patterns::Pattern& p = app.phases[phase];
+    const auto tag = static_cast<std::uint32_t>(phase);
+    // Receives first (pre-posted), then sends — the usual exchange idiom.
+    for (const patterns::Flow& f : p.flows()) {
+      if (f.src == f.dst) continue;
+      t.programs[f.dst].push_back(Op::irecv(f.src, tag));
+    }
+    for (const patterns::Flow& f : p.flows()) {
+      if (f.src == f.dst) continue;
+      t.programs[f.src].push_back(Op::isend(f.dst, f.bytes, tag));
+    }
+    for (Rank r = 0; r < app.numRanks; ++r) {
+      t.programs[r].push_back(Op::waitAll());
+      t.programs[r].push_back(Op::barrier());
+    }
+  }
+  return t;
+}
+
+Trace traceFromPattern(const patterns::Pattern& pattern) {
+  patterns::PhasedPattern app;
+  app.numRanks = pattern.numRanks();
+  app.phases.push_back(pattern);
+  return traceFromPhases(app);
+}
+
+}  // namespace trace

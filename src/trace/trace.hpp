@@ -1,0 +1,80 @@
+// trace.hpp — Post-mortem trace IR and builders (the Dimemas substitute).
+//
+// Dimemas replays an MPI application from a trace of its communication
+// calls, reconstructing timing against a network model (Sec. VI-B).  This
+// module defines a minimal trace IR with the same expressive power for the
+// workloads at hand: point-to-point sends/receives (blocking and
+// non-blocking), completion waits, global barriers and compute bursts.
+//
+// The builder traceFromPhases() encodes the paper's injection model: each
+// communication phase posts all its receives, starts all its sends
+// (outstanding simultaneously), waits for completion and synchronizes —
+// "schedule communications such that they form a series of permutations"
+// (Sec. III), with the next phase gated on the slowest rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "sim/config.hpp"
+
+namespace trace {
+
+using patterns::Bytes;
+using patterns::Rank;
+
+enum class OpKind : std::uint8_t {
+  kIsend,    ///< Non-blocking send to `peer` (`bytes`, `tag`).
+  kIrecv,    ///< Non-blocking receive from `peer` (`tag`).
+  kSend,     ///< Blocking send: returns when delivered end-to-end.
+  kRecv,     ///< Blocking receive: returns when the message arrived.
+  kWaitAll,  ///< Block until all outstanding isends/irecvs completed.
+  kBarrier,  ///< Global synchronization across all ranks.
+  kCompute,  ///< Local computation for `durationNs`.
+};
+
+struct Op {
+  OpKind kind = OpKind::kWaitAll;
+  Rank peer = 0;
+  Bytes bytes = 0;
+  std::uint32_t tag = 0;
+  sim::TimeNs durationNs = 0;
+
+  static Op isend(Rank peer, Bytes bytes, std::uint32_t tag) {
+    return Op{OpKind::kIsend, peer, bytes, tag, 0};
+  }
+  static Op irecv(Rank peer, std::uint32_t tag) {
+    return Op{OpKind::kIrecv, peer, 0, tag, 0};
+  }
+  static Op send(Rank peer, Bytes bytes, std::uint32_t tag) {
+    return Op{OpKind::kSend, peer, bytes, tag, 0};
+  }
+  static Op recv(Rank peer, std::uint32_t tag) {
+    return Op{OpKind::kRecv, peer, 0, tag, 0};
+  }
+  static Op waitAll() { return Op{OpKind::kWaitAll, 0, 0, 0, 0}; }
+  static Op barrier() { return Op{OpKind::kBarrier, 0, 0, 0, 0}; }
+  static Op compute(sim::TimeNs ns) {
+    return Op{OpKind::kCompute, 0, 0, 0, ns};
+  }
+};
+
+/// One program per rank.
+struct Trace {
+  Rank numRanks = 0;
+  std::vector<std::vector<Op>> programs;
+
+  /// Total number of point-to-point messages the trace will generate.
+  [[nodiscard]] std::uint64_t numMessages() const;
+};
+
+/// Encodes a phase sequence as a trace: per phase, every rank posts its
+/// receives, starts its sends (tag = phase index), waits for all of them and
+/// enters a barrier.
+[[nodiscard]] Trace traceFromPhases(const patterns::PhasedPattern& app);
+
+/// Single-pattern convenience: one phase, no trailing barrier needed.
+[[nodiscard]] Trace traceFromPattern(const patterns::Pattern& pattern);
+
+}  // namespace trace

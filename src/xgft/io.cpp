@@ -1,0 +1,132 @@
+#include "xgft/io.hpp"
+
+#include <cctype>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace xgft {
+namespace {
+
+/// Minimal recursive-descent scanner over the notation.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) {
+      throw std::invalid_argument("parseParams: expected '" +
+                                  std::string(1, c) + "' at position " +
+                                  std::to_string(pos_) + " in \"" + text_ +
+                                  "\"");
+    }
+  }
+
+  bool consumeWord(const std::string& word) {
+    skipSpace();
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::uint32_t number() {
+    skipSpace();
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      throw std::invalid_argument("parseParams: expected a number at position " +
+                                  std::to_string(pos_) + " in \"" + text_ +
+                                  "\"");
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + (text_[pos_] - '0');
+      if (value > 0xffffffffull) {
+        throw std::invalid_argument("parseParams: number too large");
+      }
+      ++pos_;
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  std::vector<std::uint32_t> numberList() {
+    std::vector<std::uint32_t> values{number()};
+    while (consume(',')) values.push_back(number());
+    return values;
+  }
+
+  void expectEnd() {
+    skipSpace();
+    if (pos_ != text_.size()) {
+      throw std::invalid_argument("parseParams: trailing characters at position " +
+                                  std::to_string(pos_) + " in \"" + text_ +
+                                  "\"");
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Params parseParams(const std::string& text) {
+  Scanner scan(text);
+  if (scan.consumeWord("kary")) {
+    scan.expect('(');
+    const std::uint32_t k = scan.number();
+    scan.expect(',');
+    const std::uint32_t n = scan.number();
+    scan.expect(')');
+    scan.expectEnd();
+    return karyNTree(k, n);
+  }
+  if (!scan.consumeWord("XGFT") && !scan.consumeWord("xgft")) {
+    throw std::invalid_argument(
+        "parseParams: expected 'XGFT(' or 'kary(' in \"" + text + "\"");
+  }
+  scan.expect('(');
+  const std::uint32_t h = scan.number();
+  scan.expect(';');
+  const std::vector<std::uint32_t> m = scan.numberList();
+  scan.expect(';');
+  const std::vector<std::uint32_t> w = scan.numberList();
+  scan.expect(')');
+  scan.expectEnd();
+  if (m.size() != h || w.size() != h) {
+    throw std::invalid_argument(
+        "parseParams: height " + std::to_string(h) + " does not match " +
+        std::to_string(m.size()) + " child and " + std::to_string(w.size()) +
+        " parent counts");
+  }
+  return Params(m, w);
+}
+
+std::optional<Params> tryParseParams(const std::string& text) {
+  try {
+    return parseParams(text);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace xgft

@@ -1,0 +1,25 @@
+// io.hpp — Textual (de)serialization of topology descriptions.
+//
+// The paper's notation "XGFT(h; m1,...,mh; w1,...,wh)" doubles as our file
+// format: Params::toString() emits it and parseParams() reads it back, so
+// experiment scripts, the CLI example and test fixtures can exchange
+// topologies as plain strings (Venus used a topology file in the same
+// spirit; Sec. VI-B).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "xgft/params.hpp"
+
+namespace xgft {
+
+/// Parses the paper notation, e.g. "XGFT(2; 16,16; 1,10)".  Whitespace is
+/// flexible; the shorthand "kary(k, n)" for k-ary n-trees is also accepted.
+/// Throws std::invalid_argument with a position hint on malformed input.
+[[nodiscard]] Params parseParams(const std::string& text);
+
+/// Non-throwing variant: nullopt on malformed input.
+[[nodiscard]] std::optional<Params> tryParseParams(const std::string& text);
+
+}  // namespace xgft

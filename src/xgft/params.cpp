@@ -1,0 +1,47 @@
+#include "xgft/params.hpp"
+
+#include <sstream>
+
+namespace xgft {
+
+std::string Params::toString() const {
+  std::ostringstream os;
+  os << "XGFT(" << height() << "; ";
+  for (std::uint32_t i = 1; i <= height(); ++i) {
+    os << m(i) << (i < height() ? "," : "");
+  }
+  os << "; ";
+  for (std::uint32_t i = 1; i <= height(); ++i) {
+    os << w(i) << (i < height() ? "," : "");
+  }
+  os << ")";
+  return os.str();
+}
+
+Params karyNTree(std::uint32_t k, std::uint32_t n) {
+  if (n == 0 || k == 0) {
+    throw std::invalid_argument("karyNTree requires k >= 1 and n >= 1");
+  }
+  std::vector<std::uint32_t> m(n, k);
+  std::vector<std::uint32_t> w(n, k);
+  w[0] = 1;
+  return Params(std::move(m), std::move(w));
+}
+
+Params slimmedKaryNTree(std::uint32_t k, std::uint32_t n,
+                        const std::vector<std::uint32_t>& wUpper) {
+  if (wUpper.size() != n - 1) {
+    throw std::invalid_argument(
+        "slimmedKaryNTree: need exactly n-1 upper-level parent counts");
+  }
+  std::vector<std::uint32_t> m(n, k);
+  std::vector<std::uint32_t> w(n, 1);
+  for (std::uint32_t i = 2; i <= n; ++i) w[i - 1] = wUpper[i - 2];
+  return Params(std::move(m), std::move(w));
+}
+
+Params xgft2(std::uint32_t m1, std::uint32_t m2, std::uint32_t w2) {
+  return Params({m1, m2}, {1, w2});
+}
+
+}  // namespace xgft

@@ -1,0 +1,167 @@
+// params.hpp — Parameter vectors describing an Extended Generalized Fat Tree.
+//
+// An XGFT(h; m_1..m_h; w_1..w_h) of height h has N = prod_i m_i leaf
+// (processor) nodes at level 0 and h levels of switches above them.  Every
+// non-leaf node at level i has m_i children; every non-root node at level i
+// has w_{i+1} parents (Öhring et al., "On generalized fat trees", IPPS'95;
+// Sec. II of the reproduced paper).
+//
+// Convention used throughout this library: the paper's 1-based parameter
+// indices are kept.  m(i) and w(i) are valid for i in [1, h].  Levels run
+// from 0 (leaves/hosts) to h (roots).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xgft {
+
+/// Number of digits/levels fits comfortably in 32 bits everywhere we care.
+using Count = std::uint64_t;
+
+/// Parameter set of an XGFT(h; m_1..m_h; w_1..w_h).
+///
+/// Invariants (checked on construction):
+///  * h >= 1,
+///  * m_i >= 1 and w_i >= 1 for all i,
+///  * total leaf count and per-level node counts fit in 64 bits.
+class Params {
+ public:
+  /// Builds an XGFT parameter set from the child-counts @p m (m_1..m_h) and
+  /// parent-counts @p w (w_1..w_h).  Both vectors must have the same,
+  /// non-zero length h.
+  Params(std::vector<std::uint32_t> m, std::vector<std::uint32_t> w)
+      : m_(std::move(m)), w_(std::move(w)) {
+    if (m_.empty() || m_.size() != w_.size()) {
+      throw std::invalid_argument(
+          "XGFT parameters require |m| == |w| >= 1 (got |m|=" +
+          std::to_string(m_.size()) + ", |w|=" + std::to_string(w_.size()) +
+          ")");
+    }
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+      if (m_[i] == 0 || w_[i] == 0) {
+        throw std::invalid_argument("XGFT parameters must all be >= 1");
+      }
+    }
+    // Guard against 64-bit overflow of node counts: the largest level-l node
+    // count is bounded by prod(max(m_i, w_i)).
+    Count extent = 1;
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+      const Count big = std::max(m_[i], w_[i]);
+      if (extent > (Count{1} << 62) / big) {
+        throw std::invalid_argument("XGFT too large: node counts overflow");
+      }
+      extent *= big;
+    }
+  }
+
+  /// Tree height h (number of switch levels).
+  [[nodiscard]] std::uint32_t height() const {
+    return static_cast<std::uint32_t>(m_.size());
+  }
+
+  /// Children per node at level i (1-based, i in [1, h]).
+  [[nodiscard]] std::uint32_t m(std::uint32_t i) const { return m_.at(i - 1); }
+
+  /// Parents per node at level i-1 (1-based, i in [1, h]).
+  [[nodiscard]] std::uint32_t w(std::uint32_t i) const { return w_.at(i - 1); }
+
+  [[nodiscard]] std::span<const std::uint32_t> mAll() const { return m_; }
+  [[nodiscard]] std::span<const std::uint32_t> wAll() const { return w_; }
+
+  /// N = prod_i m_i, the number of leaf (processor) nodes.
+  [[nodiscard]] Count numLeaves() const {
+    return std::accumulate(m_.begin(), m_.end(), Count{1},
+                           [](Count a, std::uint32_t b) { return a * b; });
+  }
+
+  /// Number of nodes at level l: prod_{j>l} m_j * prod_{j<=l} w_j.
+  /// Level 0 gives numLeaves(); level h gives the number of root switches.
+  [[nodiscard]] Count nodesAtLevel(std::uint32_t l) const {
+    if (l > height()) {
+      throw std::out_of_range("nodesAtLevel: level " + std::to_string(l) +
+                              " > height " + std::to_string(height()));
+    }
+    Count n = 1;
+    for (std::uint32_t j = l + 1; j <= height(); ++j) n *= m(j);
+    for (std::uint32_t j = 1; j <= l; ++j) n *= w(j);
+    return n;
+  }
+
+  /// Inner switch count per Eq. (1) of the paper:
+  ///   I = sum_{i=1..h} ( prod_{j=i+1..h} m_j * prod_{j=1..i} w_j ).
+  [[nodiscard]] Count numInnerSwitches() const {
+    Count total = 0;
+    for (std::uint32_t i = 1; i <= height(); ++i) total += nodesAtLevel(i);
+    return total;
+  }
+
+  /// Number of (bidirectional) links between level l and level l+1, i.e. the
+  /// up-links of level l:  nodesAtLevel(l) * w_{l+1}.  Valid for l in [0, h).
+  [[nodiscard]] Count numUpLinks(std::uint32_t l) const {
+    if (l >= height()) {
+      throw std::out_of_range("numUpLinks: no links above level " +
+                              std::to_string(l));
+    }
+    return nodesAtLevel(l) * w(l + 1);
+  }
+
+  /// Total number of bidirectional links in the tree.
+  [[nodiscard]] Count numLinks() const {
+    Count total = 0;
+    for (std::uint32_t l = 0; l < height(); ++l) total += numUpLinks(l);
+    return total;
+  }
+
+  /// True iff this is a k-ary n-tree: m_i == k for all i, w_1 == 1 and
+  /// w_i == k for i >= 2.
+  [[nodiscard]] bool isKaryNTree() const {
+    const std::uint32_t k = m_[0];
+    if (w_[0] != 1) return false;
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+      if (m_[i] != k) return false;
+      if (i >= 1 && w_[i] != k) return false;
+    }
+    return true;
+  }
+
+  /// True iff some w_i (i >= 2) is smaller than m_i, i.e. the upper levels
+  /// have been thinned out relative to a full fat tree ("slimmed").
+  [[nodiscard]] bool isSlimmed() const {
+    for (std::size_t i = 1; i < m_.size(); ++i) {
+      if (w_[i] < m_[i]) return true;
+    }
+    return false;
+  }
+
+  /// "XGFT(h; m_1,...,m_h; w_1,...,w_h)" — the paper's notation.
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Params&, const Params&) = default;
+
+ private:
+  std::vector<std::uint32_t> m_;
+  std::vector<std::uint32_t> w_;
+};
+
+/// Factory: the k-ary n-tree XGFT(n; k,...,k; 1,k,...,k) (Sec. II).
+[[nodiscard]] Params karyNTree(std::uint32_t k, std::uint32_t n);
+
+/// Factory: a slimmed k-ary n-tree, i.e. a k-ary n-tree whose parent counts
+/// at levels 2..n are replaced by the given values (each <= k for a genuine
+/// slimming, but any >= 1 is accepted).
+/// @p wUpper has n-1 entries: w_2, ..., w_n.
+[[nodiscard]] Params slimmedKaryNTree(std::uint32_t k, std::uint32_t n,
+                                      const std::vector<std::uint32_t>& wUpper);
+
+/// Factory: the two-level trees used throughout the paper's evaluation,
+/// XGFT(2; m1, m2; 1, w2).  With m1 = m2 = 16 and w2 = 16 this is the full
+/// 16-ary 2-tree; lowering w2 slims it progressively (Figs. 2 and 5).
+[[nodiscard]] Params xgft2(std::uint32_t m1, std::uint32_t m2,
+                           std::uint32_t w2);
+
+}  // namespace xgft

@@ -1,0 +1,91 @@
+#include "xgft/printer.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xgft {
+namespace {
+
+std::string labelTemplate(const Params& p, std::uint32_t level) {
+  std::ostringstream os;
+  os << "<";
+  for (std::uint32_t i = p.height(); i >= 1; --i) {
+    if (i <= level) {
+      os << "W" << i << "[0," << p.w(i) - 1 << "]";
+    } else {
+      os << "M" << i << "[0," << p.m(i) - 1 << "]";
+    }
+    if (i > 1) os << ",";
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace
+
+void printLevelTable(const Topology& topo, std::ostream& os) {
+  const Params& p = topo.params();
+  os << summary(topo) << "\n";
+  os << std::left << std::setw(6) << "level" << std::setw(12) << "#nodes"
+     << std::setw(40) << "label template" << std::setw(12) << "links-down"
+     << std::setw(12) << "links-up" << "\n";
+  for (std::uint32_t l = 0; l <= p.height(); ++l) {
+    const Count down = l == 0 ? 0 : p.numUpLinks(l - 1);
+    const Count up = l == p.height() ? 0 : p.numUpLinks(l);
+    os << std::left << std::setw(6) << l << std::setw(12)
+       << topo.nodesAtLevel(l) << std::setw(40) << labelTemplate(p, l)
+       << std::setw(12) << down << std::setw(12) << up << "\n";
+  }
+}
+
+void printAllLabels(const Topology& topo, std::ostream& os, Count maxNodes) {
+  if (topo.numNodes() > maxNodes) {
+    throw std::invalid_argument("printAllLabels: tree too large (" +
+                                std::to_string(topo.numNodes()) + " nodes)");
+  }
+  const Params& p = topo.params();
+  for (std::uint32_t l = 0; l <= p.height(); ++l) {
+    os << "level " << l << (l == 0 ? " (hosts)" : "") << ":\n";
+    for (NodeIndex idx = 0; idx < topo.nodesAtLevel(l); ++idx) {
+      os << "  " << std::setw(4) << idx << "  "
+         << labelOf(p, l, idx).toString() << "\n";
+    }
+  }
+}
+
+void printDot(const Topology& topo, std::ostream& os, Count maxNodes) {
+  if (topo.numNodes() > maxNodes) {
+    throw std::invalid_argument("printDot: tree too large");
+  }
+  const Params& p = topo.params();
+  os << "graph xgft {\n  rankdir=BT;\n";
+  for (std::uint32_t l = 0; l <= p.height(); ++l) {
+    os << "  { rank=same; ";
+    for (NodeIndex idx = 0; idx < topo.nodesAtLevel(l); ++idx) {
+      os << "\"L" << l << "_" << idx << "\"; ";
+    }
+    os << "}\n";
+  }
+  for (NodeIndex host = 0; host < topo.numHosts(); ++host) {
+    os << "  \"L0_" << host << "\" [shape=box,label=\"P" << host << "\"];\n";
+  }
+  for (LinkId id = 0; id < topo.numLinks(); ++id) {
+    const LinkInfo info = topo.linkInfo(id);
+    os << "  \"L" << info.level << "_" << info.child << "\" -- \"L"
+       << info.level + 1 << "_" << info.parent << "\";\n";
+  }
+  os << "}\n";
+}
+
+std::string summary(const Topology& topo) {
+  std::ostringstream os;
+  os << topo.params().toString() << ": " << topo.numHosts() << " hosts, "
+     << topo.numSwitches() << " switches, " << topo.numLinks() << " links";
+  if (topo.params().isKaryNTree()) os << " [k-ary n-tree]";
+  if (topo.params().isSlimmed()) os << " [slimmed]";
+  return os.str();
+}
+
+}  // namespace xgft

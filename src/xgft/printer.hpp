@@ -1,0 +1,34 @@
+// printer.hpp — Human-readable renderings of XGFT topologies.
+//
+// Used by the Fig. 1 / Table I bench harnesses and the examples: a per-level
+// summary table matching Table I of the paper (node counts, label shapes,
+// link counts), a full label listing for small trees, and a Graphviz DOT
+// export for visual inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "xgft/topology.hpp"
+
+namespace xgft {
+
+/// Writes the Table-I style per-level summary: for every level, the node
+/// count, the label template (<M_h,...,W_1> with radices), and up/down link
+/// counts.
+void printLevelTable(const Topology& topo, std::ostream& os);
+
+/// Writes every node label of the tree, level by level.  Only sensible for
+/// small trees (guarded: throws if the tree has more than @p maxNodes nodes).
+void printAllLabels(const Topology& topo, std::ostream& os,
+                    Count maxNodes = 4096);
+
+/// Graphviz DOT rendering (hosts as boxes, switches as ellipses, one edge
+/// per bidirectional link).  Only sensible for small trees.
+void printDot(const Topology& topo, std::ostream& os, Count maxNodes = 4096);
+
+/// One-line description, e.g. "XGFT(2; 16,16; 1,10): 256 hosts, 26 switches,
+/// 416 links".
+[[nodiscard]] std::string summary(const Topology& topo);
+
+}  // namespace xgft

@@ -1,0 +1,71 @@
+// rng.hpp — Deterministic, platform-independent pseudo-randomness.
+//
+// All randomized components of this library (Random routing, the r-NCA
+// relabelings, synthetic traffic) derive their bits from SplitMix64 so that
+// a given seed reproduces the exact same routes and workloads on every
+// platform — std::mt19937 + std::uniform_int_distribution would not give
+// that guarantee across standard libraries.  Counter-style hashing
+// (hash(seed, a, b, ...)) lets callers draw an independent value per (s, d)
+// pair or per subtree without storing per-pair state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xgft {
+
+/// SplitMix64 state-advance + output mix (Steele et al., "Fast splittable
+/// pseudorandom number generators", OOPSLA'14 — public-domain reference).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of a (seed, key...) tuple into 64 uniform bits.
+constexpr std::uint64_t hashMix(std::uint64_t seed, std::uint64_t a) {
+  return splitmix64(splitmix64(seed) ^ a);
+}
+constexpr std::uint64_t hashMix(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b) {
+  return splitmix64(hashMix(seed, a) ^ (b * 0xd6e8feb86659fd93ULL));
+}
+constexpr std::uint64_t hashMix(std::uint64_t seed, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) {
+  return splitmix64(hashMix(seed, a, b) ^ (c * 0xa0761d6478bd642fULL));
+}
+
+/// Small sequential generator for code that wants a stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(splitmix64(seed ^ kInit)) {}
+
+  /// Next 64 uniform bits.
+  std::uint64_t next() {
+    state_ = splitmix64(state_);
+    return state_;
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.  Uses 128-bit
+  /// multiply-shift rejection-free mapping (Lemire) — bias is negligible for
+  /// the bounds used here (< 2^32).
+  std::uint64_t below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kInit = 0x5bf03635f0935ad1ULL;
+  std::uint64_t state_;
+};
+
+}  // namespace xgft

@@ -1,0 +1,182 @@
+// Tests for the static contention analysis, including the Fig. 4 route
+// census properties the paper discusses in Sec. VII-D.
+#include "analysis/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+
+namespace analysis {
+namespace {
+
+using xgft::NodeIndex;
+using xgft::Topology;
+
+TEST(Loads, EmptyPatternHasNoLoads) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const LoadSummary s = computeLoads(topo, patterns::Pattern(16), *router);
+  EXPECT_EQ(s.usedChannels, 0u);
+  EXPECT_EQ(s.maxFlowsPerChannel, 0u);
+  EXPECT_DOUBLE_EQ(s.maxDemand, 0.0);
+  EXPECT_DOUBLE_EQ(s.meanFlowsPerUsedChannel(), 0.0);
+}
+
+TEST(Loads, SelfFlowsNeverTouchTheNetwork) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::Pattern p(16);
+  p.add(3, 3, 1000);
+  EXPECT_EQ(computeLoads(topo, p, *router).usedChannels, 0u);
+}
+
+TEST(Loads, SingleFlowLoadsItsWholePath) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::Pattern p(16);
+  p.add(0, 15, 1234);  // NCA level 2: 4 channels.
+  const LoadSummary s = computeLoads(topo, p, *router);
+  EXPECT_EQ(s.usedChannels, 4u);
+  EXPECT_EQ(s.maxFlowsPerChannel, 1u);
+  EXPECT_DOUBLE_EQ(s.maxDemand, 1.0);
+  for (const auto& [key, load] : s.channels) {
+    EXPECT_EQ(load.bytes, 1234u);
+    EXPECT_EQ(load.flows, 1u);
+  }
+}
+
+TEST(Loads, EffectiveDemandWeightsByFanout) {
+  // Two flows from one source sharing their ascent contribute 1/2 each:
+  // total demand 1.0 on the shared up-link (Sec. IV).
+  const Topology topo(xgft::xgft2(4, 4, 4));
+  const routing::RouterPtr smodk = routing::makeSModK(topo);
+  patterns::Pattern p(16);
+  p.add(0, 5, 100);
+  p.add(0, 9, 100);
+  const LoadSummary s = computeLoads(topo, p, *smodk);
+  // S-mod-k sends both flows up the same link: flows=2 there, demand 1.
+  EXPECT_EQ(s.maxFlowsPerChannel, 2u);
+  EXPECT_DOUBLE_EQ(s.maxDemand, 1.0);
+}
+
+TEST(Loads, PermutationDemandEqualsFlowCount) {
+  const Topology topo(xgft::xgft2(16, 16, 16));
+  const routing::RouterPtr dmodk = routing::makeDModK(topo);
+  const patterns::Pattern phase5 = patterns::cgD128(1).phases[4];
+  const LoadSummary s = computeLoads(topo, phase5, *dmodk);
+  // Permutation: rho = 1, so demand == flow count.  Each switch's 14
+  // non-self flows collapse onto two uplinks: 7 per link.
+  EXPECT_EQ(s.maxFlowsPerChannel, 7u);
+  EXPECT_DOUBLE_EQ(s.maxDemand, 7.0);
+}
+
+TEST(Census, TotalsMatchPairCounts) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const auto census = ncaRouteCensus(topo, *router, 2);
+  ASSERT_EQ(census.size(), 10u);
+  // All inter-switch ordered pairs: 256 * 240.
+  EXPECT_EQ(std::accumulate(census.begin(), census.end(), std::uint64_t{0}),
+            256u * 240u);
+}
+
+TEST(Census, ModKIsPerfectlyEvenOnFullTree) {
+  // Fig. 4(a): S-mod-k and D-mod-k give a perfectly flat census when
+  // w2 == m1 (each root gets 256*240/16 = 3840 routes).
+  const Topology topo(xgft::karyNTree(16, 2));
+  for (const auto& make : {routing::makeSModK, routing::makeDModK}) {
+    const routing::RouterPtr router = make(topo);
+    for (const auto count : ncaRouteCensus(topo, *router, 2)) {
+      EXPECT_EQ(count, 3840u);
+    }
+  }
+}
+
+TEST(Census, ModKIsSkewedOnSlimmedTree) {
+  // Fig. 4(b) / Sec. VII-D: with w2 = 10, digits 10-15 wrap onto roots 0-5,
+  // so roots 0-5 receive twice the routes of roots 6-9.
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const auto census = ncaRouteCensus(topo, *router, 2);
+  for (std::size_t root = 0; root < 10; ++root) {
+    EXPECT_EQ(census[root], root < 6 ? 7680u : 3840u) << "root " << root;
+  }
+}
+
+TEST(Census, RandomIsApproximatelyEvenOnSlimmedTree) {
+  // Fig. 4(b): Random balances even when the tree is slimmed.
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeRandom(topo, 17);
+  const auto census = ncaRouteCensus(topo, *router, 2);
+  const double expected = 256.0 * 240.0 / 10.0;
+  for (const auto count : census) {
+    EXPECT_NEAR(static_cast<double>(count), expected, 0.05 * expected);
+  }
+}
+
+TEST(Census, RNcaIsExactlyBalancedPerSubtree) {
+  // The balanced maps guarantee the census spread of r-NCA-u/d matches the
+  // mod rule's total balance: on the full tree every root gets exactly the
+  // flat share; on slimmed trees the per-subtree counts differ by at most
+  // one digit-class (Sec. VIII: "a better distribution to the NCAs").
+  const Topology topoFull(xgft::karyNTree(16, 2));
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const routing::RouterPtr router = routing::makeRNcaDown(topoFull, seed);
+    for (const auto count : ncaRouteCensus(topoFull, *router, 2)) {
+      EXPECT_EQ(count, 3840u);
+    }
+  }
+  const Topology topoSlim(xgft::xgft2(16, 16, 10));
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const routing::RouterPtr router = routing::makeRNcaDown(topoSlim, seed);
+    for (const auto count : ncaRouteCensus(topoSlim, *router, 2)) {
+      // Each root receives 1 or 2 digit classes per switch: the census per
+      // root lies between the one-class (16*240) and two-class (32*240)
+      // extremes.
+      EXPECT_GE(count, 3840u);
+      EXPECT_LE(count, 7680u);
+    }
+  }
+}
+
+TEST(Census, PatternRestrictedCensusOnlyCountsPatternPairs) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const patterns::Pattern phase5 = patterns::cgD128(1).phases[4];
+  const auto census = ncaRouteCensusForPattern(topo, phase5, *router, 2);
+  EXPECT_EQ(std::accumulate(census.begin(), census.end(), std::uint64_t{0}),
+            112u);  // 128 flows - 16 self-flows.
+}
+
+TEST(NcaContention, PerNcaMaxima) {
+  const Topology topo(xgft::karyNTree(16, 2));
+  const routing::RouterPtr dmodk = routing::makeDModK(topo);
+  const patterns::Pattern phase5 = patterns::cgD128(1).phases[4];
+  const auto contention = ncaContention(topo, phase5, *dmodk);
+  // D-mod-k collapses each switch's 14 non-self flows onto two uplinks.
+  EXPECT_FALSE(contention.empty());
+  std::uint32_t worst = 0;
+  for (const auto& [nca, c] : contention) worst = std::max(worst, c);
+  EXPECT_EQ(worst, 7u);
+  EXPECT_EQ(contentionLevel(topo, phase5, *dmodk), 7u);
+}
+
+TEST(ContentionSplit, SeparatesEndpointFromNetwork) {
+  const Topology topo(xgft::xgft2(16, 16, 16));
+  const routing::RouterPtr smodk = routing::makeSModK(topo);
+  const patterns::Pattern wrf = patterns::wrf256(1).phases[0];
+  const ContentionSplit split = contentionSplit(topo, wrf, *smodk);
+  EXPECT_EQ(split.maxFanOut, 2u);
+  EXPECT_EQ(split.maxFanIn, 2u);
+  EXPECT_DOUBLE_EQ(split.endpointBound, 2.0);
+  // S-mod-k adds no network contention on WRF at w2 = 16.
+  EXPECT_LE(split.networkBound, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace analysis

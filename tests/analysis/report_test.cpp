@@ -1,0 +1,50 @@
+// Unit tests for the table formatter.
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace analysis {
+namespace {
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+  t.addRow({"1", "2"});
+  EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"x", "value"});
+  t.addRow({"1", "long-content"});
+  t.addRow({"22", "s"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream in(os.str());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // The second column starts at the same offset in every line.
+  EXPECT_EQ(header.find("value"), row1.find("long-content"));
+  EXPECT_EQ(header.find("value"), row2.find("s"));
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 3), "2.000");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace analysis

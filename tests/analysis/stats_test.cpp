@@ -1,0 +1,73 @@
+// Unit tests for the boxplot statistics helpers.
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace analysis {
+namespace {
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(boxStats({}), std::invalid_argument);
+  EXPECT_THROW(quantileSorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, SingleValue) {
+  const BoxStats s = boxStats({3.5});
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.q1, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.samples, 1u);
+}
+
+TEST(Stats, KnownQuartilesType7) {
+  // R type-7 on {1..5}: q1 = 2, med = 3, q3 = 4.
+  const BoxStats s = boxStats({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Stats, InterpolatedQuartiles) {
+  // {1, 2, 3, 4}: q1 = 1.75, med = 2.5, q3 = 3.25 (type 7).
+  const BoxStats s = boxStats({4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(s.q1, 1.75);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.q3, 3.25);
+}
+
+TEST(Stats, QuantileEdges) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantileSorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(v, 0.5), 2.0);
+  EXPECT_THROW(quantileSorted(v, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantileSorted(v, -0.1), std::invalid_argument);
+}
+
+TEST(Stats, MedianUnaffectedByOutliers) {
+  const BoxStats s = boxStats({1, 1, 1, 1, 1000});
+  EXPECT_DOUBLE_EQ(s.median, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+}
+
+TEST(Stats, MeanStd) {
+  const MeanStd ms = meanStd({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+  EXPECT_DOUBLE_EQ(meanStd({}).mean, 0.0);
+}
+
+TEST(Stats, ToStringFormat) {
+  const BoxStats s = boxStats({1.0, 2.0, 3.0});
+  const std::string str = s.toString(2);
+  EXPECT_NE(str.find("med=2.00"), std::string::npos);
+  EXPECT_NE(str.find("min=1.00"), std::string::npos);
+  EXPECT_NE(str.find("max=3.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis

@@ -1,0 +1,173 @@
+// Tests for the WRF-256 and CG.D-128 workload generators against every
+// property the paper states about them (Sec. VI-A, VII-A, Fig. 3, Eq. (2)).
+#include "patterns/applications.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "patterns/permutation.hpp"
+
+namespace patterns {
+namespace {
+
+// ---------------------------------------------------------------- WRF-256.
+
+TEST(Wrf, SinglePhaseWith480Flows) {
+  const PhasedPattern wrf = wrf256();
+  EXPECT_EQ(wrf.numRanks, 256u);
+  ASSERT_EQ(wrf.phases.size(), 1u);
+  // 256 tasks send to i+16 and i-16, truncated: 2*256 - 2*16 = 480 flows.
+  EXPECT_EQ(wrf.phases[0].size(), 480u);
+}
+
+TEST(Wrf, EveryTaskExchangesWithMeshNeighbours) {
+  const PhasedPattern wrf = wrf256();
+  const Pattern& p = wrf.phases[0];
+  std::set<std::pair<Rank, Rank>> conns;
+  for (const Flow& f : p.flows()) conns.insert({f.src, f.dst});
+  for (Rank i = 0; i < 256; ++i) {
+    EXPECT_EQ(conns.count({i, i + 16}), i + 16 < 256 ? 1u : 0u);
+    EXPECT_EQ(conns.count({i, i - 16}), i >= 16 ? 1u : 0u);
+  }
+}
+
+TEST(Wrf, PatternIsSymmetric) {
+  // Sec. VII-A: "the communication pattern is symmetric", which is why
+  // S-mod-k and D-mod-k perform identically on it.
+  EXPECT_TRUE(wrf256().phases[0].isSymmetric());
+}
+
+TEST(Wrf, InteriorTasksHaveFanoutTwo) {
+  const PhasedPattern wrf = wrf256();
+  const Pattern& p = wrf.phases[0];
+  EXPECT_EQ(p.fanOut(128), 2u);  // Interior row.
+  EXPECT_EQ(p.fanOut(0), 1u);    // First row.
+  EXPECT_EQ(p.fanOut(255), 1u);  // Last row.
+  EXPECT_EQ(p.fanIn(128), 2u);
+}
+
+TEST(Wrf, AllTrafficLeavesTheSwitchUnderSequentialMapping) {
+  // With 16 hosts per switch, every +/-16 partner is in an adjacent
+  // switch — WRF is all-remote, the opposite extreme from CG.
+  const PhasedPattern wrf = wrf256();
+  const Pattern& p = wrf.phases[0];
+  for (const Flow& f : p.flows()) {
+    EXPECT_NE(f.src / 16, f.dst / 16);
+  }
+}
+
+TEST(Wrf, GeneralizedMeshShapes) {
+  const PhasedPattern w = wrfHalo(4, 8, 1000);
+  EXPECT_EQ(w.numRanks, 32u);
+  EXPECT_EQ(w.phases[0].size(), 2u * 32 - 2u * 8);
+  EXPECT_THROW(wrfHalo(0, 8, 1), std::invalid_argument);
+}
+
+TEST(Wrf, MessageBytesApplied) {
+  const PhasedPattern w = wrf256(12345);
+  for (const Flow& f : w.phases[0].flows()) EXPECT_EQ(f.bytes, 12345u);
+}
+
+// --------------------------------------------------------------- CG.D-128.
+
+TEST(Cg, FivePhasesOfEqualSize) {
+  const PhasedPattern cg = cgD128();
+  EXPECT_EQ(cg.numRanks, 128u);
+  ASSERT_EQ(cg.phases.size(), 5u);  // Four local + Eq. (2).
+  for (const Pattern& p : cg.phases) {
+    EXPECT_EQ(p.size(), 128u);
+    for (const Flow& f : p.flows()) EXPECT_EQ(f.bytes, kCgMessageBytes);
+  }
+}
+
+TEST(Cg, FirstFourPhasesAreSwitchLocal) {
+  // Sec. VII-A: "four of which are local to the first-level switch".
+  const PhasedPattern cg = cgD128();
+  for (std::size_t phase = 0; phase < 4; ++phase) {
+    for (const Flow& f : cg.phases[phase].flows()) {
+      EXPECT_EQ(f.src / 16, f.dst / 16) << "phase " << phase;
+    }
+  }
+}
+
+TEST(Cg, LocalPhasesArePermutationsWithoutSelfFlows) {
+  const PhasedPattern cg = cgD128();
+  for (std::size_t phase = 0; phase < 4; ++phase) {
+    EXPECT_TRUE(cg.phases[phase].isPermutation());
+    EXPECT_TRUE(cg.phases[phase].isSymmetric());
+    for (const Flow& f : cg.phases[phase].flows()) {
+      EXPECT_NE(f.src, f.dst);
+    }
+  }
+}
+
+TEST(Cg, Phase5MatchesEquation2WithinFirstBlock) {
+  // Eq. (2): d = floor(s/2)*16 + (s mod 2) for sources in switch 0.
+  for (Rank s = 0; s < 16; ++s) {
+    EXPECT_EQ(cgPhase5Destination(s, 128, 16), (s / 2) * 16 + (s % 2));
+  }
+}
+
+TEST(Cg, Phase5IsASymmetricPermutation) {
+  // Sec. VII-A: the fifth phase is a permutation (so no endpoint
+  // contention) and the overall pattern is symmetric.
+  std::vector<Rank> map(128);
+  for (Rank s = 0; s < 128; ++s) map[s] = cgPhase5Destination(s, 128, 16);
+  const Permutation p{map};  // Throws if not a bijection.
+  EXPECT_TRUE(p.isInvolution());
+}
+
+TEST(Cg, Phase5FirstUpPortUnderDmodKCollapsesToTwoRootsPerSwitch) {
+  // The heart of the pathology (Sec. VII-A): the destination's M1 digit is
+  // congruent with the source parity, so D-mod-k sends all 16 sources of a
+  // switch through just two roots — eight flows per up-link, the 8x
+  // degradation the paper reports.
+  for (Rank block = 0; block < 8; ++block) {
+    std::set<Rank> rootDigits;
+    for (Rank j = 0; j < 16; ++j) {
+      rootDigits.insert(cgPhase5Destination(block * 16 + j, 128, 16) % 16);
+    }
+    EXPECT_EQ(rootDigits, (std::set<Rank>{2 * block, 2 * block + 1}));
+  }
+}
+
+TEST(Cg, Phase5NonLocalExceptFirstPair) {
+  // Within block b, sources 2b and 2b+1 map to themselves (Eq. (2) fixed
+  // points); everything else leaves the switch.
+  std::uint32_t selfFlows = 0;
+  std::uint32_t localFlows = 0;
+  const PhasedPattern cg = cgD128();
+  for (const Flow& f : cg.phases[4].flows()) {
+    if (f.src == f.dst) ++selfFlows;
+    else if (f.src / 16 == f.dst / 16) ++localFlows;
+  }
+  EXPECT_EQ(selfFlows, 16u);  // Two per block, eight blocks.
+  EXPECT_EQ(localFlows, 0u);
+}
+
+TEST(Cg, FlattenedPatternIsSymmetric) {
+  EXPECT_TRUE(cgD128().flattened().isSymmetric());
+}
+
+TEST(Cg, GeneralizedInstancesValidate) {
+  // 32 ranks in blocks of 8: numBlocks = 4 divides blockSize = 8.
+  const PhasedPattern cg = cgPhases(32, 8, 1000);
+  EXPECT_EQ(cg.phases.size(), 4u);  // log2(8) local + Eq. (2).
+  // Phase structure invalid when numBlocks does not divide blockSize.
+  EXPECT_THROW(cgPhases(48, 16, 1), std::invalid_argument);
+  EXPECT_THROW(cgPhases(128, 12, 1), std::invalid_argument);
+  EXPECT_THROW(cgPhases(100, 16, 1), std::invalid_argument);
+}
+
+TEST(Cg, GeneralPhase5IsAlwaysAnInvolution) {
+  for (const auto& [n, b] : std::vector<std::pair<Rank, Rank>>{
+           {32, 8}, {128, 16}, {512, 32}, {8, 4}}) {
+    std::vector<Rank> map(n);
+    for (Rank s = 0; s < n; ++s) map[s] = cgPhase5Destination(s, n, b);
+    EXPECT_TRUE(Permutation{map}.isInvolution()) << n << "/" << b;
+  }
+}
+
+}  // namespace
+}  // namespace patterns

@@ -1,0 +1,90 @@
+// Tests for the pattern flow-list format.
+#include "patterns/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "patterns/applications.hpp"
+
+namespace patterns {
+namespace {
+
+TEST(PatternIo, RoundTripsCg) {
+  const PhasedPattern cg = cgD128();
+  const PhasedPattern back = phasedPatternFromString(toString(cg));
+  EXPECT_EQ(back.name, cg.name);
+  EXPECT_EQ(back.numRanks, cg.numRanks);
+  ASSERT_EQ(back.phases.size(), cg.phases.size());
+  for (std::size_t i = 0; i < cg.phases.size(); ++i) {
+    ASSERT_EQ(back.phases[i].size(), cg.phases[i].size());
+    for (std::size_t f = 0; f < cg.phases[i].flows().size(); ++f) {
+      EXPECT_EQ(back.phases[i].flows()[f], cg.phases[i].flows()[f]);
+    }
+  }
+}
+
+TEST(PatternIo, SinglePhaseWithoutDirective) {
+  const PhasedPattern app = phasedPatternFromString(
+      "# ranks 4\n"
+      "0 1 100\n"
+      "2 3 200\n");
+  EXPECT_EQ(app.numRanks, 4u);
+  ASSERT_EQ(app.phases.size(), 1u);
+  EXPECT_EQ(app.phases[0].size(), 2u);
+}
+
+TEST(PatternIo, MultiplePhases) {
+  const PhasedPattern app = phasedPatternFromString(
+      "# pattern two-step\n"
+      "# ranks 4\n"
+      "# phase 0\n"
+      "0 1 100\n"
+      "# phase 1\n"
+      "1 0 100\n");
+  EXPECT_EQ(app.name, "two-step");
+  ASSERT_EQ(app.phases.size(), 2u);
+  EXPECT_EQ(app.phases[0].flows()[0], (Flow{0, 1, 100}));
+  EXPECT_EQ(app.phases[1].flows()[0], (Flow{1, 0, 100}));
+}
+
+TEST(PatternIo, CommentsAndBlankLinesIgnored) {
+  const PhasedPattern app = phasedPatternFromString(
+      "# a free comment\n"
+      "# ranks 2\n"
+      "\n"
+      "   \n"
+      "# another note\n"
+      "0 1 7\n");
+  EXPECT_EQ(app.phases[0].size(), 1u);
+}
+
+TEST(PatternIo, Validation) {
+  EXPECT_THROW(phasedPatternFromString("0 1 100\n"), std::invalid_argument);
+  EXPECT_THROW(phasedPatternFromString("# ranks 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(phasedPatternFromString("# ranks 4\n0 9 100\n"),
+               std::invalid_argument);
+  EXPECT_THROW(phasedPatternFromString("# ranks 4\n0 zork\n"),
+               std::invalid_argument);
+}
+
+TEST(PatternIo, ErrorsCarryLineNumbers) {
+  try {
+    phasedPatternFromString("# ranks 4\n0 1 100\nbroken\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(PatternIo, EmptyPhasesArePreserved) {
+  const PhasedPattern app = phasedPatternFromString(
+      "# ranks 4\n# phase 0\n# phase 1\n0 1 5\n");
+  ASSERT_EQ(app.phases.size(), 2u);
+  EXPECT_TRUE(app.phases[0].empty());
+  EXPECT_EQ(app.phases[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace patterns

@@ -1,0 +1,134 @@
+// Unit tests for patterns::Pattern and PhasedPattern.
+#include "patterns/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patterns {
+namespace {
+
+TEST(Pattern, AddValidatesRanks) {
+  Pattern p(4);
+  p.add(0, 3, 100);
+  EXPECT_THROW(p.add(4, 0, 1), std::out_of_range);
+  EXPECT_THROW(p.add(0, 4, 1), std::out_of_range);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Pattern, TotalBytesSumsAllFlows) {
+  Pattern p(4);
+  p.add(0, 1, 100);
+  p.add(1, 2, 200);
+  p.add(2, 2, 50);  // Self-flow still counts bytes.
+  EXPECT_EQ(p.totalBytes(), 350u);
+}
+
+TEST(Pattern, FanOutCountsDistinctDestinations) {
+  Pattern p(8);
+  p.add(0, 1, 1);
+  p.add(0, 1, 1);  // Duplicate destination.
+  p.add(0, 2, 1);
+  p.add(0, 0, 1);  // Self-flow ignored.
+  EXPECT_EQ(p.fanOut(0), 2u);
+  EXPECT_EQ(p.fanOut(1), 0u);
+  EXPECT_EQ(p.fanIn(1), 1u);
+  EXPECT_EQ(p.fanIn(2), 1u);
+  EXPECT_EQ(p.fanIn(0), 0u);
+}
+
+TEST(Pattern, BytesOutAndInExcludeSelfFlows) {
+  Pattern p(3);
+  p.add(0, 1, 10);
+  p.add(0, 2, 20);
+  p.add(1, 1, 99);
+  const auto out = p.bytesOut();
+  const auto in = p.bytesIn();
+  EXPECT_EQ(out[0], 30u);
+  EXPECT_EQ(out[1], 0u);
+  EXPECT_EQ(in[1], 10u);
+  EXPECT_EQ(in[2], 20u);
+}
+
+TEST(Pattern, PermutationDetection) {
+  Pattern perm(4);
+  perm.add(0, 1, 1);
+  perm.add(1, 0, 1);
+  perm.add(2, 3, 1);
+  EXPECT_TRUE(perm.isPermutation());
+
+  Pattern multiDest(4);
+  multiDest.add(0, 1, 1);
+  multiDest.add(0, 2, 1);
+  EXPECT_FALSE(multiDest.isPermutation());
+
+  Pattern multiSrc(4);
+  multiSrc.add(0, 2, 1);
+  multiSrc.add(1, 2, 1);
+  EXPECT_FALSE(multiSrc.isPermutation());
+
+  // Duplicate flows to the same destination stay a permutation.
+  Pattern dup(4);
+  dup.add(0, 1, 1);
+  dup.add(0, 1, 1);
+  EXPECT_TRUE(dup.isPermutation());
+}
+
+TEST(Pattern, SymmetryDetection) {
+  Pattern sym(4);
+  sym.add(0, 1, 5);
+  sym.add(1, 0, 7);  // Byte counts may differ; connections must mirror.
+  EXPECT_TRUE(sym.isSymmetric());
+  sym.add(2, 3, 1);
+  EXPECT_FALSE(sym.isSymmetric());
+}
+
+TEST(Pattern, InverseSwapsEndpoints) {
+  Pattern p(4);
+  p.add(0, 1, 10);
+  p.add(2, 3, 20);
+  const Pattern inv = p.inverse();
+  ASSERT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv.flows()[0], (Flow{1, 0, 10}));
+  EXPECT_EQ(inv.flows()[1], (Flow{3, 2, 20}));
+  // Involution.
+  EXPECT_EQ(inv.inverse().flows()[0], p.flows()[0]);
+}
+
+TEST(Pattern, UnionConcatenatesAndValidates) {
+  Pattern a(4);
+  a.add(0, 1, 1);
+  Pattern b(4);
+  b.add(1, 2, 2);
+  const Pattern u = a.unionWith(b);
+  EXPECT_EQ(u.size(), 2u);
+  Pattern wrong(5);
+  EXPECT_THROW(a.unionWith(wrong), std::invalid_argument);
+}
+
+TEST(Pattern, ConnectivityMatrixAccumulates) {
+  Pattern p(3);
+  p.add(0, 2, 10);
+  p.add(0, 2, 5);
+  const auto m = p.connectivityMatrix();
+  EXPECT_EQ(m[0][2], 15u);
+  EXPECT_EQ(m[2][0], 0u);
+}
+
+TEST(Pattern, MatrixArtShape) {
+  Pattern p(3);
+  p.add(0, 1, 1);
+  EXPECT_EQ(p.matrixArt(), ".#.\n...\n...\n");
+}
+
+TEST(PhasedPattern, FlattenedUnionsAllPhases) {
+  PhasedPattern app;
+  app.numRanks = 4;
+  Pattern p1(4);
+  p1.add(0, 1, 1);
+  Pattern p2(4);
+  p2.add(1, 2, 1);
+  app.phases = {p1, p2};
+  EXPECT_EQ(app.flattened().size(), 2u);
+}
+
+}  // namespace
+}  // namespace patterns

@@ -1,0 +1,117 @@
+// Unit tests for the permutation families.
+#include "patterns/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace patterns {
+namespace {
+
+TEST(Permutation, IdentityByDefault) {
+  const Permutation p(5);
+  for (Rank i = 0; i < 5; ++i) EXPECT_EQ(p(i), i);
+}
+
+TEST(Permutation, RejectsNonBijections) {
+  EXPECT_THROW(Permutation({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation({0, 3}), std::invalid_argument);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p = randomPermutation(64, 123);
+  const Permutation q = p.inverse();
+  const Permutation id = p.compose(q);
+  for (Rank i = 0; i < 64; ++i) EXPECT_EQ(id(i), i);
+}
+
+TEST(Permutation, ComposeSizesMustMatch) {
+  EXPECT_THROW(Permutation(4).compose(Permutation(5)),
+               std::invalid_argument);
+}
+
+TEST(Permutation, RandomIsDeterministicPerSeed) {
+  EXPECT_EQ(randomPermutation(128, 7), randomPermutation(128, 7));
+  EXPECT_NE(randomPermutation(128, 7).map(),
+            randomPermutation(128, 8).map());
+}
+
+TEST(Permutation, RandomCoversAllDestinations) {
+  const Permutation p = randomPermutation(97, 3);
+  std::set<Rank> dests(p.map().begin(), p.map().end());
+  EXPECT_EQ(dests.size(), 97u);
+}
+
+TEST(Permutation, ShiftWrapsAround) {
+  const Permutation p = shiftPermutation(8, 3);
+  EXPECT_EQ(p(0), 3u);
+  EXPECT_EQ(p(6), 1u);
+  // Shift by n is the identity.
+  EXPECT_EQ(shiftPermutation(8, 8), Permutation(8));
+}
+
+TEST(Permutation, BitReversalIsInvolution) {
+  const Permutation p = bitReversal(64);
+  EXPECT_TRUE(p.isInvolution());
+  EXPECT_EQ(p(1), 32u);   // 000001 -> 100000.
+  EXPECT_EQ(p(0b110), 0b011000u);
+  EXPECT_THROW(bitReversal(48), std::invalid_argument);
+}
+
+TEST(Permutation, BitComplementIsInvolution) {
+  const Permutation p = bitComplement(16);
+  EXPECT_TRUE(p.isInvolution());
+  EXPECT_EQ(p(0), 15u);
+  EXPECT_THROW(bitComplement(10), std::invalid_argument);
+}
+
+TEST(Permutation, TransposeSwapsCoordinates) {
+  const Permutation p = transpose(4, 8);  // rank = i*8 + j -> j*4 + i.
+  EXPECT_EQ(p(0), 0u);
+  EXPECT_EQ(p(1 * 8 + 2), 2u * 4 + 1);
+  // transpose(r, c) then transpose(c, r) is the identity.
+  const Permutation q = transpose(8, 4);
+  EXPECT_EQ(q.compose(p), Permutation(32));
+}
+
+TEST(Permutation, SquareTransposeIsInvolution) {
+  EXPECT_TRUE(transpose(8, 8).isInvolution());
+}
+
+TEST(Permutation, ButterflyFlipsOneBit) {
+  const Permutation p = butterfly(16, 2);
+  EXPECT_EQ(p(0), 4u);
+  EXPECT_TRUE(p.isInvolution());
+  EXPECT_THROW(butterfly(16, 4), std::invalid_argument);
+  EXPECT_THROW(butterfly(12, 1), std::invalid_argument);
+}
+
+TEST(Permutation, ToPatternSkipsSelfFlowsByDefault) {
+  const Permutation id(4);
+  EXPECT_TRUE(id.toPattern(100).empty());
+  EXPECT_EQ(id.toPattern(100, /*keepSelf=*/true).size(), 4u);
+  const Pattern p = shiftPermutation(4, 1).toPattern(100);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.isPermutation());
+  EXPECT_EQ(p.totalBytes(), 400u);
+}
+
+// Property sweep: every family produces genuine permutation patterns.
+class PermutationFamilies
+    : public ::testing::TestWithParam<Permutation> {};
+
+TEST_P(PermutationFamilies, PatternIsPermutationAndSymmetricIffInvolution) {
+  const Permutation& p = GetParam();
+  const Pattern pat = p.toPattern(1);
+  EXPECT_TRUE(pat.isPermutation());
+  EXPECT_EQ(pat.isSymmetric(), p.isInvolution());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PermutationFamilies,
+    ::testing::Values(randomPermutation(64, 1), shiftPermutation(64, 5),
+                      bitReversal(64), bitComplement(64), transpose(8, 8),
+                      transpose(4, 16), butterfly(64, 3)));
+
+}  // namespace
+}  // namespace patterns

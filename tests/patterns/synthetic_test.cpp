@@ -1,0 +1,81 @@
+// Unit tests for the synthetic traffic generators.
+#include "patterns/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace patterns {
+namespace {
+
+TEST(Synthetic, UniformRandomFlowCountsAndDeterminism) {
+  const Pattern a = uniformRandom(64, 3, 100, 42);
+  EXPECT_EQ(a.size(), 64u * 3);
+  const Pattern b = uniformRandom(64, 3, 100, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.flows()[i], b.flows()[i]);
+  }
+  const Pattern c = uniformRandom(64, 3, 100, 43);
+  bool anyDifferent = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    anyDifferent |= !(a.flows()[i] == c.flows()[i]);
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Synthetic, UnionOfRandomPermutationsDecomposition) {
+  // Sec. VII-C: a general pattern as a union of k permutations — every rank
+  // has fan-out and fan-in at most k.
+  const Pattern p = unionOfRandomPermutations(32, 4, 10, 5);
+  for (Rank r = 0; r < 32; ++r) {
+    EXPECT_LE(p.fanOut(r), 4u);
+    EXPECT_LE(p.fanIn(r), 4u);
+  }
+}
+
+TEST(Synthetic, AllToAllIsComplete) {
+  const Pattern p = allToAll(8, 10);
+  EXPECT_EQ(p.size(), 8u * 7);
+  EXPECT_EQ(p.fanOut(3), 7u);
+  EXPECT_EQ(p.fanIn(3), 7u);
+  EXPECT_TRUE(p.isSymmetric());
+}
+
+TEST(Synthetic, HotspotConcentratesOnOneRank) {
+  const Pattern p = hotspot(16, 5, 10);
+  EXPECT_EQ(p.size(), 15u);
+  EXPECT_EQ(p.fanIn(5), 15u);
+  EXPECT_EQ(p.fanOut(5), 0u);
+  EXPECT_THROW(hotspot(16, 16, 1), std::out_of_range);
+}
+
+TEST(Synthetic, RingExchangeDegrees) {
+  const Pattern p = ringExchange(10, 7);
+  EXPECT_EQ(p.size(), 20u);
+  for (Rank r = 0; r < 10; ++r) {
+    EXPECT_EQ(p.fanOut(r), 2u);
+    EXPECT_EQ(p.fanIn(r), 2u);
+  }
+  EXPECT_TRUE(p.isSymmetric());
+  EXPECT_THROW(ringExchange(1, 1), std::invalid_argument);
+}
+
+TEST(Synthetic, Stencil2DBoundaries) {
+  const Pattern p = stencil2D(3, 4, 10);
+  // Interior rank (1,1) = 5 has 4 neighbours; corner 0 has 2.
+  EXPECT_EQ(p.fanOut(5), 4u);
+  EXPECT_EQ(p.fanOut(0), 2u);
+  EXPECT_TRUE(p.isSymmetric());
+}
+
+TEST(Synthetic, ShiftAllToAllPhaseStructure) {
+  const PhasedPattern app = shiftAllToAll(8, 100);
+  EXPECT_EQ(app.phases.size(), 7u);
+  for (const Pattern& p : app.phases) {
+    EXPECT_TRUE(p.isPermutation());
+    EXPECT_EQ(p.size(), 8u);
+  }
+  // Together the phases form the complete exchange.
+  EXPECT_EQ(app.flattened().size(), 8u * 7);
+}
+
+}  // namespace
+}  // namespace patterns

@@ -1,0 +1,70 @@
+// Tests for the Sec. VII-C scheme-selection heuristic.
+#include "routing/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/applications.hpp"
+#include "patterns/synthetic.hpp"
+
+namespace routing {
+namespace {
+
+TEST(Advisor, SymmetricPatternsAreTies) {
+  // WRF and CG are symmetric: the paper proves equivalence there.
+  EXPECT_EQ(adviseScheme(patterns::wrf256(1).phases[0]).advice,
+            SchemeAdvice::kEither);
+  EXPECT_EQ(adviseScheme(patterns::cgD128(1).flattened()).advice,
+            SchemeAdvice::kEither);
+  EXPECT_TRUE(adviseScheme(patterns::allToAll(16, 1)).symmetric);
+}
+
+TEST(Advisor, ScatterPrefersSModK) {
+  // One source, many destinations: destination-dominated per the paper's
+  // wording -> concentrate at the source.
+  patterns::Pattern scatter(16);
+  for (patterns::Rank d = 1; d < 16; ++d) scatter.add(0, d, 100);
+  const DominanceReport r = adviseScheme(scatter);
+  EXPECT_GT(r.meanFanOut, r.meanFanIn);
+  EXPECT_EQ(r.advice, SchemeAdvice::kPreferSModK);
+}
+
+TEST(Advisor, GatherPrefersDModK) {
+  const DominanceReport r = adviseScheme(patterns::hotspot(16, 3, 100));
+  EXPECT_GT(r.meanFanIn, r.meanFanOut);
+  EXPECT_EQ(r.advice, SchemeAdvice::kPreferDModK);
+}
+
+TEST(Advisor, BalancedAsymmetricPatternWithinBiasIsATie) {
+  // A non-symmetric permutation: fan-out == fan-in == 1 everywhere.
+  patterns::Pattern shift(8);
+  for (patterns::Rank s = 0; s < 8; ++s) shift.add(s, (s + 1) % 8, 1);
+  const DominanceReport r = adviseScheme(shift);
+  EXPECT_FALSE(r.symmetric);
+  EXPECT_EQ(r.advice, SchemeAdvice::kEither);
+}
+
+TEST(Advisor, BiasControlsTheThreshold) {
+  // 2:1 fan-out dominance: advised at bias 1.25, tie at bias 3.
+  patterns::Pattern p(8);
+  p.add(0, 1, 1);
+  p.add(0, 2, 1);
+  p.add(3, 1, 1);  // Dest 1 has fan-in 2; dest 2 fan-in 1.
+  p.add(4, 5, 1);
+  p.add(4, 6, 1);
+  const DominanceReport strict = adviseScheme(p, 10.0);
+  EXPECT_EQ(strict.advice, SchemeAdvice::kEither);
+}
+
+TEST(Advisor, EmptyPatternIsATie) {
+  EXPECT_EQ(adviseScheme(patterns::Pattern(4)).advice,
+            SchemeAdvice::kEither);
+}
+
+TEST(Advisor, ToStringCoversAllValues) {
+  EXPECT_EQ(toString(SchemeAdvice::kEither), "either (equivalent)");
+  EXPECT_EQ(toString(SchemeAdvice::kPreferSModK), "prefer s-mod-k");
+  EXPECT_EQ(toString(SchemeAdvice::kPreferDModK), "prefer d-mod-k");
+}
+
+}  // namespace
+}  // namespace routing

@@ -1,0 +1,177 @@
+// Tests for the pattern-aware Colored router.
+#include "routing/colored.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/contention.hpp"
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "patterns/synthetic.hpp"
+#include "routing/relabel.hpp"
+#include "xgft/route.hpp"
+
+namespace routing {
+namespace {
+
+using xgft::NodeIndex;
+using xgft::Topology;
+
+TEST(Colored, PermutationOnFullTreeIsContentionFree) {
+  // A full k-ary 2-tree is rearrangeable (Sec. II): any permutation routes
+  // without two flows sharing a channel.  Colored must find such routes.
+  const Topology topo(xgft::karyNTree(8, 2));
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const patterns::Pattern perm =
+        patterns::randomPermutation(64, seed).toPattern(1000);
+    const ColoredRouter router(topo, perm);
+    EXPECT_LE(router.estimatedMaxDemand(), 1.0 + 1e-9);
+    const analysis::LoadSummary loads =
+        analysis::computeLoads(topo, perm, router);
+    EXPECT_LE(loads.maxFlowsPerChannel, 1u) << "seed " << seed;
+  }
+}
+
+TEST(Colored, SlimmedTreePermutationReachesCeilBound) {
+  // With w2 roots and Δ flows per switch, the best possible max link load
+  // is ceil(Δ / w2); the König seed guarantees Colored reaches it.
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const patterns::Pattern perm =
+      patterns::shiftPermutation(256, 16).toPattern(1000);
+  const ColoredRouter router(topo, perm);
+  const analysis::LoadSummary loads =
+      analysis::computeLoads(topo, perm, router);
+  // Every switch has 16 outgoing top-level flows over 10 roots -> 2.
+  EXPECT_LE(loads.maxFlowsPerChannel, 2u);
+}
+
+TEST(Colored, CgPhase5AvoidsTheModKPathology) {
+  const Topology topo(xgft::karyNTree(16, 2));
+  const patterns::PhasedPattern cg = patterns::cgD128(1000);
+  const ColoredRouter colored(topo, cg);
+  const RouterPtr dmodk = makeDModK(topo);
+  const patterns::Pattern& phase5 = cg.phases[4];
+  const auto coloredLoads = analysis::computeLoads(topo, phase5, colored);
+  const auto dmodkLoads = analysis::computeLoads(topo, phase5, *dmodk);
+  // The Sec. VII-A pathology: 14 non-self flows per switch on 2 uplinks.
+  EXPECT_EQ(dmodkLoads.maxFlowsPerChannel, 7u);
+  EXPECT_LE(coloredLoads.maxFlowsPerChannel, 1u);
+}
+
+TEST(Colored, NotOblivious) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const ColoredRouter router(topo, patterns::Pattern(16));
+  EXPECT_FALSE(router.isOblivious());
+  EXPECT_EQ(router.name(), "colored");
+}
+
+TEST(Colored, FallsBackToDmodKForUnknownPairs) {
+  const Topology topo(xgft::xgft2(8, 8, 4));
+  patterns::Pattern p(64);
+  p.add(0, 9, 100);
+  const ColoredRouter router(topo, p);
+  const RouterPtr dmodk = makeDModK(topo);
+  EXPECT_EQ(router.numOptimizedPairs(), 1u);
+  // A pair absent from the pattern routes exactly like D-mod-k.
+  EXPECT_EQ(router.route(5, 60), dmodk->route(5, 60));
+}
+
+TEST(Colored, RoutesAreStableAcrossPhases) {
+  // A pair appearing in two phases keeps the first phase's route (static
+  // tables).
+  const Topology topo(xgft::xgft2(8, 8, 4));
+  patterns::PhasedPattern app;
+  app.numRanks = 64;
+  patterns::Pattern p1(64);
+  p1.add(0, 9, 100);
+  patterns::Pattern p2(64);
+  p2.add(0, 9, 100);
+  p2.add(1, 8, 100);
+  app.phases = {p1, p2};
+  const ColoredRouter joint(topo, app);
+  const ColoredRouter alone(topo, p1);
+  EXPECT_EQ(joint.route(0, 9), alone.route(0, 9));
+}
+
+TEST(Colored, AllRoutesValidOnGeneralPatterns) {
+  const Topology topo(xgft::Params({4, 3, 2}, {1, 2, 3}));
+  const patterns::Pattern p = patterns::uniformRandom(24, 3, 100, 9);
+  const ColoredRouter router(topo, p);
+  for (const patterns::Flow& f : p.flows()) {
+    if (f.src == f.dst) continue;
+    std::string error;
+    EXPECT_TRUE(
+        validateRoute(topo, f.src, f.dst, router.route(f.src, f.dst), &error))
+        << error;
+  }
+}
+
+TEST(Colored, NeverWorseThanObliviousOnEffectiveDemand) {
+  // Colored optimizes the Sec. IV metric directly, and its trials include
+  // the S/D-mod-k assignments — so it can never lose to them on it.
+  for (const std::uint32_t w2 : {16u, 10u, 4u}) {
+    const Topology topo(xgft::xgft2(16, 16, w2));
+    for (const patterns::PhasedPattern& app :
+         {patterns::cgD128(1000), patterns::wrf256(1000)}) {
+      const ColoredRouter colored(topo, app);
+      const RouterPtr smodk = makeSModK(topo);
+      const RouterPtr dmodk = makeDModK(topo);
+      for (const patterns::Pattern& phase : app.phases) {
+        const double coloredDemand =
+            analysis::computeLoads(topo, phase, colored).maxDemand;
+        const double best = std::min(
+            analysis::computeLoads(topo, phase, *smodk).maxDemand,
+            analysis::computeLoads(topo, phase, *dmodk).maxDemand);
+        EXPECT_LE(coloredDemand, best + 1e-9)
+            << app.name << " w2=" << w2;
+      }
+    }
+  }
+}
+
+TEST(Colored, ForcedSeedStrategiesAreValidAndBestWins) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const patterns::PhasedPattern cg = patterns::cgD128(1024);
+  ColoredOptions best;
+  best.seedStrategy = ColoredSeed::kBest;
+  const ColoredRouter bestRouter(topo, cg, best);
+  for (const ColoredSeed strategy :
+       {ColoredSeed::kEdgeColoring, ColoredSeed::kDModK, ColoredSeed::kSModK,
+        ColoredSeed::kGreedy}) {
+    ColoredOptions options;
+    options.seedStrategy = strategy;
+    const ColoredRouter forced(topo, cg, options);
+    // Every forced strategy yields valid routes...
+    for (const patterns::Flow& f : cg.phases[4].flows()) {
+      if (f.src == f.dst) continue;
+      std::string error;
+      EXPECT_TRUE(validateRoute(topo, f.src, f.dst,
+                                forced.route(f.src, f.dst), &error))
+          << error;
+    }
+    // ...and the default never does worse than any single strategy.
+    EXPECT_LE(bestRouter.estimatedMaxDemand(),
+              forced.estimatedMaxDemand() + 1e-9);
+  }
+}
+
+TEST(Colored, HandlesTallTreesViaGreedy) {
+  const Topology topo(xgft::Params({4, 4, 4}, {1, 2, 2}));
+  const patterns::Pattern perm =
+      patterns::randomPermutation(64, 5).toPattern(1000);
+  const ColoredRouter router(topo, perm);
+  const RouterPtr dmodk = makeDModK(topo);
+  const double coloredDemand =
+      analysis::computeLoads(topo, perm, router).maxDemand;
+  const double dmodkDemand =
+      analysis::computeLoads(topo, perm, *dmodk).maxDemand;
+  EXPECT_LE(coloredDemand, dmodkDemand + 1e-9);
+  for (const patterns::Flow& f : perm.flows()) {
+    std::string error;
+    EXPECT_TRUE(
+        validateRoute(topo, f.src, f.dst, router.route(f.src, f.dst), &error))
+        << error;
+  }
+}
+
+}  // namespace
+}  // namespace routing

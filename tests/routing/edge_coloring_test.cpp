@@ -1,0 +1,99 @@
+// Tests for the König bipartite edge-coloring substrate.
+#include "routing/edge_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/permutation.hpp"
+#include "xgft/rng.hpp"
+
+namespace routing {
+namespace {
+
+TEST(EdgeColoring, EmptyGraph) {
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 3;
+  EXPECT_EQ(maxDegree(g), 0u);
+  EXPECT_TRUE(colorBipartiteEdges(g).empty());
+}
+
+TEST(EdgeColoring, SingleEdge) {
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 2;
+  g.edges = {{0, 1}};
+  const auto colors = colorBipartiteEdges(g);
+  EXPECT_EQ(colors, std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(isProperEdgeColoring(g, colors));
+}
+
+TEST(EdgeColoring, ParallelEdgesGetDistinctColors) {
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 1;
+  g.edges = {{0, 0}, {0, 0}, {0, 0}};
+  const auto colors = colorBipartiteEdges(g);
+  EXPECT_TRUE(isProperEdgeColoring(g, colors));
+  for (const auto c : colors) EXPECT_LT(c, 3u);
+}
+
+TEST(EdgeColoring, CompleteBipartiteUsesExactlyDeltaColors) {
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 5;
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    for (std::uint32_t v = 0; v < 5; ++v) g.edges.emplace_back(u, v);
+  }
+  EXPECT_EQ(maxDegree(g), 5u);
+  const auto colors = colorBipartiteEdges(g);
+  EXPECT_TRUE(isProperEdgeColoring(g, colors));
+  for (const auto c : colors) EXPECT_LT(c, 5u);
+}
+
+TEST(EdgeColoring, ProperCheckerRejectsConflicts) {
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 2;
+  g.edges = {{0, 0}, {0, 1}};
+  EXPECT_FALSE(isProperEdgeColoring(g, {0, 0}));  // Shared left vertex.
+  EXPECT_TRUE(isProperEdgeColoring(g, {0, 1}));
+  EXPECT_FALSE(isProperEdgeColoring(g, {0}));  // Arity mismatch.
+}
+
+TEST(EdgeColoring, PermutationTrafficNeedsOneColorPerParallelClass) {
+  // A permutation between 16-host switches: each switch pair multigraph
+  // degree equals the flows per switch; Δ colors suffice (König).
+  const patterns::Permutation perm = patterns::randomPermutation(256, 11);
+  BipartiteMultigraph g;
+  g.numLeft = g.numRight = 16;
+  for (std::uint32_t s = 0; s < 256; ++s) {
+    if (perm(s) == s) continue;
+    g.edges.emplace_back(s / 16, perm(s) / 16);
+  }
+  const std::uint32_t delta = maxDegree(g);
+  const auto colors = colorBipartiteEdges(g);
+  ASSERT_TRUE(isProperEdgeColoring(g, colors));
+  for (const auto c : colors) EXPECT_LT(c, delta);
+}
+
+// Property sweep: random multigraphs of growing size stay properly colored
+// with exactly Δ colors.
+class EdgeColoringRandom : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EdgeColoringRandom, AlwaysProperWithDeltaColors) {
+  const std::uint32_t seed = GetParam();
+  xgft::Rng rng(seed);
+  BipartiteMultigraph g;
+  g.numLeft = 8 + static_cast<std::uint32_t>(rng.below(16));
+  g.numRight = 8 + static_cast<std::uint32_t>(rng.below(16));
+  const std::size_t numEdges = 200 + rng.below(400);
+  for (std::size_t e = 0; e < numEdges; ++e) {
+    g.edges.emplace_back(static_cast<std::uint32_t>(rng.below(g.numLeft)),
+                         static_cast<std::uint32_t>(rng.below(g.numRight)));
+  }
+  const std::uint32_t delta = maxDegree(g);
+  const auto colors = colorBipartiteEdges(g);
+  ASSERT_TRUE(isProperEdgeColoring(g, colors));
+  for (const auto c : colors) EXPECT_LT(c, delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeColoringRandom,
+                         ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace routing

@@ -1,0 +1,108 @@
+// Property tests for the combinatorial equivalence results of Sec. VII-B/C:
+// S-mod-k routing a pattern P behaves exactly like D-mod-k routing the
+// inverse pattern P^{-1} — same contention-level distribution — and hence
+// the two schemes are statistically identical over random workloads and
+// *exactly* identical on symmetric patterns.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "analysis/contention.hpp"
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "patterns/synthetic.hpp"
+#include "routing/relabel.hpp"
+
+namespace routing {
+namespace {
+
+using xgft::Topology;
+
+/// Sorted multiset of per-NCA contention values (the distribution the
+/// paper's argument equates).
+std::vector<std::uint32_t> contentionDistribution(
+    const Topology& topo, const patterns::Pattern& p, const Router& router) {
+  std::vector<std::uint32_t> values;
+  for (const auto& [nca, c] : analysis::ncaContention(topo, p, router)) {
+    values.push_back(c);
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+class Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Equivalence, SmodkOnPEqualsDmodkOnInverseForPermutations) {
+  // Sec. VII-B: for every permutation P, the contention levels per NCA of
+  // S-mod-k on P equal those of D-mod-k on P^{-1}.
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr smodk = makeSModK(topo);
+  const RouterPtr dmodk = makeDModK(topo);
+  const patterns::Permutation perm =
+      patterns::randomPermutation(256, GetParam());
+  const patterns::Pattern p = perm.toPattern(1000);
+  const patterns::Pattern pInv = perm.inverse().toPattern(1000);
+  EXPECT_EQ(contentionDistribution(topo, p, *smodk),
+            contentionDistribution(topo, pInv, *dmodk));
+  // And symmetrically the other way around.
+  EXPECT_EQ(contentionDistribution(topo, p, *dmodk),
+            contentionDistribution(topo, pInv, *smodk));
+}
+
+TEST_P(Equivalence, HoldsForGeneralPatternsToo) {
+  // Sec. VII-C: generalizes to unions of permutations (maximum network
+  // contention per NCA, endpoint contention excluded).
+  const Topology topo(xgft::xgft2(16, 16, 7));
+  const RouterPtr smodk = makeSModK(topo);
+  const RouterPtr dmodk = makeDModK(topo);
+  const patterns::Pattern g =
+      patterns::unionOfRandomPermutations(256, 3, 1000, GetParam());
+  EXPECT_EQ(contentionDistribution(topo, g, *smodk),
+            contentionDistribution(topo, g.inverse(), *dmodk));
+}
+
+TEST_P(Equivalence, MaxContentionLevelMatches) {
+  const Topology topo(xgft::xgft2(16, 16, 4));
+  const RouterPtr smodk = makeSModK(topo);
+  const RouterPtr dmodk = makeDModK(topo);
+  const patterns::Pattern p =
+      patterns::randomPermutation(256, GetParam() + 100).toPattern(1);
+  EXPECT_EQ(analysis::contentionLevel(topo, p, *smodk),
+            analysis::contentionLevel(topo, p.inverse(), *dmodk));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
+                         ::testing::Range(std::uint64_t{0},
+                                          std::uint64_t{10}));
+
+TEST(Equivalence, SymmetricPatternsRouteIdenticallyUnderBothSchemes) {
+  // "if the pattern is symmetric, the inverse is itself, so the number of
+  // expected conflicts is the same under both routing schemes" (VII-C).
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr smodk = makeSModK(topo);
+  const RouterPtr dmodk = makeDModK(topo);
+  for (const patterns::Pattern& p :
+       {patterns::wrf256(1000).phases[0], patterns::cgD128(1000).phases[4],
+        patterns::allToAll(256, 1)}) {
+    ASSERT_TRUE(p.isSymmetric());
+    EXPECT_EQ(contentionDistribution(topo, p, *smodk),
+              contentionDistribution(topo, p, *dmodk));
+  }
+}
+
+TEST(Equivalence, HoldsOnTallerTrees) {
+  const Topology topo(xgft::Params({4, 4, 4}, {1, 3, 2}));
+  const RouterPtr smodk = makeSModK(topo);
+  const RouterPtr dmodk = makeDModK(topo);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const patterns::Permutation perm = patterns::randomPermutation(64, seed);
+    EXPECT_EQ(
+        contentionDistribution(topo, perm.toPattern(1), *smodk),
+        contentionDistribution(topo, perm.inverse().toPattern(1), *dmodk));
+  }
+}
+
+}  // namespace
+}  // namespace routing

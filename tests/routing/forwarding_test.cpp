@@ -1,0 +1,129 @@
+// Tests for destination-indexed forwarding tables (LFT export).
+#include "routing/forwarding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "patterns/applications.hpp"
+#include "routing/colored.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+
+namespace routing {
+namespace {
+
+using xgft::Topology;
+
+TEST(Forwarding, DmodKIsDestinationBased) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  EXPECT_TRUE(
+      ForwardingTables::isDestinationBased(topo, *makeDModK(topo)));
+}
+
+TEST(Forwarding, RNcaDownIsDestinationBased) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_TRUE(ForwardingTables::isDestinationBased(
+        topo, *makeRNcaDown(topo, seed)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Forwarding, SourceGuidedSchemesAreNot) {
+  // S-mod-k picks the ascent from the *source* label: two sources behind
+  // different... the conflict shows at a shared ascent switch, which is why
+  // such schemes need source routing rather than LFTs.
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  EXPECT_FALSE(
+      ForwardingTables::isDestinationBased(topo, *makeSModK(topo)));
+  EXPECT_FALSE(
+      ForwardingTables::isDestinationBased(topo, *makeRNcaUp(topo, 1)));
+  EXPECT_FALSE(
+      ForwardingTables::isDestinationBased(topo, *makeRandom(topo, 1)));
+}
+
+TEST(Forwarding, BuildThrowsForInconsistentSchemes) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  EXPECT_THROW(ForwardingTables::build(topo, *makeSModK(topo)),
+               std::invalid_argument);
+}
+
+TEST(Forwarding, WalkReachesEveryDestination) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  const RouterPtr router = makeDModK(topo);
+  const ForwardingTables ft = ForwardingTables::build(topo, *router);
+  for (xgft::NodeIndex s = 0; s < topo.numHosts(); ++s) {
+    for (xgft::NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      const auto hops = ft.walk(s, d);
+      ASSERT_TRUE(hops.has_value()) << s << " -> " << d;
+      // Minimal route: 2 * ncaLevel hops (0 for self).
+      EXPECT_EQ(*hops, 2 * topo.ncaLevel(s, d));
+    }
+  }
+}
+
+TEST(Forwarding, WalkMatchesOnTallTrees) {
+  const Topology topo(xgft::Params({4, 3, 2}, {1, 2, 3}));
+  const RouterPtr router = makeDModK(topo);
+  const ForwardingTables ft = ForwardingTables::build(topo, *router);
+  for (xgft::NodeIndex s = 0; s < topo.numHosts(); ++s) {
+    for (xgft::NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      const auto hops = ft.walk(s, d);
+      ASSERT_TRUE(hops.has_value());
+      EXPECT_EQ(*hops, 2 * topo.ncaLevel(s, d));
+    }
+  }
+}
+
+TEST(Forwarding, EntryCountsMatchReachability) {
+  // Every (switch, dest) pair on some route gets exactly one entry; level-1
+  // switches see all destinations (they are on the descent of their own
+  // hosts and the ascent of the others).
+  const Topology topo(xgft::karyNTree(4, 2));
+  const ForwardingTables ft =
+      ForwardingTables::build(topo, *makeDModK(topo));
+  EXPECT_GT(ft.numEntries(), 0u);
+  // Roots forward down only: every root used by some dest has an entry per
+  // dest it serves; with D-mod-k each dest is served by exactly one root.
+  std::uint64_t rootEntries = 0;
+  for (xgft::NodeIndex sw = 0; sw < topo.nodesAtLevel(2); ++sw) {
+    for (xgft::NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      if (ft.port(2, sw, d) != ForwardingTables::kUnused) ++rootEntries;
+    }
+  }
+  EXPECT_EQ(rootEntries, topo.numHosts());
+}
+
+TEST(Forwarding, ColoredIsPatternDependent) {
+  // Colored's optimized pairs may split one destination across roots, so
+  // it is generally not LFT-implementable either.
+  const Topology topo(xgft::karyNTree(8, 2));
+  const patterns::PhasedPattern cg = patterns::cgPhases(32, 8, 1024);
+  const ColoredRouter colored(topo, cg);
+  // Not asserting a fixed truth value (it depends on the optimizer's
+  // choices); just exercising the probe on a non-oblivious router.
+  (void)ForwardingTables::isDestinationBased(topo, colored);
+}
+
+TEST(Forwarding, PrintSwitchRendersPorts) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const ForwardingTables ft =
+      ForwardingTables::build(topo, *makeDModK(topo));
+  std::ostringstream os;
+  ft.printSwitch(1, 0, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("down port"), std::string::npos);
+  EXPECT_NE(out.find("up port"), std::string::npos);
+}
+
+TEST(Forwarding, PortValidation) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const ForwardingTables ft =
+      ForwardingTables::build(topo, *makeDModK(topo));
+  EXPECT_THROW(ft.port(0, 0, 0), std::out_of_range);
+  EXPECT_THROW(ft.port(3, 0, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace routing

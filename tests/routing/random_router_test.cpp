@@ -1,0 +1,90 @@
+// Tests for static Random routing.
+#include "routing/random_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "xgft/route.hpp"
+
+namespace routing {
+namespace {
+
+using xgft::NodeIndex;
+using xgft::Topology;
+
+TEST(RandomRouter, DeterministicPerSeedAndPair) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr a = makeRandom(topo, 7);
+  const RouterPtr b = makeRandom(topo, 7);
+  for (NodeIndex s = 0; s < 256; s += 11) {
+    for (NodeIndex d = 0; d < 256; d += 7) {
+      EXPECT_EQ(a->route(s, d), b->route(s, d));
+      // Repeated calls are stable (pure function of (seed, s, d)).
+      EXPECT_EQ(a->route(s, d), a->route(s, d));
+    }
+  }
+}
+
+TEST(RandomRouter, DifferentSeedsDiffer) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr a = makeRandom(topo, 7);
+  const RouterPtr b = makeRandom(topo, 8);
+  std::uint32_t differing = 0;
+  for (NodeIndex s = 0; s < 256; s += 3) {
+    for (NodeIndex d = 0; d < 256; d += 3) {
+      if (!(a->route(s, d) == b->route(s, d))) ++differing;
+    }
+  }
+  EXPECT_GT(differing, 1000u);
+}
+
+TEST(RandomRouter, RoutesAreValid) {
+  const Topology topo(xgft::Params({4, 3, 2}, {1, 2, 3}));
+  const RouterPtr router = makeRandom(topo, 3);
+  for (NodeIndex s = 0; s < topo.numHosts(); ++s) {
+    for (NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      std::string error;
+      EXPECT_TRUE(validateRoute(topo, s, d, router->route(s, d), &error))
+          << error;
+    }
+  }
+}
+
+TEST(RandomRouter, UsesAllNcasRoughlyUniformly) {
+  // Fig. 4: Random spreads routes evenly over the roots.
+  const Topology topo(xgft::xgft2(16, 16, 16));
+  const RouterPtr router = makeRandom(topo, 1);
+  std::map<NodeIndex, std::uint64_t> census;
+  std::uint64_t total = 0;
+  for (NodeIndex s = 0; s < 256; ++s) {
+    for (NodeIndex d = 0; d < 256; ++d) {
+      if (topo.ncaLevel(s, d) != 2) continue;
+      ++census[ncaOf(topo, s, router->route(s, d))];
+      ++total;
+    }
+  }
+  ASSERT_EQ(census.size(), 16u);  // Every root used.
+  const double expected = static_cast<double>(total) / 16.0;
+  for (const auto& [root, count] : census) {
+    EXPECT_NEAR(static_cast<double>(count), expected, 0.05 * expected)
+        << "root " << root;
+  }
+}
+
+TEST(RandomRouter, DoesNotConcentrateEndpointContention) {
+  // Unlike S-mod-k, a source's flows to different destinations usually
+  // take different ascents — the paper's explanation for Random's poor
+  // behaviour on WRF.
+  const Topology topo(xgft::xgft2(16, 16, 16));
+  const RouterPtr router = makeRandom(topo, 2);
+  std::set<std::vector<std::uint32_t>> ascents;
+  for (NodeIndex d = 16; d < 256; d += 16) {
+    ascents.insert(router->route(0, d).up);
+  }
+  EXPECT_GT(ascents.size(), 5u);
+}
+
+}  // namespace
+}  // namespace routing

@@ -1,0 +1,249 @@
+// Tests for the relabeling framework: S-mod-k / D-mod-k as the modulo
+// members, r-NCA-u / r-NCA-d as the balanced-random members (Sec. VIII).
+#include "routing/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xgft/route.hpp"
+
+namespace routing {
+namespace {
+
+using xgft::NodeIndex;
+using xgft::Topology;
+
+TEST(ModK, SModKMatchesPaperFormulaOnKaryTree) {
+  // k-ary n-tree: S-mod-k chooses parent floor(s / k^{l-1}) mod k at hop l.
+  const Topology topo(xgft::karyNTree(4, 3));
+  const RouterPtr router = makeSModK(topo);
+  for (NodeIndex s = 0; s < topo.numHosts(); ++s) {
+    for (NodeIndex d : {NodeIndex{0}, NodeIndex{21}, NodeIndex{63}}) {
+      const xgft::Route r = router->route(s, d);
+      ASSERT_EQ(r.ncaLevel(), topo.ncaLevel(s, d));
+      // up[0] is the host uplink (w1 = 1): always 0.
+      if (r.ncaLevel() >= 1) {
+        EXPECT_EQ(r.up[0], 0u);
+      }
+      for (std::uint32_t l = 1; l < r.ncaLevel(); ++l) {
+        // Digit M_l of s in base k=4 chooses the parent at level l.
+        EXPECT_EQ(r.up[l], (s >> (2 * (l - 1))) % 4)
+            << "s=" << s << " level " << l;
+      }
+    }
+  }
+}
+
+TEST(ModK, DModKMatchesPaperFormulaOnKaryTree) {
+  const Topology topo(xgft::karyNTree(4, 2));
+  const RouterPtr router = makeDModK(topo);
+  for (NodeIndex s : {NodeIndex{0}, NodeIndex{7}}) {
+    for (NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      if (topo.ncaLevel(s, d) != 2) continue;
+      const xgft::Route r = router->route(s, d);
+      // r1 = d mod k is the root-level choice (Sec. VII-A uses exactly
+      // this to explain the CG pathology).
+      EXPECT_EQ(r.up[1], d % 4);
+    }
+  }
+}
+
+TEST(ModK, XGFTUsesDigitModW) {
+  // Slimmed tree: the operation is M_l mod w_{l+1} (Sec. V).
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr router = makeDModK(topo);
+  for (NodeIndex d = 0; d < topo.numHosts(); d += 3) {
+    const xgft::Route r = router->route((d + 16) % 256, d);
+    ASSERT_EQ(r.ncaLevel(), 2u);
+    EXPECT_EQ(r.up[1], (d % 16) % 10);
+  }
+}
+
+TEST(ModK, SModKGivesEverySourceAUniquePathUp) {
+  // "every source is assigned a unique path up regardless of the
+  // destination" (Sec. VII).
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  const RouterPtr router = makeSModK(topo);
+  for (NodeIndex s = 0; s < topo.numHosts(); ++s) {
+    std::set<std::vector<std::uint32_t>> prefixes;
+    for (NodeIndex d = 0; d < topo.numHosts(); ++d) {
+      if (topo.ncaLevel(s, d) != 2) continue;
+      prefixes.insert(router->route(s, d).up);
+    }
+    EXPECT_EQ(prefixes.size(), 1u) << "source " << s;
+  }
+}
+
+TEST(ModK, DModKGivesEveryDestinationAUniquePathDown) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  const RouterPtr router = makeDModK(topo);
+  for (NodeIndex d = 0; d < topo.numHosts(); ++d) {
+    std::set<xgft::NodeIndex> ncas;
+    for (NodeIndex s = 0; s < topo.numHosts(); ++s) {
+      if (topo.ncaLevel(s, d) != 2) continue;
+      ncas.insert(ncaOf(topo, s, router->route(s, d)));
+    }
+    // All top-level traffic to d converges on a single root.
+    EXPECT_EQ(ncas.size(), 1u) << "destination " << d;
+  }
+}
+
+TEST(ModK, RoutesAreAlwaysValid) {
+  for (const xgft::Params& params :
+       {xgft::karyNTree(4, 3), xgft::xgft2(16, 16, 7),
+        xgft::Params({4, 3, 2}, {1, 2, 3}), xgft::Params({3, 4}, {2, 3})}) {
+    const Topology topo(params);
+    for (const auto& make : {makeSModK, makeDModK}) {
+      const RouterPtr router = make(topo);
+      for (NodeIndex s = 0; s < topo.numHosts(); s += 3) {
+        for (NodeIndex d = 0; d < topo.numHosts(); d += 5) {
+          std::string error;
+          EXPECT_TRUE(validateRoute(topo, s, d, router->route(s, d), &error))
+              << params.toString() << ": " << error;
+        }
+      }
+    }
+  }
+}
+
+TEST(RelabelScheme, ModSchemeIsBalanced) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  EXPECT_TRUE(RelabelScheme::mod(topo).isBalanced());
+}
+
+TEST(RelabelScheme, BalancedRandomIsBalanced) {
+  for (const xgft::Params& params :
+       {xgft::xgft2(16, 16, 10), xgft::xgft2(16, 16, 7),
+        xgft::Params({4, 3, 2}, {1, 2, 3})}) {
+    const Topology topo(params);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      EXPECT_TRUE(RelabelScheme::balancedRandom(topo, seed).isBalanced())
+          << params.toString() << " seed " << seed;
+    }
+  }
+}
+
+TEST(RelabelScheme, FromTablesValidates) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  // Both levels consult digit M1 (radix 4) under m2 = 4 subtree contexts:
+  // 16 entries each; level 0 maps into w1 = 1 ports, level 1 into w2 = 2.
+  std::vector<std::vector<std::uint32_t>> tables(2);
+  tables[0].assign(16, 0);
+  tables[1] = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NO_THROW(RelabelScheme::fromTables(topo, tables));
+  tables[1][3] = 2;  // Port 2 out of range for w2 = 2.
+  EXPECT_THROW(RelabelScheme::fromTables(topo, tables),
+               std::invalid_argument);
+  tables[1] = {0, 1};  // Wrong size.
+  EXPECT_THROW(RelabelScheme::fromTables(topo, tables),
+               std::invalid_argument);
+  EXPECT_THROW(RelabelScheme::fromTables(topo, {}), std::invalid_argument);
+}
+
+TEST(RelabelScheme, FromTablesReproducesModExactly) {
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  std::vector<std::vector<std::uint32_t>> tables(2);
+  tables[0].assign(8 * 8, 0);  // w1 = 1.
+  tables[1].resize(8 * 8);     // 8 contexts x digit radix 8.
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    for (std::uint32_t v = 0; v < 8; ++v) tables[1][c * 8 + v] = v % 5;
+  }
+  const RelabelRouter custom(topo, RelabelScheme::fromTables(topo, tables),
+                             Guide::Destination, "custom");
+  const RouterPtr dmodk = makeDModK(topo);
+  for (NodeIndex s = 0; s < 64; s += 3) {
+    for (NodeIndex d = 0; d < 64; d += 2) {
+      EXPECT_EQ(custom.route(s, d), dmodk->route(s, d));
+    }
+  }
+}
+
+TEST(RNca, DeterministicPerSeed) {
+  const Topology topo(xgft::xgft2(16, 16, 10));
+  const RouterPtr a = makeRNcaUp(topo, 99);
+  const RouterPtr b = makeRNcaUp(topo, 99);
+  const RouterPtr c = makeRNcaUp(topo, 100);
+  bool anyDifferent = false;
+  for (NodeIndex s = 0; s < 256; s += 7) {
+    for (NodeIndex d = 0; d < 256; d += 5) {
+      EXPECT_EQ(a->route(s, d), b->route(s, d));
+      anyDifferent |= !(a->route(s, d) == c->route(s, d));
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(RNca, ConcentratesEndpointContentionLikeModK) {
+  // r-NCA-u keeps the S-mod-k concentration property: one ascent per
+  // source; r-NCA-d keeps one root per destination.
+  const Topology topo(xgft::xgft2(8, 8, 5));
+  const RouterPtr up = makeRNcaUp(topo, 3);
+  const RouterPtr down = makeRNcaDown(topo, 3);
+  for (NodeIndex x = 0; x < topo.numHosts(); ++x) {
+    std::set<std::vector<std::uint32_t>> ascents;
+    std::set<xgft::NodeIndex> roots;
+    for (NodeIndex y = 0; y < topo.numHosts(); ++y) {
+      if (topo.ncaLevel(x, y) != 2) continue;
+      ascents.insert(up->route(x, y).up);
+      roots.insert(ncaOf(topo, y, down->route(y, x)));
+    }
+    EXPECT_EQ(ascents.size(), 1u) << "source " << x;
+    EXPECT_EQ(roots.size(), 1u) << "destination " << x;
+  }
+}
+
+TEST(RNca, RoutesAreValidAcrossShapes) {
+  for (const xgft::Params& params :
+       {xgft::xgft2(16, 16, 3), xgft::Params({4, 3, 2}, {1, 2, 3}),
+        xgft::Params({3, 4}, {2, 3})}) {
+    const Topology topo(params);
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      for (const auto& make : {makeRNcaUp, makeRNcaDown}) {
+        const RouterPtr router = make(topo, seed);
+        for (NodeIndex s = 0; s < topo.numHosts(); s += 2) {
+          for (NodeIndex d = 0; d < topo.numHosts(); d += 3) {
+            std::string error;
+            EXPECT_TRUE(
+                validateRoute(topo, s, d, router->route(s, d), &error))
+                << params.toString() << ": " << error;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RNca, SubtreeMapsAreIndependentAcrossContexts) {
+  // Different first-level switches should (almost always) scramble their
+  // digits differently — that is what breaks CG's congruence.
+  const Topology topo(xgft::xgft2(16, 16, 16));
+  const RouterPtr router = makeRNcaDown(topo, 12345);
+  std::set<std::vector<std::uint32_t>> perSwitchAssignments;
+  for (NodeIndex sw = 0; sw < 16; ++sw) {
+    std::vector<std::uint32_t> assignment;
+    for (NodeIndex j = 0; j < 16; ++j) {
+      const NodeIndex d = sw * 16 + j;
+      // Any source in another switch reaches d through the same root.
+      const NodeIndex s = (sw == 0) ? 16 : 0;
+      assignment.push_back(
+          static_cast<std::uint32_t>(ncaOf(topo, s, router->route(s, d))));
+    }
+    perSwitchAssignments.insert(assignment);
+  }
+  // 16 random bijections on 16 elements collide with probability ~0.
+  EXPECT_GT(perSwitchAssignments.size(), 12u);
+}
+
+TEST(Router, NamesAndObliviousness) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  EXPECT_EQ(makeSModK(topo)->name(), "s-mod-k");
+  EXPECT_EQ(makeDModK(topo)->name(), "d-mod-k");
+  EXPECT_EQ(makeRNcaUp(topo, 1)->name(), "r-NCA-u");
+  EXPECT_EQ(makeRNcaDown(topo, 1)->name(), "r-NCA-d");
+  EXPECT_TRUE(makeSModK(topo)->isOblivious());
+  EXPECT_TRUE(makeRNcaDown(topo, 1)->isOblivious());
+}
+
+}  // namespace
+}  // namespace routing

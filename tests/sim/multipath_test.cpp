@@ -1,0 +1,126 @@
+// Tests for per-segment multipath spraying (the packet-granular randomized
+// routing extension).
+#include <gtest/gtest.h>
+
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "routing/relabel.hpp"
+#include "sim/network.hpp"
+#include "trace/harness.hpp"
+#include "xgft/route.hpp"
+
+namespace sim {
+namespace {
+
+using xgft::Topology;
+
+std::vector<xgft::Route> allRoutes(const Topology& topo, xgft::NodeIndex s,
+                                   xgft::NodeIndex d) {
+  std::vector<xgft::Route> routes;
+  for (xgft::Count c = 0; c < topo.numNcas(s, d); ++c) {
+    routes.push_back(routeViaNca(topo, s, d, c));
+  }
+  return routes;
+}
+
+TEST(Multipath, RequiresAtLeastOneRoute) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Network net(topo, SimConfig{});
+  EXPECT_THROW(
+      net.addMessageMultipath(0, 15, 100, {}, SprayPolicy::kRoundRobin),
+      std::invalid_argument);
+}
+
+TEST(Multipath, SprayedMessageDeliversAllSegments) {
+  const Topology topo(xgft::xgft2(4, 4, 4));
+  Network net(topo, SimConfig{});
+  const MsgId m = net.addMessageMultipath(
+      0, 15, 64 * 1024, allRoutes(topo, 0, 15), SprayPolicy::kRoundRobin);
+  net.release(m, 0);
+  net.run();
+  EXPECT_EQ(net.stats().segmentsDelivered, 64u);
+  EXPECT_EQ(net.stats().messagesDelivered, 1u);
+}
+
+TEST(Multipath, RoundRobinUsesEveryRoute) {
+  // With 4 candidate roots and RR spraying, all 4 root up-links of the
+  // source switch carry traffic.
+  const Topology topo(xgft::xgft2(4, 4, 4));
+  SimConfig cfg;
+  cfg.headerBytes = 0;
+  Network net(topo, cfg);
+  const MsgId m = net.addMessageMultipath(
+      0, 15, 64 * 1024, allRoutes(topo, 0, 15), SprayPolicy::kRoundRobin);
+  net.release(m, 0);
+  net.run();
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    // Level-1 switch 0, up ports start at m1 = 4.
+    const std::uint32_t gport = net.globalPort(1, 0, 4 + p);
+    EXPECT_EQ(net.wireBusyNs(gport), 16u * 4096) << "up port " << p;
+  }
+}
+
+TEST(Multipath, RandomPolicyIsDeterministicPerSeed) {
+  const Topology topo(xgft::xgft2(4, 4, 4));
+  const auto runOnce = [&](std::uint64_t seed) {
+    Network net(topo, SimConfig{});
+    const MsgId m =
+        net.addMessageMultipath(0, 15, 64 * 1024, allRoutes(topo, 0, 15),
+                                SprayPolicy::kRandom, seed);
+    net.release(m, 0);
+    net.run();
+    return net.stats().lastDeliveryNs;
+  };
+  EXPECT_EQ(runOnce(7), runOnce(7));
+}
+
+TEST(Multipath, FirstHopMustMatch) {
+  // On a tree with w1 = 2 hosts have two NIC ports; routes differing in
+  // up[0] are rejected.
+  const Topology topo(xgft::Topology(xgft::Params({4, 4}, {2, 2})));
+  Network net(topo, SimConfig{});
+  std::vector<xgft::Route> routes = allRoutes(topo, 0, 15);
+  ASSERT_GE(routes.size(), 2u);
+  ASSERT_NE(routes[0].up[0], routes[1].up[0]);  // Choice varies up[0] first.
+  EXPECT_THROW(net.addMessageMultipath(0, 15, 1024, routes,
+                                       SprayPolicy::kRoundRobin),
+               std::invalid_argument);
+}
+
+TEST(Multipath, SprayedPermutationBeatsWorstStaticChoice) {
+  // All flows forced through one root vs sprayed over all roots: spraying
+  // must be far faster.
+  const Topology topo(xgft::xgft2(8, 8, 8));
+  const patterns::Permutation perm = patterns::shiftPermutation(64, 8);
+  const auto makespan = [&](bool sprayed) {
+    Network net(topo, SimConfig{});
+    for (patterns::Rank s = 0; s < 64; ++s) {
+      const xgft::NodeIndex d = perm(s);
+      MsgId m = 0;
+      if (sprayed) {
+        m = net.addMessageMultipath(s, d, 32 * 1024, allRoutes(topo, s, d),
+                                    SprayPolicy::kRoundRobin);
+      } else {
+        m = net.addMessage(s, d, 32 * 1024, routeViaNca(topo, s, d, 0));
+      }
+      net.release(m, 0);
+    }
+    net.run();
+    return net.stats().lastDeliveryNs;
+  };
+  EXPECT_LT(makespan(true) * 3, makespan(false));
+}
+
+TEST(Multipath, HarnessSprayRunsEndToEnd) {
+  const Topology topo(xgft::xgft2(8, 8, 4));
+  const auto app = trace::scaleMessages(
+      patterns::wrfHalo(8, 8, 64 * 1024), 0.5);
+  trace::SprayConfig spray;
+  spray.enabled = true;
+  const trace::RunResult r = trace::runAppSprayed(topo, app, spray);
+  EXPECT_GT(r.makespanNs, 0u);
+  EXPECT_EQ(r.stats.messagesDelivered, app.phases[0].size());
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,119 @@
+// Tests for the experiment harness: crossbar reference sanity and the
+// slowdown measurement the figure benches rely on.
+#include "trace/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/applications.hpp"
+#include "patterns/permutation.hpp"
+#include "patterns/synthetic.hpp"
+#include "routing/colored.hpp"
+#include "routing/relabel.hpp"
+
+namespace trace {
+namespace {
+
+using xgft::Topology;
+
+patterns::PhasedPattern singlePhase(patterns::Pattern p, std::string name) {
+  patterns::PhasedPattern app;
+  app.name = std::move(name);
+  app.numRanks = p.numRanks();
+  app.phases.push_back(std::move(p));
+  return app;
+}
+
+TEST(Crossbar, PermutationRunsAtLineRate) {
+  // On the ideal crossbar a permutation has zero contention: the makespan
+  // is one message time (+ the pipeline tail segment).
+  const auto app = singlePhase(
+      patterns::shiftPermutation(32, 5).toPattern(64 * 1024), "shift");
+  sim::SimConfig cfg;
+  cfg.headerBytes = 0;
+  const RunResult r = runCrossbarReference(app, cfg);
+  const sim::TimeNs oneMessage = 64u * 4096;
+  EXPECT_GE(r.makespanNs, oneMessage);
+  EXPECT_LE(r.makespanNs, oneMessage + 2u * 4096);
+}
+
+TEST(Crossbar, HotspotSerializesAtTheDestination) {
+  const auto app =
+      singlePhase(patterns::hotspot(16, 0, 16 * 1024), "hotspot");
+  sim::SimConfig cfg;
+  cfg.headerBytes = 0;
+  const RunResult r = runCrossbarReference(app, cfg);
+  // 15 senders x 16 segments funnel into one host link.
+  const sim::TimeNs lowerBound = 15u * 16 * 4096;
+  EXPECT_GE(r.makespanNs, lowerBound);
+  EXPECT_LE(r.makespanNs, lowerBound + 3u * 4096);
+}
+
+TEST(Slowdown, FullTreeWithColoredIsNearCrossbar) {
+  // A full k-ary 2-tree is rearrangeable: pattern-aware routing of a
+  // permutation should be within a few percent of the crossbar.
+  const Topology topo(xgft::karyNTree(8, 2));
+  const auto app = singlePhase(
+      patterns::randomPermutation(64, 3).toPattern(64 * 1024), "perm");
+  const routing::ColoredRouter colored(topo, app);
+  const double slowdown = slowdownVsCrossbar(topo, colored, app);
+  EXPECT_GE(slowdown, 0.99);
+  EXPECT_LE(slowdown, 1.10);
+}
+
+TEST(Slowdown, SingleRootTreeSlowsDownByRemoteFraction) {
+  // With one root, all inter-switch traffic serializes through it.
+  const Topology topo(xgft::xgft2(4, 4, 1));
+  const auto app = singlePhase(
+      patterns::shiftPermutation(16, 4).toPattern(32 * 1024), "shift4");
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const double slowdown = slowdownVsCrossbar(topo, *router, app);
+  // 16 remote messages share 1 root: 16/4 = 4x the per-switch uplink... at
+  // minimum the slowdown is substantially above 3.
+  EXPECT_GE(slowdown, 3.0);
+}
+
+TEST(Slowdown, CustomMappingChangesLocality) {
+  // CG's first four phases are switch-local under the sequential mapping;
+  // a strided mapping destroys that locality and must be slower.
+  const Topology topo(xgft::karyNTree(4, 2));
+  patterns::Pattern p(16);
+  for (patterns::Rank r = 0; r < 16; ++r) {
+    p.add(r, r ^ 1u, 64 * 1024);  // Pairwise, switch-local sequentially.
+  }
+  const auto app = singlePhase(p, "pairwise");
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const sim::TimeNs seq =
+      runApp(topo, *router, app, Mapping::sequential(16), sim::SimConfig{})
+          .makespanNs;
+  std::vector<xgft::NodeIndex> strided(16);
+  for (patterns::Rank r = 0; r < 16; ++r) strided[r] = (r % 4) * 4 + r / 4;
+  const sim::TimeNs str =
+      runApp(topo, *router, app, Mapping::custom(strided), sim::SimConfig{})
+          .makespanNs;
+  EXPECT_GT(str, seq);
+}
+
+TEST(ScaleMessages, ScalesAndClamps) {
+  patterns::PhasedPattern app = singlePhase(
+      patterns::shiftPermutation(4, 1).toPattern(1000), "tiny");
+  const patterns::PhasedPattern half = scaleMessages(app, 0.5);
+  EXPECT_EQ(half.phases[0].flows()[0].bytes, 500u);
+  const patterns::PhasedPattern tiny = scaleMessages(app, 1e-9);
+  EXPECT_EQ(tiny.phases[0].flows()[0].bytes, 1u);  // Clamped.
+}
+
+TEST(ScaleMessages, SlowdownIsInsensitiveToScale) {
+  // The substitution argument of DESIGN.md: slowdown ratios barely move
+  // when messages shrink (bandwidth-dominated regime).
+  const Topology topo(xgft::xgft2(8, 8, 4));
+  const auto app = singlePhase(
+      patterns::randomPermutation(64, 9).toPattern(256 * 1024), "perm");
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const double full = slowdownVsCrossbar(topo, *router, app);
+  const double quarter =
+      slowdownVsCrossbar(topo, *router, scaleMessages(app, 0.25));
+  EXPECT_NEAR(full, quarter, 0.12 * full);
+}
+
+}  // namespace
+}  // namespace trace

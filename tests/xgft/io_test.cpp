@@ -1,0 +1,59 @@
+// Tests for the topology-notation parser.
+#include "xgft/io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xgft {
+namespace {
+
+TEST(TopologyIo, ParsesPaperNotation) {
+  const Params p = parseParams("XGFT(2; 16,16; 1,10)");
+  EXPECT_EQ(p, xgft2(16, 16, 10));
+}
+
+TEST(TopologyIo, RoundTripsToString) {
+  for (const Params& p :
+       {karyNTree(16, 2), xgft2(16, 16, 7), Params({4, 3, 2}, {1, 2, 3})}) {
+    EXPECT_EQ(parseParams(p.toString()), p);
+  }
+}
+
+TEST(TopologyIo, WhitespaceFlexible) {
+  EXPECT_EQ(parseParams("  xgft( 3 ;4 , 3,2 ; 1,2 , 3 )  "),
+            Params({4, 3, 2}, {1, 2, 3}));
+}
+
+TEST(TopologyIo, KaryShorthand) {
+  EXPECT_EQ(parseParams("kary(16, 2)"), karyNTree(16, 2));
+  EXPECT_EQ(parseParams("kary(4,3)"), karyNTree(4, 3));
+}
+
+TEST(TopologyIo, RejectsMalformedInput) {
+  const std::vector<std::string> inputs{
+      "", "XGFT", "XGFT(2; 16,16)", "XGFT(2; 16; 1,10)",
+      "XGFT(3; 16,16; 1,10)", "XGFT(2; 16,16; 1,10) extra",
+      "FOO(2; 16,16; 1,10)", "XGFT(2; 16,x; 1,10)",
+      "XGFT(2; 16,16; 1,99999999999)", "kary(4)"};
+  for (const std::string& bad : inputs) {
+    EXPECT_THROW(parseParams(bad), std::invalid_argument) << bad;
+    EXPECT_FALSE(tryParseParams(bad).has_value()) << bad;
+  }
+}
+
+TEST(TopologyIo, TryParseReturnsValue) {
+  const auto p = tryParseParams("XGFT(2; 8,8; 1,4)");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, xgft2(8, 8, 4));
+}
+
+TEST(TopologyIo, ErrorsCarryPosition) {
+  try {
+    parseParams("XGFT(2; 16,16; 1,10");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xgft

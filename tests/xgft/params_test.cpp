@@ -1,0 +1,124 @@
+// Unit tests for xgft::Params: constructor validation, the counting
+// formulas of Sec. II (including Eq. (1)), and the factory functions.
+#include "xgft/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xgft {
+namespace {
+
+TEST(Params, RejectsEmptyVectors) {
+  EXPECT_THROW(Params({}, {}), std::invalid_argument);
+}
+
+TEST(Params, RejectsMismatchedLengths) {
+  EXPECT_THROW(Params({2, 2}, {1}), std::invalid_argument);
+}
+
+TEST(Params, RejectsZeroEntries) {
+  EXPECT_THROW(Params({2, 0}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(Params({2, 2}, {0, 2}), std::invalid_argument);
+}
+
+TEST(Params, RejectsOverflowingTrees) {
+  // 2^40 leaves would overflow intermediate products.
+  std::vector<std::uint32_t> m(64, 4);
+  std::vector<std::uint32_t> w(64, 4);
+  EXPECT_THROW(Params(m, w), std::invalid_argument);
+}
+
+TEST(Params, AccessorsMatchConstruction) {
+  const Params p({4, 3, 2}, {1, 2, 3});
+  EXPECT_EQ(p.height(), 3u);
+  EXPECT_EQ(p.m(1), 4u);
+  EXPECT_EQ(p.m(2), 3u);
+  EXPECT_EQ(p.m(3), 2u);
+  EXPECT_EQ(p.w(1), 1u);
+  EXPECT_EQ(p.w(2), 2u);
+  EXPECT_EQ(p.w(3), 3u);
+}
+
+TEST(Params, LeafCountIsProductOfChildCounts) {
+  EXPECT_EQ(Params({4, 3, 2}, {1, 2, 3}).numLeaves(), 24u);
+  EXPECT_EQ(Params({16, 16}, {1, 16}).numLeaves(), 256u);
+}
+
+TEST(Params, NodesAtLevelMatchesTableI) {
+  // XGFT(2; 16,16; 1,10): level 0 = 256 hosts, level 1 = 16 switches
+  // (m2 copies of w1), level 2 = 10 roots (w1*w2).
+  const Params p({16, 16}, {1, 10});
+  EXPECT_EQ(p.nodesAtLevel(0), 256u);
+  EXPECT_EQ(p.nodesAtLevel(1), 16u);
+  EXPECT_EQ(p.nodesAtLevel(2), 10u);
+  EXPECT_THROW(p.nodesAtLevel(3), std::out_of_range);
+}
+
+TEST(Params, Equation1InnerSwitchCount) {
+  // Eq. (1): I = sum_i prod_{j>i} m_j * prod_{j<=i} w_j.
+  // Full 16-ary 2-tree: 16 + 16 = 32 switches.
+  EXPECT_EQ(karyNTree(16, 2).numInnerSwitches(), 32u);
+  // Slimmed to w2 = 10: 16 + 10 = 26.
+  EXPECT_EQ(xgft2(16, 16, 10).numInnerSwitches(), 26u);
+  // k-ary n-tree closed form: n * k^(n-1).
+  EXPECT_EQ(karyNTree(4, 3).numInnerSwitches(), 3u * 16u);
+  EXPECT_EQ(karyNTree(2, 4).numInnerSwitches(), 4u * 8u);
+}
+
+TEST(Params, LinkCounts) {
+  const Params p({16, 16}, {1, 16});  // 16-ary 2-tree.
+  EXPECT_EQ(p.numUpLinks(0), 256u);        // Host uplinks (w1 = 1 each).
+  EXPECT_EQ(p.numUpLinks(1), 16u * 16u);   // 16 switches x 16 parents.
+  EXPECT_EQ(p.numLinks(), 256u + 256u);
+  EXPECT_THROW(p.numUpLinks(2), std::out_of_range);
+}
+
+TEST(Params, UpAndDownLinkCountsAgreeBetweenLevels) {
+  // "the number of links up from level i equals the number of links down
+  // from level i + 1" (Table I): down links of level l+1 are
+  // nodesAtLevel(l+1) * m_{l+1}.
+  const Params p({4, 3, 2}, {1, 2, 3});
+  for (std::uint32_t l = 0; l + 1 <= p.height(); ++l) {
+    EXPECT_EQ(p.numUpLinks(l), p.nodesAtLevel(l + 1) * p.m(l + 1))
+        << "level " << l;
+  }
+}
+
+TEST(Params, KaryNTreeRecognition) {
+  EXPECT_TRUE(karyNTree(16, 2).isKaryNTree());
+  EXPECT_TRUE(karyNTree(2, 5).isKaryNTree());
+  EXPECT_FALSE(xgft2(16, 16, 10).isKaryNTree());
+  EXPECT_FALSE(Params({4, 3}, {1, 4}).isKaryNTree());  // m not constant.
+}
+
+TEST(Params, SlimmedRecognition) {
+  EXPECT_FALSE(karyNTree(16, 2).isSlimmed());
+  EXPECT_TRUE(xgft2(16, 16, 10).isSlimmed());
+  EXPECT_TRUE(slimmedKaryNTree(4, 3, {4, 2}).isSlimmed());
+  EXPECT_FALSE(slimmedKaryNTree(4, 3, {4, 4}).isSlimmed());
+}
+
+TEST(Params, SlimmedFactoryValidation) {
+  EXPECT_THROW(slimmedKaryNTree(4, 3, {4}), std::invalid_argument);
+  const Params p = slimmedKaryNTree(4, 3, {3, 2});
+  EXPECT_EQ(p.w(1), 1u);
+  EXPECT_EQ(p.w(2), 3u);
+  EXPECT_EQ(p.w(3), 2u);
+}
+
+TEST(Params, ToStringUsesPaperNotation) {
+  EXPECT_EQ(xgft2(16, 16, 10).toString(), "XGFT(2; 16,16; 1,10)");
+  EXPECT_EQ(karyNTree(4, 3).toString(), "XGFT(3; 4,4,4; 1,4,4)");
+}
+
+TEST(Params, ProgressiveSlimmingSweepMatchesFig2Axis) {
+  // The x-axis of Figs. 2/5: XGFT(2;16,16;1,w2) for w2 = 16..1.
+  for (std::uint32_t w2 = 1; w2 <= 16; ++w2) {
+    const Params p = xgft2(16, 16, w2);
+    EXPECT_EQ(p.numLeaves(), 256u);
+    EXPECT_EQ(p.nodesAtLevel(2), w2);
+    EXPECT_EQ(p.numInnerSwitches(), 16u + w2);
+  }
+}
+
+}  // namespace
+}  // namespace xgft

@@ -1,0 +1,69 @@
+// Tests for the topology renderings.
+#include "xgft/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace xgft {
+namespace {
+
+TEST(Printer, SummaryMentionsCountsAndFlags) {
+  const Topology full(karyNTree(16, 2));
+  const std::string s = summary(full);
+  EXPECT_NE(s.find("256 hosts"), std::string::npos);
+  EXPECT_NE(s.find("32 switches"), std::string::npos);
+  EXPECT_NE(s.find("512 links"), std::string::npos);
+  EXPECT_NE(s.find("k-ary n-tree"), std::string::npos);
+  EXPECT_EQ(s.find("slimmed"), std::string::npos);
+
+  const Topology slim(xgft2(16, 16, 10));
+  EXPECT_NE(summary(slim).find("slimmed"), std::string::npos);
+}
+
+TEST(Printer, LevelTableHasOneRowPerLevel) {
+  const Topology topo(Params({4, 3, 2}, {1, 2, 3}));
+  std::ostringstream os;
+  printLevelTable(topo, os);
+  const std::string out = os.str();
+  // Summary + header + h+1 level rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2 + 4);
+}
+
+TEST(Printer, LevelTableShowsLabelTemplates) {
+  const Topology topo(xgft2(16, 16, 10));
+  std::ostringstream os;
+  printLevelTable(topo, os);
+  EXPECT_NE(os.str().find("M2[0,15]"), std::string::npos);
+  EXPECT_NE(os.str().find("W2[0,9]"), std::string::npos);
+}
+
+TEST(Printer, AllLabelsGuardsAgainstHugeTrees) {
+  const Topology big(karyNTree(16, 3));  // 4096 hosts + switches.
+  std::ostringstream os;
+  EXPECT_THROW(printAllLabels(big, os, /*maxNodes=*/100),
+               std::invalid_argument);
+  const Topology small(karyNTree(2, 2));
+  printAllLabels(small, os);
+  EXPECT_NE(os.str().find("level 0 (hosts)"), std::string::npos);
+}
+
+TEST(Printer, DotOutputIsWellFormed) {
+  const Topology topo(xgft2(2, 2, 1));
+  std::ostringstream os;
+  printDot(topo, os);
+  const std::string dot = os.str();
+  EXPECT_EQ(dot.find("graph xgft {"), 0u);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One edge line per link.
+  std::size_t edges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, topo.numLinks());
+}
+
+}  // namespace
+}  // namespace xgft

@@ -1,0 +1,147 @@
+// Unit tests for minimal up/down routes: NCA reachability, channel
+// expansion, hop expansion and validation.
+#include "xgft/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace xgft {
+namespace {
+
+TEST(Route, EmptyRouteForSameLeaf) {
+  const Topology t(karyNTree(4, 2));
+  const Route r = routeViaNca(t, 5, 5, 0);
+  EXPECT_EQ(r.ncaLevel(), 0u);
+  EXPECT_TRUE(validateRoute(t, 5, 5, r));
+  EXPECT_TRUE(channelsOf(t, 5, 5, r).empty());
+  EXPECT_TRUE(hopsOf(t, 5, 5, r).empty());
+}
+
+TEST(Route, RouteViaNcaEnumeratesDistinctAncestors) {
+  const Topology t(karyNTree(4, 2));
+  std::set<NodeIndex> ncas;
+  for (Count c = 0; c < t.numNcas(0, 4); ++c) {
+    const Route r = routeViaNca(t, 0, 4, c);
+    EXPECT_TRUE(validateRoute(t, 0, 4, r));
+    ncas.insert(ncaOf(t, 0, r));
+  }
+  EXPECT_EQ(ncas.size(), 4u);  // All w2 = 4 roots reachable.
+  EXPECT_THROW(routeViaNca(t, 0, 4, 4), std::out_of_range);
+}
+
+TEST(Route, NcaIsAncestorOfBothEndpoints) {
+  const Topology t(Params({4, 3, 2}, {1, 2, 3}));
+  for (NodeIndex s = 0; s < t.numHosts(); s += 3) {
+    for (NodeIndex d = 0; d < t.numHosts(); d += 5) {
+      if (s == d) continue;
+      for (Count c = 0; c < t.numNcas(s, d); ++c) {
+        const Route r = routeViaNca(t, s, d, c);
+        const std::uint32_t level = r.ncaLevel();
+        const NodeIndex nca = ncaOf(t, s, r);
+        // Descending from the NCA with either endpoint's digits must land
+        // on that endpoint.
+        for (const NodeIndex leaf : {s, d}) {
+          NodeIndex node = nca;
+          for (std::uint32_t j = level; j >= 1; --j) {
+            node = t.childIndex(j, node, t.digit(0, leaf, j));
+          }
+          EXPECT_EQ(node, leaf);
+        }
+      }
+    }
+  }
+}
+
+TEST(Route, ChannelsFormConnectedUpDownPath) {
+  const Topology t(xgft2(16, 16, 10));
+  const Route r = routeViaNca(t, 3, 250, 7);
+  const auto channels = channelsOf(t, 3, 250, r);
+  ASSERT_EQ(channels.size(), 4u);  // 2 up + 2 down.
+  EXPECT_TRUE(channels[0].up);
+  EXPECT_TRUE(channels[1].up);
+  EXPECT_FALSE(channels[2].up);
+  EXPECT_FALSE(channels[3].up);
+  // The ascent's top link and the descent's top link meet at the same root.
+  EXPECT_EQ(t.linkInfo(channels[1].link).parent,
+            t.linkInfo(channels[2].link).parent);
+  // First channel leaves the source; last channel enters the destination.
+  EXPECT_EQ(t.linkInfo(channels[0].link).child, 3u);
+  EXPECT_EQ(t.linkInfo(channels[3].link).child, 250u);
+}
+
+TEST(Route, HopsMatchChannels) {
+  const Topology t(Params({4, 4, 4}, {1, 2, 3}));
+  const NodeIndex s = 1;
+  const NodeIndex d = 62;
+  ASSERT_EQ(t.ncaLevel(s, d), 3u);
+  const Route r = routeViaNca(t, s, d, 4);
+  const auto hops = hopsOf(t, s, d, r);
+  const auto channels = channelsOf(t, s, d, r);
+  ASSERT_EQ(hops.size(), channels.size());
+  ASSERT_EQ(hops.size(), 6u);
+  // Hop 0 leaves the source host.
+  EXPECT_EQ(hops[0].level, 0u);
+  EXPECT_EQ(hops[0].node, s);
+  // Ascending hops use up ports (>= m_l for switches), descending hops use
+  // down ports (< m_l).
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    const std::uint32_t m = t.params().m(hops[i].level);
+    if (channels[i].up) {
+      EXPECT_GE(hops[i].outPort, m);
+    } else {
+      EXPECT_LT(hops[i].outPort, m);
+    }
+  }
+}
+
+TEST(Route, ValidateRejectsWrongLength) {
+  const Topology t(karyNTree(4, 2));
+  std::string error;
+  Route tooShort;  // NCA level for (0, 4) is 2.
+  EXPECT_FALSE(validateRoute(t, 0, 4, tooShort, &error));
+  EXPECT_NE(error.find("NCA level"), std::string::npos);
+  Route tooLong;
+  tooLong.up = {0, 0};
+  EXPECT_FALSE(validateRoute(t, 0, 1, tooLong, &error));
+}
+
+TEST(Route, ValidateRejectsOutOfRangePort) {
+  const Topology t(karyNTree(4, 2));
+  Route r;
+  r.up = {0, 7};  // w2 = 4.
+  std::string error;
+  EXPECT_FALSE(validateRoute(t, 0, 4, r, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(Route, UpPortsEqualNcaWDigits) {
+  // The route <-> NCA bijection: the chosen ports are exactly the NCA's
+  // W digits.
+  const Topology t(Params({3, 3, 3}, {2, 2, 2}));
+  const NodeIndex s = 0;
+  const NodeIndex d = 26;
+  ASSERT_EQ(t.ncaLevel(s, d), 3u);
+  for (Count c = 0; c < t.numNcas(s, d); ++c) {
+    const Route r = routeViaNca(t, s, d, c);
+    const NodeIndex nca = ncaOf(t, s, r);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(r.up[i], t.digit(3, nca, i + 1));
+    }
+  }
+}
+
+TEST(Route, AllRoutesAreMinimal) {
+  // Every generated route has exactly 2 * ncaLevel channels: no detours.
+  const Topology t(xgft2(8, 8, 3));
+  for (NodeIndex s = 0; s < t.numHosts(); s += 5) {
+    for (NodeIndex d = 0; d < t.numHosts(); d += 7) {
+      if (s == d) continue;
+      const Route r = routeViaNca(t, s, d, t.numNcas(s, d) - 1);
+      EXPECT_EQ(channelsOf(t, s, d, r).size(), 2u * t.ncaLevel(s, d));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xgft
