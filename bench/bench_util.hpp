@@ -5,6 +5,8 @@
 //   --full             paper-sized run (40+ seeds, full 750 KB messages)
 //   --seeds N          override the seed count for randomized routings
 //   --msg-scale X      scale all message sizes by X (default depends on mode)
+//   --threads N        worker threads for engine-backed sweeps (default:
+//                      hardware concurrency; results are thread-independent)
 //   --csv              machine-readable output
 // Default (no flag) is a middle ground that completes on one core in a few
 // minutes across all benches.
@@ -20,6 +22,7 @@ namespace benchutil {
 struct Options {
   std::uint32_t seeds = 10;
   double msgScale = 0.125;
+  std::uint32_t threads = 0;  ///< 0 = hardware concurrency.
   bool csv = false;
 
   static Options parse(int argc, char** argv) {
@@ -40,11 +43,13 @@ struct Options {
       } else if (arg == "--msg-scale" && i + 1 < argc) {
         opt.msgScale = std::stod(argv[++i]);
         scaleSet = true;
+      } else if (arg == "--threads" && i + 1 < argc) {
+        opt.threads = static_cast<std::uint32_t>(std::stoul(argv[++i]));
       } else if (arg == "--csv") {
         opt.csv = true;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "flags: --quick | --full | --seeds N | --msg-scale X | "
-                     "--csv\n";
+                     "--threads N | --csv\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << arg << "\n";

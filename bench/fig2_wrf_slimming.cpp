@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "patterns/applications.hpp"
 #include "sweep_util.hpp"
 
 int main(int argc, char** argv) {
@@ -17,8 +16,8 @@ int main(int argc, char** argv) {
                "(XGFT(2;16,16;1,w2)) ==\n"
             << "msg-scale=" << opt.msgScale << " seeds=" << opt.seeds
             << "\n\n";
-  const auto points = benchutil::slimmingSweep(
-      patterns::wrf256(), opt, /*withRnca=*/false, std::cerr);
+  const auto points =
+      benchutil::slimmingSweep("wrf256", opt, /*withRnca=*/false, std::cerr);
   benchutil::printSweep(points, opt, std::cout);
   return 0;
 }

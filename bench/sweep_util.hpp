@@ -1,25 +1,29 @@
 // sweep_util.hpp — The progressive tree-slimming sweep shared by the
-// Fig. 2 and Fig. 5 harnesses.
+// Fig. 2 and Fig. 5 harnesses, expressed as an engine campaign.
 //
 // Both figures plot slowdown vs. Full-Crossbar on XGFT(2;16,16;1,w2) for
 // w2 = 16..1.  Fig. 2 compares {Random, S-mod-k, D-mod-k, Colored}; Fig. 5
 // adds the proposals {r-NCA-u, r-NCA-d} as boxplots over many seeds.
+//
+// The sweep is declared as a list of ExperimentSpecs and executed by
+// engine::Runner, so it shards over all cores (--threads), reuses each w2
+// topology across algorithms and seeds, and simulates the Full-Crossbar
+// reference exactly once — while producing the same numbers the serial
+// harness produced (the engine's per-job results are thread-count
+// independent).
 #pragma once
 
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "analysis/stats.hpp"
 #include "bench_util.hpp"
-#include "patterns/pattern.hpp"
-#include "routing/colored.hpp"
-#include "routing/random_router.hpp"
-#include "routing/relabel.hpp"
-#include "trace/harness.hpp"
-#include "xgft/topology.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
 
 namespace benchutil {
 
@@ -30,52 +34,80 @@ struct SweepPoint {
   std::map<std::string, analysis::BoxStats> boxes;  ///< Seeded algorithms.
 };
 
-/// Runs the progressive-slimming sweep of the given application.
+/// Runs the progressive-slimming sweep of the builtin workload named by
+/// @p patternSpec ("cg128", "wrf256", ... — see engine::makeWorkload).
 /// @p withRnca adds the Fig. 5 proposals; Random is always box-plotted over
 /// opt.seeds seeds (the paper plots it centered in Fig. 2 and boxed in
 /// Fig. 5 — the median is reported either way).
-inline std::vector<SweepPoint> slimmingSweep(
-    const patterns::PhasedPattern& fullApp, const Options& opt,
-    bool withRnca, std::ostream& log) {
-  const patterns::PhasedPattern app =
-      trace::scaleMessages(fullApp, opt.msgScale);
-  const sim::SimConfig cfg;
-  // The crossbar reference does not depend on the topology: compute once.
-  const double reference = static_cast<double>(
-      trace::runCrossbarReference(app, cfg).makespanNs);
-
-  std::vector<SweepPoint> points;
+inline std::vector<SweepPoint> slimmingSweep(const std::string& patternSpec,
+                                             const Options& opt, bool withRnca,
+                                             std::ostream& log) {
+  std::vector<engine::ExperimentSpec> specs;
+  const auto pushSpec = [&](std::uint32_t w2, engine::Algo algo,
+                            std::uint64_t seed) {
+    engine::ExperimentSpec spec;
+    spec.topo = xgft::xgft2(16, 16, w2);
+    spec.pattern = patternSpec;
+    spec.routing = algo;
+    spec.msgScale = opt.msgScale;
+    spec.seed = seed;
+    specs.push_back(std::move(spec));
+  };
+  std::vector<engine::Algo> boxed{engine::Algo::kRandom};
+  if (withRnca) {
+    boxed.push_back(engine::Algo::kRNcaUp);
+    boxed.push_back(engine::Algo::kRNcaDown);
+  }
   for (std::uint32_t w2 = 16; w2 >= 1; --w2) {
-    const xgft::Topology topo(xgft::xgft2(16, 16, w2));
-    SweepPoint point;
-    point.w2 = w2;
-    const auto slowdownOf = [&](const routing::Router& router) {
-      return static_cast<double>(
-                 trace::runApp(topo, router, app, cfg).makespanNs) /
-             reference;
-    };
-
-    point.centered["s-mod-k"] = slowdownOf(*routing::makeSModK(topo));
-    point.centered["d-mod-k"] = slowdownOf(*routing::makeDModK(topo));
-    const routing::ColoredRouter colored(topo, app);
-    point.centered["colored"] = slowdownOf(colored);
-
-    std::vector<double> random;
-    std::vector<double> rncaU;
-    std::vector<double> rncaD;
-    for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
-      random.push_back(slowdownOf(*routing::makeRandom(topo, seed)));
-      if (withRnca) {
-        rncaU.push_back(slowdownOf(*routing::makeRNcaUp(topo, seed)));
-        rncaD.push_back(slowdownOf(*routing::makeRNcaDown(topo, seed)));
+    pushSpec(w2, engine::Algo::kSModK, 1);
+    pushSpec(w2, engine::Algo::kDModK, 1);
+    pushSpec(w2, engine::Algo::kColored, 1);
+    for (const engine::Algo algo : boxed) {
+      for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
+        pushSpec(w2, algo, seed);
       }
     }
-    point.boxes["Random"] = analysis::boxStats(random);
-    if (withRnca) {
-      point.boxes["r-NCA-u"] = analysis::boxStats(rncaU);
-      point.boxes["r-NCA-d"] = analysis::boxStats(rncaD);
+  }
+
+  engine::RunnerOptions ropt;
+  ropt.threads = opt.threads;
+  ropt.collectContention = false;  // The figures only need slowdowns.
+  std::size_t done = 0;
+  ropt.onJobDone = [&](const engine::JobResult&) {
+    if (++done % 25 == 0 || done == specs.size()) {
+      log << "  " << done << "/" << specs.size() << " jobs done\n"
+          << std::flush;
     }
-    log << "  w2=" << w2 << " done\n" << std::flush;
+  };
+  engine::Runner runner(ropt);
+  const engine::CampaignResults results = runner.run(specs);
+
+  // Reassemble figure points; the campaign order above is deterministic, so
+  // jobs can be consumed sequentially.
+  std::vector<SweepPoint> points;
+  std::size_t next = 0;
+  const auto take = [&]() -> const engine::JobResult& {
+    const engine::JobResult& job = results.jobs.at(next++);
+    if (!job.ok) {
+      throw std::runtime_error("sweep job failed (" + job.spec.toLine() +
+                               "): " + job.error);
+    }
+    return job;
+  };
+  for (std::uint32_t w2 = 16; w2 >= 1; --w2) {
+    SweepPoint point;
+    point.w2 = w2;
+    point.centered["s-mod-k"] = take().slowdown;
+    point.centered["d-mod-k"] = take().slowdown;
+    point.centered["colored"] = take().slowdown;
+    for (const engine::Algo algo : boxed) {
+      std::vector<double> sample;
+      sample.reserve(opt.seeds);
+      for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
+        sample.push_back(take().slowdown);
+      }
+      point.boxes[engine::toString(algo)] = analysis::boxStats(sample);
+    }
     points.push_back(std::move(point));
   }
   return points;

@@ -1,0 +1,213 @@
+// campaign_cli.cpp — Declarative experiment campaigns from the command line.
+//
+// Runs a campaign file (one sweepable key=value spec per line, see
+// engine/spec.hpp) or one of the builtin campaigns that replay the paper's
+// figure sweeps, sharded over a work-stealing thread pool, and emits one
+// deterministic CSV row per job.  The CSV is byte-identical regardless of
+// --threads, so campaign outputs can be diffed across machines.
+//
+//   campaign_cli --builtin fig5-cg --threads 8 --out fig5.csv
+//   campaign_cli --builtin fig2-cg --seeds 3 --msg-scale 0.03125
+//   campaign_cli my_campaign.txt
+//   echo 'pattern=ring:64 w2=8..1 routing=Random seed=1..4' | campaign_cli -
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string campaignFile;
+  std::string builtin;
+  std::string outFile;
+  std::uint32_t threads = 0;  // 0 = hardware concurrency.
+  std::uint32_t seeds = 10;
+  double msgScale = 0.125;
+  bool contention = true;
+  bool printCampaign = false;
+  bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: campaign_cli [options] [campaign-file|-]\n"
+        "  --builtin NAME    fig2-cg | fig2-wrf | fig4 | fig5-cg | fig5-wrf\n"
+        "  --threads N       worker threads (default: hardware concurrency)\n"
+        "  --seeds N         seed-sweep width of builtin campaigns "
+        "(default 10)\n"
+        "  --msg-scale X     message-size scale of builtin campaigns "
+        "(default 0.125)\n"
+        "  --out FILE        write the CSV there instead of stdout\n"
+        "  --no-contention   skip the static contention/census columns\n"
+        "  --print-campaign  print the expanded campaign text and exit\n"
+        "  --quiet           no progress on stderr\n";
+}
+
+/// The paper's figure sweeps as campaign text (the same format a user would
+/// put in a file) — the builtins go through the exact parser/expander path.
+std::string builtinCampaign(const std::string& name, std::uint32_t seeds,
+                            double msgScale) {
+  std::ostringstream os;
+  const std::string scale = " msg_scale=" + engine::formatShortest(msgScale);
+  const std::string seedSweep = " seed=1.." + std::to_string(seeds);
+  if (name == "fig2-cg" || name == "fig2-wrf" || name == "fig5-cg" ||
+      name == "fig5-wrf") {
+    const bool rnca = name.rfind("fig5", 0) == 0;
+    const std::string pattern =
+        name.find("-cg") != std::string::npos ? "cg128" : "wrf256";
+    os << "# " << name << ": progressive slimming sweep, XGFT(2;16,16;1,w2)\n"
+       << "pattern=" << pattern << scale
+       << " w2=16..1 routing={s-mod-k,d-mod-k,colored} seed=1\n"
+       << "pattern=" << pattern << scale << " w2=16..1 routing="
+       << (rnca ? "{Random,r-NCA-u,r-NCA-d}" : "Random") << seedSweep << "\n";
+    return os.str();
+  }
+  if (name == "fig4") {
+    // All ordered pairs (alltoall) on the full and the slimmed tree: the
+    // nca_routes_min/max columns are Fig. 4's per-NCA census extremes.
+    // Tiny messages: the census is static, the simulation is a formality.
+    for (const char* w2 : {"16", "10"}) {
+      os << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
+         << " routing={s-mod-k,d-mod-k} seed=1\n"
+         << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
+         << " routing={Random,r-NCA-u,r-NCA-d}" << seedSweep << "\n";
+    }
+    return os.str();
+  }
+  throw std::invalid_argument("unknown builtin campaign '" + name + "'");
+}
+
+CliOptions parseCli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(std::string(what) + " wants a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "--builtin") {
+      opt.builtin = next("--builtin");
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<std::uint32_t>(std::stoul(next("--threads")));
+    } else if (arg == "--seeds") {
+      opt.seeds = static_cast<std::uint32_t>(std::stoul(next("--seeds")));
+    } else if (arg == "--msg-scale") {
+      opt.msgScale = std::stod(next("--msg-scale"));
+    } else if (arg == "--out") {
+      opt.outFile = next("--out");
+    } else if (arg == "--no-contention") {
+      opt.contention = false;
+    } else if (arg == "--print-campaign") {
+      opt.printCampaign = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw std::invalid_argument("unknown flag: " + arg);
+    } else if (opt.campaignFile.empty()) {
+      opt.campaignFile = arg;
+    } else {
+      throw std::invalid_argument("more than one campaign file given");
+    }
+  }
+  if (opt.builtin.empty() == opt.campaignFile.empty()) {
+    throw std::invalid_argument(
+        "give exactly one of --builtin NAME or a campaign file (or '-')");
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  try {
+    cli = parseCli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    usage(std::cerr);
+    return 2;
+  }
+  try {
+    std::string campaignText;
+    if (!cli.builtin.empty()) {
+      campaignText = builtinCampaign(cli.builtin, cli.seeds, cli.msgScale);
+    } else if (cli.campaignFile == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      campaignText = buf.str();
+    } else {
+      std::ifstream file(cli.campaignFile);
+      if (!file) {
+        throw std::invalid_argument("cannot open campaign file: " +
+                                    cli.campaignFile);
+      }
+      std::ostringstream buf;
+      buf << file.rdbuf();
+      campaignText = buf.str();
+    }
+    if (cli.printCampaign) {
+      std::cout << campaignText;
+      return 0;
+    }
+
+    const std::vector<engine::ExperimentSpec> specs =
+        engine::parseCampaign(campaignText);
+    if (specs.empty()) {
+      throw std::invalid_argument("campaign expanded to zero jobs");
+    }
+
+    engine::RunnerOptions ropt;
+    ropt.threads = cli.threads;
+    ropt.collectContention = cli.contention;
+    std::size_t done = 0;
+    if (!cli.quiet) {
+      ropt.onJobDone = [&](const engine::JobResult& job) {
+        ++done;
+        std::cerr << "\r[" << done << "/" << specs.size() << "] job "
+                  << job.jobIndex << (job.ok ? "" : " FAILED") << std::flush;
+      };
+    }
+    engine::Runner runner(ropt);
+    const engine::CampaignResults results = runner.run(specs);
+    if (!cli.quiet) std::cerr << "\n";
+
+    if (cli.outFile.empty()) {
+      results.writeCsv(std::cout);
+    } else {
+      std::ofstream out(cli.outFile);
+      if (!out) {
+        throw std::invalid_argument("cannot write: " + cli.outFile);
+      }
+      results.writeCsv(out);
+    }
+
+    std::size_t failed = 0;
+    for (const engine::JobResult& job : results.jobs) {
+      if (!job.ok) ++failed;
+    }
+    if (!cli.quiet) {
+      const engine::CacheStats& c = results.cache;
+      std::cerr << specs.size() << " jobs on " << results.threadsUsed
+                << " thread(s) in "
+                << static_cast<double>(results.wallTimeNs) / 1e9
+                << " s; cache: topo " << c.topologyHits << "/"
+                << (c.topologyHits + c.topologyMisses) << " hits, routers "
+                << c.routerHits << "/" << (c.routerHits + c.routerMisses)
+                << ", references " << c.referenceHits << "/"
+                << (c.referenceHits + c.referenceMisses) << "\n";
+      if (failed > 0) std::cerr << failed << " job(s) failed\n";
+    }
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,86 @@
+#include "engine/results.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace engine {
+
+namespace {
+
+/// Double-quotes a CSV field when it contains a delimiter, quote or space.
+std::string csvEscape(const std::string& field) {
+  if (field.find_first_of(",\" \n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Fixed six-decimal rendering for measured ratios: stable, comparable and
+/// diff-friendly (shortest-round-trip would leak noise digits).
+std::string fixed6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void CampaignResults::sortByIndex() {
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobResult& a, const JobResult& b) {
+              return a.jobIndex < b.jobIndex;
+            });
+}
+
+const JobResult* CampaignResults::find(const ExperimentSpec& spec) const {
+  for (const JobResult& job : jobs) {
+    if (job.spec == spec) return &job;
+  }
+  return nullptr;
+}
+
+std::string CampaignResults::csvHeader() {
+  return "job,topo,pattern,routing,msg_scale,seed,status,"
+         "makespan_ns,slowdown,messages,segments,events,"
+         "max_out_queue,max_in_queue,util_max,util_mean,"
+         "max_flows_per_link,max_demand,nca_routes_min,nca_routes_max,error";
+}
+
+void CampaignResults::writeCsv(std::ostream& os) const {
+  std::vector<const JobResult*> ordered;
+  ordered.reserve(jobs.size());
+  for (const JobResult& job : jobs) ordered.push_back(&job);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const JobResult* a, const JobResult* b) {
+              return a->jobIndex < b->jobIndex;
+            });
+  os << csvHeader() << '\n';
+  for (const JobResult* job : ordered) {
+    const ExperimentSpec& s = job->spec;
+    os << job->jobIndex << ',' << csvEscape(s.topo.toString()) << ','
+       << csvEscape(s.pattern) << ',' << toString(s.routing) << ','
+       << formatShortest(s.msgScale) << ',' << s.seed << ','
+       << (job->ok ? "ok" : "error") << ',' << job->makespanNs << ','
+       << fixed6(job->slowdown) << ',' << job->net.messagesDelivered << ','
+       << job->net.segmentsDelivered << ',' << job->net.eventsProcessed << ','
+       << job->net.maxOutputQueueDepth << ',' << job->net.maxInputQueueDepth
+       << ',' << fixed6(job->utilMax) << ',' << fixed6(job->utilMean) << ','
+       << job->maxFlowsPerChannel << ',' << fixed6(job->maxDemand) << ','
+       << job->ncaRoutesMin << ',' << job->ncaRoutesMax << ','
+       << csvEscape(job->error) << '\n';
+  }
+}
+
+std::string CampaignResults::toCsv() const {
+  std::ostringstream os;
+  writeCsv(os);
+  return os.str();
+}
+
+}  // namespace engine

@@ -1,0 +1,84 @@
+// results.hpp — Typed per-job results and deterministic CSV aggregation.
+//
+// Workers fill JobResults in whatever order the thread pool finishes them;
+// CampaignResults orders rows by job index and formats every floating-point
+// cell with shortest-round-trip or fixed-precision rendering, so the CSV a
+// campaign emits is byte-identical for 1 and N worker threads (the engine's
+// determinism contract, checked by tests/engine/runner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/spec.hpp"
+#include "sim/network.hpp"
+
+namespace engine {
+
+/// Everything measured for one executed ExperimentSpec.
+struct JobResult {
+  std::uint32_t jobIndex = 0;
+  ExperimentSpec spec;
+
+  bool ok = false;
+  std::string error;  ///< What the job threw, when !ok.
+
+  /// Dynamic (simulated) measurements.
+  sim::TimeNs makespanNs = 0;
+  double slowdown = 0.0;  ///< makespan / Full-Crossbar reference makespan.
+  sim::NetworkStats net;
+
+  /// Wire utilization over the run, from Network::wireBusyNs: busy fraction
+  /// of the busiest wire, and the mean over wires that carried traffic.
+  double utilMax = 0.0;
+  double utilMean = 0.0;
+
+  /// Static contention picture (algorithms with static routes only).
+  std::uint32_t maxFlowsPerChannel = 0;
+  double maxDemand = 0.0;
+
+  /// Routes-per-NCA census of the pattern's pairs over the top level
+  /// (Fig. 4's metric), summarized as min/max per NCA node.
+  std::uint64_t ncaRoutesMin = 0;
+  std::uint64_t ncaRoutesMax = 0;
+};
+
+/// Aggregate cache behaviour of one campaign run (see CampaignCache).
+struct CacheStats {
+  std::uint64_t topologyHits = 0;
+  std::uint64_t topologyMisses = 0;
+  std::uint64_t routerHits = 0;
+  std::uint64_t routerMisses = 0;
+  std::uint64_t referenceHits = 0;
+  std::uint64_t referenceMisses = 0;
+};
+
+/// The outcome of a whole campaign.
+struct CampaignResults {
+  std::vector<JobResult> jobs;  ///< Sorted by jobIndex after run().
+
+  std::uint32_t threadsUsed = 0;
+  std::uint64_t wallTimeNs = 0;  ///< Host wall-clock of the pool run.
+  CacheStats cache;
+
+  /// Sorts jobs by index (idempotent; run() already leaves them sorted).
+  void sortByIndex();
+
+  /// Finds the result of an exact spec, nullptr if absent.
+  [[nodiscard]] const JobResult* find(const ExperimentSpec& spec) const;
+
+  /// The CSV column header (no trailing newline).
+  [[nodiscard]] static std::string csvHeader();
+
+  /// One deterministic CSV row per job, sorted by job index.  Fields that
+  /// may contain commas or quotes (topology, error) are double-quoted with
+  /// quote doubling.
+  void writeCsv(std::ostream& os) const;
+
+  /// writeCsv including the header line, as a string.
+  [[nodiscard]] std::string toCsv() const;
+};
+
+}  // namespace engine

@@ -1,0 +1,328 @@
+#include "engine/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "analysis/contention.hpp"
+#include "routing/colored.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+#include "trace/harness.hpp"
+#include "trace/mapping.hpp"
+#include "trace/replayer.hpp"
+#include "trace/trace.hpp"
+
+namespace engine {
+
+namespace {
+
+/// Serializes the simulator parameters that affect measured times, for use
+/// in reference-cache keys (campaigns normally share one SimConfig, but the
+/// cache must stay correct if a caller varies it).
+std::string configKey(const sim::SimConfig& cfg) {
+  std::ostringstream os;
+  os << formatShortest(cfg.linkGbps) << '/' << cfg.segmentBytes << '/'
+     << cfg.headerBytes
+     << '/' << cfg.switchLatencyNs << '/' << cfg.linkLatencyNs << '/'
+     << cfg.inputBufferSegments << '/' << cfg.outputBufferSegments;
+  return os.str();
+}
+
+}  // namespace
+
+template <typename T>
+template <typename Build>
+T CampaignCache::Memo<T>::get(const std::string& key, Build&& build) {
+  std::shared_future<T> future;
+  std::shared_ptr<std::promise<T>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+      ++hits;
+      future = it->second;
+    } else {
+      ++misses;
+      promise = std::make_shared<std::promise<T>>();
+      future = promise->get_future().share();
+      entries.emplace(key, future);
+    }
+  }
+  if (promise) {
+    try {
+      promise->set_value(build());
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+      // Don't poison the key: current waiters see this failure, but a later
+      // request retries the build (the failure may have been transient).
+      std::lock_guard<std::mutex> lock(mu);
+      entries.erase(key);
+    }
+  }
+  return future.get();  // Rethrows the builder's exception for every waiter.
+}
+
+std::shared_ptr<const xgft::Topology> CampaignCache::topology(
+    const xgft::Params& params) {
+  return topologies_.get(params.toString(), [&] {
+    return std::make_shared<const xgft::Topology>(params);
+  });
+}
+
+std::shared_ptr<const routing::Router> CampaignCache::router(
+    const ExperimentSpec& spec,
+    const std::shared_ptr<const xgft::Topology>& topo,
+    const patterns::PhasedPattern& app) {
+  const Algo algo =
+      hasStaticRoutes(spec.routing) ? spec.routing : Algo::kDModK;
+  std::ostringstream key;
+  key << topo->params().toString() << '|' << toString(algo);
+  if (isSeeded(algo)) key << "|seed=" << spec.seed;
+  if (algo == Algo::kColored) {
+    // Colored tables depend on the workload (and on the seed via
+    // tie-breaking / sampling in the optimizer).
+    key << "|app=" << spec.pattern << '|'
+        << formatShortest(spec.msgScale) << "|seed=" << spec.seed;
+  }
+  return routers_.get(key.str(), [&]() -> std::shared_ptr<const routing::Router> {
+    routing::RouterPtr built;
+    switch (algo) {
+      case Algo::kColored: {
+        routing::ColoredOptions options;
+        options.seed = spec.seed;
+        built = routing::makeColored(*topo, app, options);
+        break;
+      }
+      case Algo::kRandom:
+        built = routing::makeRandom(*topo, spec.seed);
+        break;
+      case Algo::kSModK:
+        built = routing::makeSModK(*topo);
+        break;
+      case Algo::kDModK:
+        built = routing::makeDModK(*topo);
+        break;
+      case Algo::kRNcaUp:
+        built = routing::makeRNcaUp(*topo, spec.seed);
+        break;
+      case Algo::kRNcaDown:
+        built = routing::makeRNcaDown(*topo, spec.seed);
+        break;
+      case Algo::kAdaptive:
+      case Algo::kSpray:
+        throw std::logic_error("no static router for per-segment algorithms");
+    }
+    // Tie the topology's lifetime to the router handed out: routers hold a
+    // bare reference to their topology.
+    const routing::Router* raw = built.release();
+    return std::shared_ptr<const routing::Router>(
+        raw, [topo](const routing::Router* r) { delete r; });
+  });
+}
+
+sim::TimeNs CampaignCache::crossbarMakespan(const ExperimentSpec& spec,
+                                            const patterns::PhasedPattern& app,
+                                            const sim::SimConfig& cfg) {
+  std::ostringstream key;
+  key << spec.pattern << '|' << formatShortest(spec.msgScale) << '|'
+      << configKey(cfg);
+  if (patternDependsOnSeed(spec.pattern)) {
+    key << "|pseed=" << deriveSeed(spec.seed, "pattern");
+  }
+  return references_.get(key.str(), [&] {
+    return trace::runCrossbarReference(app, cfg).makespanNs;
+  });
+}
+
+CacheStats CampaignCache::stats() const {
+  CacheStats s;
+  {
+    std::lock_guard<std::mutex> lock(topologies_.mu);
+    s.topologyHits = topologies_.hits;
+    s.topologyMisses = topologies_.misses;
+  }
+  {
+    std::lock_guard<std::mutex> lock(routers_.mu);
+    s.routerHits = routers_.hits;
+    s.routerMisses = routers_.misses;
+  }
+  {
+    std::lock_guard<std::mutex> lock(references_.mu);
+    s.referenceHits = references_.hits;
+    s.referenceMisses = references_.misses;
+  }
+  return s;
+}
+
+JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
+                 CampaignCache& cache, const RunnerOptions& opt) {
+  JobResult result;
+  result.jobIndex = jobIndex;
+  result.spec = spec;
+  try {
+    const patterns::PhasedPattern app = makeWorkload(spec);
+    const std::shared_ptr<const xgft::Topology> topo = cache.topology(spec.topo);
+    if (app.numRanks > topo->numHosts()) {
+      throw std::invalid_argument("workload has " +
+                                  std::to_string(app.numRanks) +
+                                  " ranks but the topology only " +
+                                  std::to_string(topo->numHosts()) + " hosts");
+    }
+
+    trace::SprayConfig sprayCfg;
+    if (spec.routing == Algo::kAdaptive) {
+      sprayCfg.adaptive = true;
+    } else if (spec.routing == Algo::kSpray) {
+      sprayCfg.enabled = true;
+      sprayCfg.seed = deriveSeed(spec.seed, "spray");
+    }
+    // Per-segment algorithms never consult the router; D-mod-k is the inert
+    // placeholder the Replayer interface wants.
+    const std::shared_ptr<const routing::Router> router =
+        cache.router(spec, topo, app);
+
+    sim::Network net(*topo, opt.sim);
+    const trace::Trace t = trace::traceFromPhases(app);
+    const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
+    trace::Replayer replayer(net, t, mapping, *router, sprayCfg);
+    result.makespanNs = replayer.run();
+    result.net = net.stats();
+
+    if (result.makespanNs > 0) {
+      double sum = 0.0;
+      std::uint64_t used = 0;
+      const double makespan = static_cast<double>(result.makespanNs);
+      for (std::uint32_t g = 0; g < net.numGlobalPorts(); ++g) {
+        const sim::TimeNs busy = net.wireBusyNs(g);
+        if (busy == 0) continue;
+        const double util = static_cast<double>(busy) / makespan;
+        result.utilMax = std::max(result.utilMax, util);
+        sum += util;
+        ++used;
+      }
+      if (used > 0) result.utilMean = sum / static_cast<double>(used);
+    }
+
+    const sim::TimeNs reference = cache.crossbarMakespan(spec, app, opt.sim);
+    result.slowdown = reference == 0
+                          ? 1.0
+                          : static_cast<double>(result.makespanNs) /
+                                static_cast<double>(reference);
+
+    if (opt.collectContention && hasStaticRoutes(spec.routing)) {
+      const patterns::Pattern flat = app.flattened();
+      const analysis::LoadSummary loads =
+          analysis::computeLoads(*topo, flat, *router);
+      result.maxFlowsPerChannel = loads.maxFlowsPerChannel;
+      result.maxDemand = loads.maxDemand;
+      const std::vector<std::uint64_t> census =
+          analysis::ncaRouteCensusForPattern(*topo, flat, *router,
+                                             topo->height());
+      if (!census.empty()) {
+        result.ncaRoutesMin = *std::min_element(census.begin(), census.end());
+        result.ncaRoutesMax = *std::max_element(census.begin(), census.end());
+      }
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown error";
+  }
+  return result;
+}
+
+Runner::Runner(RunnerOptions opt) : opt_(std::move(opt)) {}
+
+CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
+  const auto start = std::chrono::steady_clock::now();
+  CampaignResults results;
+  results.jobs.resize(specs.size());
+
+  std::uint32_t threads = opt_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(std::min<std::size_t>(
+      threads, std::max<std::size_t>(std::size_t{1}, specs.size())));
+
+  std::mutex doneMu;  // Serializes onJobDone.
+  const auto finishJob = [&](std::uint32_t index) {
+    JobResult job = runJob(specs[index], index, cache_, opt_);
+    if (opt_.onJobDone) {
+      std::lock_guard<std::mutex> lock(doneMu);
+      opt_.onJobDone(job);
+      results.jobs[index] = std::move(job);
+    } else {
+      results.jobs[index] = std::move(job);
+    }
+  };
+
+  if (threads <= 1) {
+    for (std::uint32_t i = 0; i < specs.size(); ++i) finishJob(i);
+  } else {
+    // Work-stealing: jobs are dealt block-cyclically to per-worker deques;
+    // a worker drains its own deque from the front and steals from the back
+    // of the most loaded peer when empty.  Jobs never enqueue new jobs, so
+    // once every deque is empty a worker can retire.
+    struct WorkerQueue {
+      std::mutex mu;
+      std::deque<std::uint32_t> q;
+    };
+    std::vector<WorkerQueue> queues(threads);
+    for (std::uint32_t i = 0; i < specs.size(); ++i) {
+      queues[i % threads].q.push_back(i);
+    }
+
+    const auto popOwn = [&](std::uint32_t w, std::uint32_t& out) {
+      std::lock_guard<std::mutex> lock(queues[w].mu);
+      if (queues[w].q.empty()) return false;
+      out = queues[w].q.front();
+      queues[w].q.pop_front();
+      return true;
+    };
+    const auto steal = [&](std::uint32_t thief, std::uint32_t& out) {
+      std::uint32_t victim = threads;
+      std::size_t best = 0;
+      for (std::uint32_t v = 0; v < threads; ++v) {
+        if (v == thief) continue;
+        std::lock_guard<std::mutex> lock(queues[v].mu);
+        if (queues[v].q.size() > best) {
+          best = queues[v].q.size();
+          victim = v;
+        }
+      }
+      if (victim == threads) return false;
+      std::lock_guard<std::mutex> lock(queues[victim].mu);
+      if (queues[victim].q.empty()) return false;
+      out = queues[victim].q.back();
+      queues[victim].q.pop_back();
+      return true;
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        std::uint32_t job = 0;
+        while (popOwn(w, job) || steal(w, job)) finishJob(job);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  results.sortByIndex();
+  results.threadsUsed = threads;
+  results.cache = cache_.stats();
+  results.wallTimeNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return results;
+}
+
+}  // namespace engine

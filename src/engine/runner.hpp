@@ -1,0 +1,124 @@
+// runner.hpp — The parallel experiment-campaign engine.
+//
+// The simulator is single-threaded by design (event ties break by insertion
+// order; see DESIGN.md), so the engine parallelizes *across* jobs: a
+// work-stealing pool of workers, each executing whole ExperimentSpecs with
+// its own sim::Network.  Two properties make campaigns fast and exact:
+//
+//  * Memoization.  Topology construction, routing tables and the
+//    Full-Crossbar reference run are cached behind keys derived from the
+//    spec, so a sweep that varies only the seed or the pattern reuses the
+//    expensive pieces (the Colored optimizer dominates cold-start cost).
+//    In-flight builds are shared: two workers missing on the same key wait
+//    on one build instead of duplicating it.
+//
+//  * Determinism.  Every job's result is a pure function of its spec, and
+//    results are keyed by job index, so the aggregated CSV is byte-identical
+//    for --threads 1 and --threads N (checked by tests/engine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/results.hpp"
+#include "engine/spec.hpp"
+#include "routing/router.hpp"
+#include "sim/config.hpp"
+#include "xgft/topology.hpp"
+
+namespace engine {
+
+/// Shared, thread-safe memo for the expensive per-campaign artifacts.
+/// Values are built at most once per key; concurrent requesters for a key
+/// being built block on the builder's future.
+class CampaignCache {
+ public:
+  /// The topology for @p params (built once per distinct parameter set).
+  [[nodiscard]] std::shared_ptr<const xgft::Topology> topology(
+      const xgft::Params& params);
+
+  /// The router @p spec asks for, on @p topo.  The returned pointer keeps
+  /// the topology alive.  @p app is only consulted for pattern-aware
+  /// algorithms (Colored).  Routers are immutable after construction, so
+  /// one instance serves any number of workers.
+  [[nodiscard]] std::shared_ptr<const routing::Router> router(
+      const ExperimentSpec& spec,
+      const std::shared_ptr<const xgft::Topology>& topo,
+      const patterns::PhasedPattern& app);
+
+  /// Makespan of @p app on the ideal Full-Crossbar under @p cfg.  Keyed on
+  /// (pattern, msg_scale, sim config) — and the derived pattern seed only
+  /// when the workload itself is seeded — so seed sweeps of a fixed
+  /// workload simulate the reference exactly once.
+  [[nodiscard]] sim::TimeNs crossbarMakespan(const ExperimentSpec& spec,
+                                             const patterns::PhasedPattern& app,
+                                             const sim::SimConfig& cfg);
+
+  [[nodiscard]] CacheStats stats() const;
+
+ private:
+  template <typename T>
+  struct Memo {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_future<T>> entries;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /// Returns the value for @p key, invoking @p build at most once.
+    template <typename Build>
+    T get(const std::string& key, Build&& build);
+  };
+
+  Memo<std::shared_ptr<const xgft::Topology>> topologies_;
+  Memo<std::shared_ptr<const routing::Router>> routers_;
+  Memo<sim::TimeNs> references_;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::uint32_t threads = 0;
+
+  /// Also compute the static contention / NCA-census columns (costs one
+  /// route sweep per job for algorithms with static routes).
+  bool collectContention = true;
+
+  /// Simulator parameters shared by every job in the campaign.
+  sim::SimConfig sim = {};
+
+  /// Optional progress callback, invoked serially (under a lock) as jobs
+  /// finish, in completion order.
+  std::function<void(const JobResult&)> onJobDone;
+};
+
+/// Executes one spec against a caller-provided cache.  Never throws: any
+/// failure is captured in JobResult::error.  This is the unit of work the
+/// pool schedules, exposed for tests and for callers that want their own
+/// scheduling.
+[[nodiscard]] JobResult runJob(const ExperimentSpec& spec,
+                               std::uint32_t jobIndex, CampaignCache& cache,
+                               const RunnerOptions& opt);
+
+/// The campaign engine: owns the cache, shards jobs over a work-stealing
+/// pool, aggregates results sorted by job index.
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opt = {});
+
+  /// Runs every spec; returns once all jobs finished.  Safe to call
+  /// repeatedly — later campaigns reuse the warm cache.
+  [[nodiscard]] CampaignResults run(const std::vector<ExperimentSpec>& specs);
+
+  [[nodiscard]] CampaignCache& cache() { return cache_; }
+  [[nodiscard]] const RunnerOptions& options() const { return opt_; }
+
+ private:
+  RunnerOptions opt_;
+  CampaignCache cache_;
+};
+
+}  // namespace engine

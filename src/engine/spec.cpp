@@ -1,0 +1,395 @@
+#include "engine/spec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "patterns/applications.hpp"
+#include "patterns/synthetic.hpp"
+#include "trace/harness.hpp"
+#include "xgft/io.hpp"
+#include "xgft/rng.hpp"
+
+namespace engine {
+
+namespace {
+
+/// Default message size for the parameterized synthetic workloads; keeps
+/// them in the same bandwidth-dominated regime as the paper's traces.
+constexpr patterns::Bytes kSyntheticBytes = 512 * 1024;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("campaign spec: " + what);
+}
+
+
+bool parseU64(std::string_view s, std::uint64_t& out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && p == end;
+}
+
+std::uint64_t requireU64(const std::string& value, const std::string& key) {
+  std::uint64_t v = 0;
+  if (!parseU64(value, v)) fail("'" + key + "' wants an integer, got '" +
+                                value + "'");
+  return v;
+}
+
+std::uint32_t requireU32(const std::string& value, const std::string& key) {
+  const std::uint64_t v = requireU64(value, key);
+  if (v > 0xffffffffULL) fail("'" + key + "' out of range: " + value);
+  return static_cast<std::uint32_t>(v);
+}
+
+double requireDouble(const std::string& value, const std::string& key) {
+  double v = 0.0;
+  const char* begin = value.data();
+  const char* end = value.data() + value.size();
+  const auto [p, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || p != end) {
+    fail("'" + key + "' wants a number, got '" + value + "'");
+  }
+  return v;
+}
+
+/// Splits a line into ordered (key, rawValue) pairs.  Values may be quoted
+/// with double quotes (the quotes are stripped); a '#' outside quotes starts
+/// a comment.
+std::vector<std::pair<std::string, std::string>> tokenize(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> tokens;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  while (i < n) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;
+    const std::size_t eq = line.find('=', i);
+    if (eq == std::string::npos ||
+        line.find_first_of(" \t", i) < eq) {
+      fail("expected key=value at '" + line.substr(i) + "'");
+    }
+    std::string key = line.substr(i, eq - i);
+    std::string value;
+    i = eq + 1;
+    if (i < n && line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string::npos) fail("unterminated quote in '" + line +
+                                           "'");
+      value = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+    } else {
+      const std::size_t end = line.find_first_of(" \t#", i);
+      value = line.substr(i, end == std::string::npos ? end : end - i);
+      i = end == std::string::npos ? n : end;
+    }
+    if (value.empty()) fail("empty value for key '" + key + "'");
+    tokens.emplace_back(std::move(key), std::move(value));
+  }
+  return tokens;
+}
+
+/// Expands one raw value into its sweep list: "{a,b,c}" splits on commas,
+/// "lo..hi" (integers, either direction) expands inclusively, anything else
+/// is a single value.
+std::vector<std::string> expandValue(const std::string& raw) {
+  if (raw.size() >= 2 && raw.front() == '{' && raw.back() == '}') {
+    std::vector<std::string> values;
+    std::string body = raw.substr(1, raw.size() - 2);
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = body.find(',', start);
+      values.push_back(body.substr(start, comma == std::string::npos
+                                              ? comma
+                                              : comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    for (const std::string& v : values) {
+      if (v.empty()) fail("empty element in list '" + raw + "'");
+    }
+    return values;
+  }
+  const std::size_t dots = raw.find("..");
+  if (dots != std::string::npos) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    if (parseU64(raw.substr(0, dots), lo) &&
+        parseU64(raw.substr(dots + 2), hi)) {
+      std::vector<std::string> values;
+      if (lo <= hi) {
+        for (std::uint64_t v = lo; v <= hi; ++v) {
+          values.push_back(std::to_string(v));
+        }
+      } else {
+        for (std::uint64_t v = lo; v + 1 > hi; --v) {
+          values.push_back(std::to_string(v));
+        }
+      }
+      return values;
+    }
+    fail("malformed range '" + raw + "'");
+  }
+  return {raw};
+}
+
+ExperimentSpec specFromAssignments(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  ExperimentSpec spec;
+  bool haveTopo = false;
+  bool haveFamily = false;
+  std::uint32_t m1 = 16;
+  std::uint32_t m2 = 16;
+  std::uint32_t w2 = 16;
+  for (const auto& [key, value] : kv) {
+    if (key == "topo") {
+      spec.topo = xgft::parseParams(value);
+      haveTopo = true;
+    } else if (key == "m1" || key == "m2" || key == "w2") {
+      const std::uint32_t v = requireU32(value, key);
+      (key == "m1" ? m1 : key == "m2" ? m2 : w2) = v;
+      haveFamily = true;
+    } else if (key == "pattern") {
+      spec.pattern = value;
+    } else if (key == "routing") {
+      spec.routing = parseAlgo(value);
+    } else if (key == "msg_scale") {
+      spec.msgScale = requireDouble(value, key);
+      if (spec.msgScale <= 0.0) fail("msg_scale must be > 0");
+    } else if (key == "seed") {
+      spec.seed = requireU64(value, key);
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+  if (haveTopo && haveFamily) {
+    fail("give either topo= or the m1/m2/w2 family, not both");
+  }
+  if (haveFamily) spec.topo = xgft::xgft2(m1, m2, w2);
+  return spec;
+}
+
+}  // namespace
+
+std::string formatShortest(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) fail("cannot format double");
+  return std::string(buf, end);
+}
+
+bool patternDependsOnSeed(const std::string& patternSpec) {
+  return patternSpec.rfind("uniform:", 0) == 0 ||
+         patternSpec.rfind("permutations:", 0) == 0;
+}
+
+std::string toString(Algo a) {
+  switch (a) {
+    case Algo::kColored:
+      return "colored";
+    case Algo::kRandom:
+      return "Random";
+    case Algo::kSModK:
+      return "s-mod-k";
+    case Algo::kDModK:
+      return "d-mod-k";
+    case Algo::kRNcaUp:
+      return "r-NCA-u";
+    case Algo::kRNcaDown:
+      return "r-NCA-d";
+    case Algo::kAdaptive:
+      return "adaptive";
+    case Algo::kSpray:
+      return "spray";
+  }
+  fail("unreachable algo");
+}
+
+Algo parseAlgo(const std::string& name) {
+  if (name == "colored") return Algo::kColored;
+  if (name == "Random" || name == "random") return Algo::kRandom;
+  if (name == "s-mod-k") return Algo::kSModK;
+  if (name == "d-mod-k") return Algo::kDModK;
+  if (name == "r-NCA-u") return Algo::kRNcaUp;
+  if (name == "r-NCA-d") return Algo::kRNcaDown;
+  if (name == "adaptive") return Algo::kAdaptive;
+  if (name == "spray") return Algo::kSpray;
+  fail("unknown routing '" + name +
+       "' (try colored, Random, s-mod-k, d-mod-k, r-NCA-u, r-NCA-d, "
+       "adaptive, spray)");
+}
+
+bool hasStaticRoutes(Algo a) {
+  return a != Algo::kAdaptive && a != Algo::kSpray;
+}
+
+bool isSeeded(Algo a) {
+  return a == Algo::kRandom || a == Algo::kRNcaUp || a == Algo::kRNcaDown ||
+         a == Algo::kSpray;
+}
+
+std::string ExperimentSpec::toLine() const {
+  std::ostringstream os;
+  os << "topo=\"" << topo.toString() << "\" pattern=" << pattern
+     << " routing=" << toString(routing)
+     << " msg_scale=" << formatShortest(msgScale) << " seed=" << seed;
+  return os.str();
+}
+
+ExperimentSpec parseSpecLine(const std::string& line) {
+  const std::vector<ExperimentSpec> jobs = expandCampaignLine(line);
+  if (jobs.size() != 1) {
+    fail("expected a single job, got a sweep of " +
+         std::to_string(jobs.size()));
+  }
+  return jobs.front();
+}
+
+std::vector<ExperimentSpec> expandCampaignLine(const std::string& line) {
+  const auto tokens = tokenize(line);
+  if (tokens.empty()) return {};
+  std::vector<std::vector<std::string>> values;
+  values.reserve(tokens.size());
+  for (const auto& [key, raw] : tokens) {
+    // topo values embed commas; sweep them via the m1/m2/w2 family instead.
+    values.push_back(key == "topo" ? std::vector<std::string>{raw}
+                                   : expandValue(raw));
+  }
+
+  std::vector<ExperimentSpec> jobs;
+  std::vector<std::size_t> cursor(tokens.size(), 0);
+  while (true) {
+    std::vector<std::pair<std::string, std::string>> kv;
+    kv.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      kv.emplace_back(tokens[i].first, values[i][cursor[i]]);
+    }
+    jobs.push_back(specFromAssignments(kv));
+    // Odometer increment, last key fastest.
+    std::size_t i = tokens.size();
+    while (i > 0) {
+      --i;
+      if (++cursor[i] < values[i].size()) break;
+      cursor[i] = 0;
+      if (i == 0) return jobs;
+    }
+  }
+}
+
+std::vector<ExperimentSpec> parseCampaign(std::istream& in) {
+  std::vector<ExperimentSpec> jobs;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    try {
+      std::vector<ExperimentSpec> expanded = expandCampaignLine(line);
+      jobs.insert(jobs.end(), std::make_move_iterator(expanded.begin()),
+                  std::make_move_iterator(expanded.end()));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("line " + std::to_string(lineNo) + ": " +
+                                  e.what());
+    }
+  }
+  return jobs;
+}
+
+std::vector<ExperimentSpec> parseCampaign(const std::string& text) {
+  std::istringstream in(text);
+  return parseCampaign(in);
+}
+
+std::uint64_t deriveSeed(std::uint64_t base, std::string_view role) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis.
+  for (const char c : role) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a 64 prime.
+  }
+  return xgft::hashMix(base, h);
+}
+
+patterns::PhasedPattern makeWorkload(const ExperimentSpec& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.pattern.find(':', start);
+    parts.push_back(spec.pattern.substr(
+        start, colon == std::string::npos ? colon : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const std::string& name = parts[0];
+  const auto arg = [&](std::size_t i) -> std::uint32_t {
+    if (i >= parts.size()) {
+      fail("pattern '" + spec.pattern + "' is missing an argument");
+    }
+    return requireU32(parts[i], "pattern argument");
+  };
+  const auto arity = [&](std::size_t n) {
+    if (parts.size() != n + 1) {
+      fail("pattern '" + spec.pattern + "' wants " + std::to_string(n) +
+           " argument(s)");
+    }
+  };
+  const std::uint64_t patternSeed = deriveSeed(spec.seed, "pattern");
+
+  patterns::PhasedPattern app;
+  if (name == "cg128") {
+    arity(0);
+    app = patterns::cgD128();
+  } else if (name == "wrf256") {
+    arity(0);
+    app = patterns::wrf256();
+  } else if (name == "wrf64") {
+    arity(0);
+    app = patterns::wrfHalo(8, 8, patterns::kWrfMessageBytes);
+    app.name = "wrf64";
+  } else if (name == "shift") {
+    arity(1);
+    app = patterns::shiftAllToAll(arg(1), kSyntheticBytes);
+  } else {
+    patterns::Pattern p;
+    if (name == "ring") {
+      arity(1);
+      p = patterns::ringExchange(arg(1), kSyntheticBytes);
+    } else if (name == "alltoall") {
+      arity(1);
+      p = patterns::allToAll(arg(1), kSyntheticBytes);
+    } else if (name == "hotspot") {
+      arity(1);
+      p = patterns::hotspot(arg(1), 0, kSyntheticBytes);
+    } else if (name == "stencil") {
+      arity(2);
+      p = patterns::stencil2D(arg(1), arg(2), kSyntheticBytes);
+    } else if (name == "uniform") {
+      arity(2);
+      p = patterns::uniformRandom(arg(1), arg(2), kSyntheticBytes,
+                                  patternSeed);
+    } else if (name == "permutations") {
+      arity(2);
+      p = patterns::unionOfRandomPermutations(arg(1), arg(2), kSyntheticBytes,
+                                              patternSeed);
+    } else {
+      fail("unknown pattern '" + spec.pattern +
+           "' (try cg128, wrf256, wrf64, ring:N, alltoall:N, shift:N, "
+           "hotspot:N, stencil:R:C, uniform:N:F, permutations:N:K)");
+    }
+    app.numRanks = p.numRanks();
+    app.phases.push_back(std::move(p));
+  }
+  app.name = spec.pattern;
+  if (spec.msgScale != 1.0) {
+    app = trace::scaleMessages(app, spec.msgScale);
+    app.name = spec.pattern;
+  }
+  return app;
+}
+
+}  // namespace engine

@@ -1,0 +1,124 @@
+// spec.hpp — Declarative experiment specifications for campaign sweeps.
+//
+// One ExperimentSpec names everything a single simulation run needs: the
+// XGFT under test, the workload, the routing algorithm, the message-size
+// scale and the seed.  Campaign files describe whole sweeps declaratively:
+// each non-comment line is a key=value spec whose values may be lists or
+// integer ranges, and the line expands to the cross product — the Fig. 2/5
+// slimming sweeps become two lines of text instead of a bench binary.
+//
+// Format (whitespace-separated key=value tokens; '#' starts a comment):
+//
+//   topo="XGFT(2; 16,16; 1,10)"   explicit topology (paper notation)
+//   m1=16 m2=16 w2=16..1          or the 2-level family, sweepable
+//   pattern=cg128                 builtin workload (see makeWorkload)
+//   routing={Random,d-mod-k}      algorithm, or a {a,b,c} list
+//   msg_scale=0.125               multiplies every message size
+//   seed=1..40                    integer ranges sweep inclusively
+//
+// Expansion order is deterministic: keys vary in the order they appear on
+// the line, the last key fastest, so job indices — and therefore derived
+// seeds and output order — are stable across platforms and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "xgft/params.hpp"
+
+namespace engine {
+
+/// The routing schemes a campaign can exercise.  The first six assign one
+/// static route per (s, d) pair; the last two route per segment inside the
+/// simulator (no static route, so no static contention analysis applies).
+enum class Algo : std::uint8_t {
+  kColored,
+  kRandom,
+  kSModK,
+  kDModK,
+  kRNcaUp,
+  kRNcaDown,
+  kAdaptive,
+  kSpray,
+};
+
+/// Canonical names: "colored", "Random", "s-mod-k", "d-mod-k", "r-NCA-u",
+/// "r-NCA-d", "adaptive", "spray" (matching the bench/CLI vocabulary).
+[[nodiscard]] std::string toString(Algo a);
+[[nodiscard]] Algo parseAlgo(const std::string& name);
+
+/// True for the six schemes with one static route per pair.
+[[nodiscard]] bool hasStaticRoutes(Algo a);
+
+/// True when route choice depends on the seed (Random, r-NCA-u/d, spray;
+/// colored uses its seed only for tie-breaking).
+[[nodiscard]] bool isSeeded(Algo a);
+
+/// One simulation job.
+struct ExperimentSpec {
+  xgft::Params topo = xgft::karyNTree(16, 2);
+  std::string pattern = "cg128";
+  Algo routing = Algo::kDModK;
+  double msgScale = 1.0;
+  std::uint64_t seed = 1;
+
+  friend bool operator==(const ExperimentSpec&,
+                         const ExperimentSpec&) = default;
+
+  /// Canonical one-line key=value rendering; parseSpecLine round-trips it.
+  [[nodiscard]] std::string toLine() const;
+};
+
+/// Parses a single spec line (no sweep syntax allowed).  Unknown keys,
+/// malformed values and list/range values all throw std::invalid_argument.
+[[nodiscard]] ExperimentSpec parseSpecLine(const std::string& line);
+
+/// Expands one campaign line (sweep syntax allowed) to the cross product of
+/// its value lists, last key fastest.
+[[nodiscard]] std::vector<ExperimentSpec> expandCampaignLine(
+    const std::string& line);
+
+/// Parses a whole campaign: one expandable spec per line, '#' comments and
+/// blank lines skipped.  Jobs are concatenated in file order.
+[[nodiscard]] std::vector<ExperimentSpec> parseCampaign(std::istream& in);
+[[nodiscard]] std::vector<ExperimentSpec> parseCampaign(
+    const std::string& text);
+
+/// Shortest decimal rendering of a double that parses back to the same
+/// value ("1", "0.125") — used for canonical spec lines and CSV cells so
+/// output is byte-stable across platforms and thread counts.
+[[nodiscard]] std::string formatShortest(double v);
+
+/// True when the workload named by @p patternSpec draws on the job seed
+/// (uniform:..., permutations:...) — such jobs cannot share a crossbar
+/// reference across seeds.
+[[nodiscard]] bool patternDependsOnSeed(const std::string& patternSpec);
+
+/// Derives an independent sub-seed for a named role ("pattern", "spray",
+/// ...) from a job's base seed.  Stable across platforms and releases:
+/// FNV-1a over the role name mixed through SplitMix64 — so a campaign that
+/// sweeps seed=1..N gives every (job, role) pair an uncorrelated stream.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t base,
+                                       std::string_view role);
+
+/// Instantiates the builtin workload named by @p spec.pattern with message
+/// sizes already scaled by spec.msgScale.  Accepted names:
+///
+///   cg128                  the paper's NAS CG.D-128 phases
+///   wrf256 | wrf64         the paper's WRF halo (16x16) or an 8x8 mesh
+///   ring:N                 N-rank ring exchange
+///   alltoall:N             N-rank personalized all-to-all (single phase)
+///   shift:N                the N-1 cyclic-shift phases of [9]
+///   hotspot:N              all ranks to rank 0
+///   stencil:R:C            5-point halo on an R x C mesh
+///   uniform:N:F            F uniform random flows per rank (seeded)
+///   permutations:N:K       union of K random permutations (seeded)
+///
+/// Seeded synthetics draw from deriveSeed(spec.seed, "pattern").
+[[nodiscard]] patterns::PhasedPattern makeWorkload(const ExperimentSpec& spec);
+
+}  // namespace engine

@@ -1,0 +1,102 @@
+// Tests for the deterministic CSV aggregation layer.
+#include "engine/results.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace engine {
+namespace {
+
+JobResult makeJob(std::uint32_t index) {
+  JobResult job;
+  job.jobIndex = index;
+  job.spec.pattern = "ring:8";
+  job.spec.seed = index;
+  job.ok = true;
+  job.makespanNs = 1000 + index;
+  job.slowdown = 1.5;
+  return job;
+}
+
+TEST(Results, CsvRowsAreSortedByJobIndex) {
+  CampaignResults results;
+  results.jobs.push_back(makeJob(2));
+  results.jobs.push_back(makeJob(0));
+  results.jobs.push_back(makeJob(1));
+  const std::string csv = results.toCsv();
+  const std::size_t r0 = csv.find("\n0,");
+  const std::size_t r1 = csv.find("\n1,");
+  const std::size_t r2 = csv.find("\n2,");
+  ASSERT_NE(r0, std::string::npos);
+  EXPECT_LT(r0, r1);
+  EXPECT_LT(r1, r2);
+  // writeCsv must not mutate the stored order (sorting is on a view).
+  EXPECT_EQ(results.jobs.front().jobIndex, 2u);
+}
+
+TEST(Results, HeaderArityMatchesRows) {
+  CampaignResults results;
+  results.jobs.push_back(makeJob(0));
+  std::istringstream csv(results.toCsv());
+  std::string header;
+  std::string row;
+  ASSERT_TRUE(std::getline(csv, header));
+  ASSERT_TRUE(std::getline(csv, row));
+  const auto count = [](const std::string& line) {
+    // Count unquoted commas.
+    std::size_t n = 0;
+    bool quoted = false;
+    for (const char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+TEST(Results, FieldsWithCommasAreQuoted) {
+  CampaignResults results;
+  JobResult job = makeJob(0);
+  job.spec.topo = xgft::xgft2(8, 8, 4);  // "XGFT(2; 8,8; 1,4)"
+  job.ok = false;
+  job.error = "bad things, with \"quotes\"";
+  results.jobs.push_back(job);
+  const std::string csv = results.toCsv();
+  EXPECT_NE(csv.find("\"XGFT(2; 8,8; 1,4)\""), std::string::npos);
+  EXPECT_NE(csv.find("\"bad things, with \"\"quotes\"\"\""),
+            std::string::npos);
+  EXPECT_NE(csv.find(",error,"), std::string::npos);
+}
+
+TEST(Results, DoublesUseFixedPrecision) {
+  CampaignResults results;
+  JobResult job = makeJob(0);
+  job.slowdown = 1.0 / 3.0;
+  results.jobs.push_back(job);
+  EXPECT_NE(results.toCsv().find("0.333333"), std::string::npos);
+}
+
+TEST(Results, FindLocatesExactSpecs) {
+  CampaignResults results;
+  results.jobs.push_back(makeJob(0));
+  results.jobs.push_back(makeJob(1));
+  ExperimentSpec probe = results.jobs[1].spec;
+  ASSERT_NE(results.find(probe), nullptr);
+  EXPECT_EQ(results.find(probe)->jobIndex, 1u);
+  probe.seed = 99;
+  EXPECT_EQ(results.find(probe), nullptr);
+}
+
+TEST(Results, SortByIndexIsIdempotent) {
+  CampaignResults results;
+  results.jobs.push_back(makeJob(1));
+  results.jobs.push_back(makeJob(0));
+  results.sortByIndex();
+  results.sortByIndex();
+  EXPECT_EQ(results.jobs.front().jobIndex, 0u);
+}
+
+}  // namespace
+}  // namespace engine

@@ -1,0 +1,177 @@
+// Unit tests for engine::ExperimentSpec: canonical-line round-trips, the
+// campaign sweep expansion (lists, ranges, cross-product order), workload
+// instantiation and the stability of per-role seed derivation.
+#include "engine/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/applications.hpp"
+
+namespace engine {
+namespace {
+
+TEST(Spec, ToLineParsesBack) {
+  ExperimentSpec spec;
+  spec.topo = xgft::xgft2(16, 16, 10);
+  spec.pattern = "cg128";
+  spec.routing = Algo::kRNcaDown;
+  spec.msgScale = 0.125;
+  spec.seed = 7;
+  EXPECT_EQ(parseSpecLine(spec.toLine()), spec);
+}
+
+TEST(Spec, ToLineRoundTripsEveryAlgoAndAwkwardScales) {
+  for (const Algo algo :
+       {Algo::kColored, Algo::kRandom, Algo::kSModK, Algo::kDModK,
+        Algo::kRNcaUp, Algo::kRNcaDown, Algo::kAdaptive, Algo::kSpray}) {
+    for (const double scale : {1.0, 0.1, 0.03125, 3.14159}) {
+      ExperimentSpec spec;
+      spec.routing = algo;
+      spec.msgScale = scale;
+      EXPECT_EQ(parseSpecLine(spec.toLine()), spec) << spec.toLine();
+    }
+  }
+}
+
+TEST(Spec, ParseAppliesDefaults) {
+  const ExperimentSpec spec = parseSpecLine("pattern=ring:64");
+  EXPECT_EQ(spec.topo, xgft::karyNTree(16, 2));
+  EXPECT_EQ(spec.routing, Algo::kDModK);
+  EXPECT_EQ(spec.msgScale, 1.0);
+  EXPECT_EQ(spec.seed, 1u);
+}
+
+TEST(Spec, FamilyKeysBuildTwoLevelTree) {
+  const ExperimentSpec spec = parseSpecLine("m1=8 m2=8 w2=4");
+  EXPECT_EQ(spec.topo, xgft::xgft2(8, 8, 4));
+}
+
+TEST(Spec, TopoAndFamilyAreMutuallyExclusive) {
+  EXPECT_THROW(parseSpecLine("topo=\"XGFT(2; 8,8; 1,4)\" w2=2"),
+               std::invalid_argument);
+}
+
+TEST(Spec, RejectsMalformedInput) {
+  EXPECT_THROW(parseSpecLine("notakeyvalue"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("pattern="), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("routing=magic"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("msg_scale=0"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("seed=abc"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("topo=\"XGFT(2; 8,8"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("seed=1..4"), std::invalid_argument);
+}
+
+TEST(Spec, RangeExpansionIsInclusiveBothDirections) {
+  const auto up = expandCampaignLine("seed=2..5");
+  ASSERT_EQ(up.size(), 4u);
+  EXPECT_EQ(up.front().seed, 2u);
+  EXPECT_EQ(up.back().seed, 5u);
+  const auto down = expandCampaignLine("w2=4..1");
+  ASSERT_EQ(down.size(), 4u);
+  EXPECT_EQ(down.front().topo, xgft::xgft2(16, 16, 4));
+  EXPECT_EQ(down.back().topo, xgft::xgft2(16, 16, 1));
+}
+
+TEST(Spec, CrossProductVariesLastKeyFastest) {
+  const auto jobs =
+      expandCampaignLine("routing={s-mod-k,Random} seed=1..3");
+  ASSERT_EQ(jobs.size(), 6u);
+  EXPECT_EQ(jobs[0].routing, Algo::kSModK);
+  EXPECT_EQ(jobs[0].seed, 1u);
+  EXPECT_EQ(jobs[2].seed, 3u);
+  EXPECT_EQ(jobs[3].routing, Algo::kRandom);
+  EXPECT_EQ(jobs[3].seed, 1u);
+}
+
+TEST(Spec, CampaignSkipsCommentsAndBlankLines) {
+  const auto jobs = parseCampaign(
+      "# a comment\n"
+      "\n"
+      "pattern=ring:32 seed=1..2   # trailing comment\n"
+      "pattern=ring:16\n");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].pattern, "ring:32");
+  EXPECT_EQ(jobs[2].pattern, "ring:16");
+}
+
+TEST(Spec, CampaignErrorsCarryLineNumbers) {
+  try {
+    parseCampaign("pattern=ring:8\nbogus=1\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Spec, FigureSweepExpandsToTheExpectedJobCount) {
+  // The Fig. 5 campaign shape: 16 w2 x 3 centered + 16 w2 x 3 algos x 10
+  // seeds.
+  const auto jobs = parseCampaign(
+      "pattern=cg128 w2=16..1 routing={s-mod-k,d-mod-k,colored} seed=1\n"
+      "pattern=cg128 w2=16..1 routing={Random,r-NCA-u,r-NCA-d} seed=1..10\n");
+  EXPECT_EQ(jobs.size(), 16u * 3u + 16u * 3u * 10u);
+}
+
+TEST(Spec, DeriveSeedIsStable) {
+  // Pinned values: campaign outputs (seeded patterns, spray choices) must
+  // replay identically across platforms and releases.
+  EXPECT_EQ(deriveSeed(1, "pattern"), 13362491538261306851ULL);
+  EXPECT_EQ(deriveSeed(1, "spray"), 18430719551283032133ULL);
+  EXPECT_EQ(deriveSeed(42, "pattern"), 8884445026359647558ULL);
+}
+
+TEST(Spec, DeriveSeedSeparatesRolesAndBases) {
+  EXPECT_NE(deriveSeed(1, "pattern"), deriveSeed(1, "spray"));
+  EXPECT_NE(deriveSeed(1, "pattern"), deriveSeed(2, "pattern"));
+}
+
+TEST(Spec, MakeWorkloadBuildsTheBuiltins) {
+  ExperimentSpec spec;
+  spec.pattern = "cg128";
+  EXPECT_EQ(makeWorkload(spec).numRanks, 128u);
+  EXPECT_EQ(makeWorkload(spec).phases.size(), 5u);
+  spec.pattern = "wrf256";
+  EXPECT_EQ(makeWorkload(spec).numRanks, 256u);
+  spec.pattern = "ring:48";
+  EXPECT_EQ(makeWorkload(spec).numRanks, 48u);
+  spec.pattern = "stencil:4:8";
+  EXPECT_EQ(makeWorkload(spec).numRanks, 32u);
+  spec.pattern = "shift:8";
+  EXPECT_EQ(makeWorkload(spec).phases.size(), 7u);
+}
+
+TEST(Spec, MakeWorkloadScalesMessages) {
+  ExperimentSpec spec;
+  spec.pattern = "cg128";
+  spec.msgScale = 0.5;
+  const patterns::PhasedPattern app = makeWorkload(spec);
+  EXPECT_EQ(app.phases.at(0).flows().at(0).bytes,
+            patterns::kCgMessageBytes / 2);
+}
+
+TEST(Spec, MakeWorkloadSeededPatternsFollowTheJobSeed) {
+  ExperimentSpec a;
+  a.pattern = "uniform:64:2";
+  ExperimentSpec b = a;
+  b.seed = 2;
+  EXPECT_EQ(makeWorkload(a).flattened().flows(),
+            makeWorkload(a).flattened().flows());
+  EXPECT_NE(makeWorkload(a).flattened().flows(),
+            makeWorkload(b).flattened().flows());
+  EXPECT_TRUE(patternDependsOnSeed(a.pattern));
+  EXPECT_FALSE(patternDependsOnSeed("cg128"));
+}
+
+TEST(Spec, MakeWorkloadRejectsUnknownPatterns) {
+  ExperimentSpec spec;
+  spec.pattern = "nonsense";
+  EXPECT_THROW(makeWorkload(spec), std::invalid_argument);
+  spec.pattern = "ring";  // Missing argument.
+  EXPECT_THROW(makeWorkload(spec), std::invalid_argument);
+  spec.pattern = "ring:8:9";  // Too many arguments.
+  EXPECT_THROW(makeWorkload(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace engine
