@@ -1,8 +1,13 @@
 // micro_routing — google-benchmark microbenchmarks for the routing layer:
-// per-pair route computation throughput of every scheme, relabel-scheme
-// construction, Colored optimization and the edge-coloring substrate.
+// per-pair route computation throughput of every scheme (virtual route()
+// vs the compiled forwarding-table lookup), table compilation cost,
+// relabel-scheme construction, Colored optimization and the edge-coloring
+// substrate.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "core/compiled_routes.hpp"
 #include "patterns/applications.hpp"
 #include "patterns/permutation.hpp"
 #include "routing/colored.hpp"
@@ -61,6 +66,53 @@ void BM_RouteColored(benchmark::State& state) {
   routeSweep(state, router);
 }
 BENCHMARK(BM_RouteColored);
+
+// --- virtual route() vs compiled-table lookup --------------------------------
+// The replayer's per-message hot path: the engine compiles static schemes
+// into core::CompiledRoutes once and replaces the virtual dispatch below
+// with the flat lookup benchmarked here (numbers recorded in DESIGN.md §6).
+
+std::shared_ptr<const core::CompiledRoutes> compiledOf(routing::RouterPtr r) {
+  std::shared_ptr<const routing::Router> shared(std::move(r));
+  return core::CompiledRoutes::compile(std::move(shared), 1);
+}
+
+void compiledSweep(benchmark::State& state,
+                   const core::CompiledRoutes& table) {
+  const xgft::Count n = table.topology().numHosts();
+  std::uint64_t pair = 0;
+  for (auto _ : state) {
+    const xgft::NodeIndex s = static_cast<xgft::NodeIndex>(pair % n);
+    const xgft::NodeIndex d =
+        static_cast<xgft::NodeIndex>((pair * 37 + 11) % n);
+    benchmark::DoNotOptimize(table.upPorts(s, d).data());
+    ++pair;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CompiledLookupDModK(benchmark::State& state) {
+  static const auto table = compiledOf(routing::makeDModK(paperTopo()));
+  compiledSweep(state, *table);
+}
+BENCHMARK(BM_CompiledLookupDModK);
+
+void BM_CompiledLookupRandom(benchmark::State& state) {
+  static const auto table = compiledOf(routing::makeRandom(paperTopo(), 1));
+  compiledSweep(state, *table);
+}
+BENCHMARK(BM_CompiledLookupRandom);
+
+void BM_CompileTableDModK(benchmark::State& state) {
+  const xgft::Count n = paperTopo().numHosts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiledOf(routing::makeDModK(paperTopo())));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_CompileTableDModK);
 
 void BM_BuildBalancedRandomScheme(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

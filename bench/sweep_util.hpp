@@ -43,28 +43,28 @@ inline std::vector<SweepPoint> slimmingSweep(const std::string& patternSpec,
                                              const Options& opt, bool withRnca,
                                              std::ostream& log) {
   std::vector<engine::ExperimentSpec> specs;
-  const auto pushSpec = [&](std::uint32_t w2, engine::Algo algo,
+  const auto pushSpec = [&](std::uint32_t w2, const std::string& scheme,
                             std::uint64_t seed) {
     engine::ExperimentSpec spec;
     spec.topo = xgft::xgft2(16, 16, w2);
     spec.pattern = patternSpec;
-    spec.routing = algo;
+    spec.routing = scheme;
     spec.msgScale = opt.msgScale;
     spec.seed = seed;
     specs.push_back(std::move(spec));
   };
-  std::vector<engine::Algo> boxed{engine::Algo::kRandom};
+  std::vector<std::string> boxed{"Random"};
   if (withRnca) {
-    boxed.push_back(engine::Algo::kRNcaUp);
-    boxed.push_back(engine::Algo::kRNcaDown);
+    boxed.push_back("r-NCA-u");
+    boxed.push_back("r-NCA-d");
   }
   for (std::uint32_t w2 = 16; w2 >= 1; --w2) {
-    pushSpec(w2, engine::Algo::kSModK, 1);
-    pushSpec(w2, engine::Algo::kDModK, 1);
-    pushSpec(w2, engine::Algo::kColored, 1);
-    for (const engine::Algo algo : boxed) {
+    pushSpec(w2, "s-mod-k", 1);
+    pushSpec(w2, "d-mod-k", 1);
+    pushSpec(w2, "colored", 1);
+    for (const std::string& scheme : boxed) {
       for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
-        pushSpec(w2, algo, seed);
+        pushSpec(w2, scheme, seed);
       }
     }
   }
@@ -100,13 +100,13 @@ inline std::vector<SweepPoint> slimmingSweep(const std::string& patternSpec,
     point.centered["s-mod-k"] = take().slowdown;
     point.centered["d-mod-k"] = take().slowdown;
     point.centered["colored"] = take().slowdown;
-    for (const engine::Algo algo : boxed) {
+    for (const std::string& scheme : boxed) {
       std::vector<double> sample;
       sample.reserve(opt.seeds);
       for (std::uint32_t seed = 1; seed <= opt.seeds; ++seed) {
         sample.push_back(take().slowdown);
       }
-      point.boxes[engine::toString(algo)] = analysis::boxStats(sample);
+      point.boxes[scheme] = analysis::boxStats(sample);
     }
     points.push_back(std::move(point));
   }

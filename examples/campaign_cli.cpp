@@ -6,8 +6,14 @@
 // deterministic CSV row per job.  The CSV is byte-identical regardless of
 // --threads, so campaign outputs can be diffed across machines.
 //
+// Every axis is registry-driven (core/scenario.hpp): the --list-* flags
+// enumerate whatever schemes, patterns, topology presets and builtin
+// campaigns are registered, and a newly registered name is immediately
+// usable in campaign files with no CLI change.
+//
 //   campaign_cli --builtin fig5-cg --threads 8 --out fig5.csv
 //   campaign_cli --builtin fig2-cg --seeds 3 --msg-scale 0.03125
+//   campaign_cli --list-schemes
 //   campaign_cli my_campaign.txt
 //   echo 'pattern=ring:64 w2=8..1 routing=Random seed=1..4' | campaign_cli -
 #include <fstream>
@@ -15,6 +21,8 @@
 #include <sstream>
 #include <string>
 
+#include "core/scenario.hpp"
+#include "engine/campaigns.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec.hpp"
 
@@ -24,6 +32,8 @@ struct CliOptions {
   std::string campaignFile;
   std::string builtin;
   std::string outFile;
+  std::string list;           // One of: schemes, patterns, topologies,
+                              // campaigns ("" = no listing).
   std::uint32_t threads = 0;  // 0 = hardware concurrency.
   std::uint32_t seeds = 10;
   double msgScale = 0.125;
@@ -32,9 +42,20 @@ struct CliOptions {
   bool quiet = false;
 };
 
+std::string joinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += " | ";
+    out += n;
+  }
+  return out;
+}
+
 void usage(std::ostream& os) {
   os << "usage: campaign_cli [options] [campaign-file|-]\n"
-        "  --builtin NAME    fig2-cg | fig2-wrf | fig4 | fig5-cg | fig5-wrf\n"
+        "  --builtin NAME    "
+     << joinNames(engine::campaignRegistry().names())
+     << "\n"
         "  --threads N       worker threads (default: hardware concurrency)\n"
         "  --seeds N         seed-sweep width of builtin campaigns "
         "(default 10)\n"
@@ -43,41 +64,52 @@ void usage(std::ostream& os) {
         "  --out FILE        write the CSV there instead of stdout\n"
         "  --no-contention   skip the static contention/census columns\n"
         "  --print-campaign  print the expanded campaign text and exit\n"
+        "  --list-schemes    registered routing schemes, one per line\n"
+        "  --list-patterns   registered workload patterns\n"
+        "  --list-topologies registered topology presets\n"
+        "  --list-campaigns  registered builtin campaigns\n"
         "  --quiet           no progress on stderr\n";
 }
 
-/// The paper's figure sweeps as campaign text (the same format a user would
-/// put in a file) — the builtins go through the exact parser/expander path.
-std::string builtinCampaign(const std::string& name, std::uint32_t seeds,
-                            double msgScale) {
-  std::ostringstream os;
-  const std::string scale = " msg_scale=" + engine::formatShortest(msgScale);
-  const std::string seedSweep = " seed=1.." + std::to_string(seeds);
-  if (name == "fig2-cg" || name == "fig2-wrf" || name == "fig5-cg" ||
-      name == "fig5-wrf") {
-    const bool rnca = name.rfind("fig5", 0) == 0;
-    const std::string pattern =
-        name.find("-cg") != std::string::npos ? "cg128" : "wrf256";
-    os << "# " << name << ": progressive slimming sweep, XGFT(2;16,16;1,w2)\n"
-       << "pattern=" << pattern << scale
-       << " w2=16..1 routing={s-mod-k,d-mod-k,colored} seed=1\n"
-       << "pattern=" << pattern << scale << " w2=16..1 routing="
-       << (rnca ? "{Random,r-NCA-u,r-NCA-d}" : "Random") << seedSweep << "\n";
-    return os.str();
-  }
-  if (name == "fig4") {
-    // All ordered pairs (alltoall) on the full and the slimmed tree: the
-    // nca_routes_min/max columns are Fig. 4's per-NCA census extremes.
-    // Tiny messages: the census is static, the simulation is a formality.
-    for (const char* w2 : {"16", "10"}) {
-      os << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
-         << " routing={s-mod-k,d-mod-k} seed=1\n"
-         << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
-         << " routing={Random,r-NCA-u,r-NCA-d}" << seedSweep << "\n";
+/// Renders one "name - summary" listing from whichever registry @p what
+/// names; returns the process exit code.
+int listRegistry(const std::string& what) {
+  const auto row = [](const std::string& name, const std::string& usage,
+                      const std::string& summary) {
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 22; ++pad) std::cout << ' ';
+    std::cout << summary;
+    if (!usage.empty() && usage != name) std::cout << "  [" << usage << "]";
+    std::cout << "\n";
+  };
+  if (what == "schemes") {
+    std::cout << "registered routing schemes:\n";
+    for (const std::string& name : core::schemeRegistry().names()) {
+      row(name, name, core::schemeRegistry().at(name).summary);
     }
-    return os.str();
+  } else if (what == "patterns") {
+    std::cout << "registered patterns:\n";
+    for (const std::string& name : core::patternRegistry().names()) {
+      const core::PatternInfo& info = core::patternRegistry().at(name);
+      row(name, info.usage, info.summary);
+    }
+  } else if (what == "topologies") {
+    std::cout << "registered topology presets (or explicit "
+                 "topo=\"XGFT(h; m...; w...)\"):\n";
+    for (const std::string& name : core::topologyRegistry().names()) {
+      const core::TopologyInfo& info = core::topologyRegistry().at(name);
+      row(name, info.usage, info.summary);
+    }
+  } else if (what == "campaigns") {
+    std::cout << "registered builtin campaigns:\n";
+    for (const std::string& name : engine::campaignRegistry().names()) {
+      row(name, name, engine::campaignRegistry().at(name).summary);
+    }
+  } else {
+    std::cerr << "error: unknown listing '" << what << "'\n";
+    return 2;
   }
-  throw std::invalid_argument("unknown builtin campaign '" + name + "'");
+  return 0;
 }
 
 CliOptions parseCli(int argc, char** argv) {
@@ -104,6 +136,14 @@ CliOptions parseCli(int argc, char** argv) {
       opt.contention = false;
     } else if (arg == "--print-campaign") {
       opt.printCampaign = true;
+    } else if (arg == "--list-schemes") {
+      opt.list = "schemes";
+    } else if (arg == "--list-patterns") {
+      opt.list = "patterns";
+    } else if (arg == "--list-topologies") {
+      opt.list = "topologies";
+    } else if (arg == "--list-campaigns") {
+      opt.list = "campaigns";
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -117,7 +157,7 @@ CliOptions parseCli(int argc, char** argv) {
       throw std::invalid_argument("more than one campaign file given");
     }
   }
-  if (opt.builtin.empty() == opt.campaignFile.empty()) {
+  if (opt.list.empty() && opt.builtin.empty() == opt.campaignFile.empty()) {
     throw std::invalid_argument(
         "give exactly one of --builtin NAME or a campaign file (or '-')");
   }
@@ -136,9 +176,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (!cli.list.empty()) return listRegistry(cli.list);
+
     std::string campaignText;
     if (!cli.builtin.empty()) {
-      campaignText = builtinCampaign(cli.builtin, cli.seeds, cli.msgScale);
+      campaignText = engine::builtinCampaign(
+          cli.builtin, engine::CampaignOptions{cli.seeds, cli.msgScale});
     } else if (cli.campaignFile == "-") {
       std::ostringstream buf;
       buf << std::cin.rdbuf();
@@ -201,7 +244,9 @@ int main(int argc, char** argv) {
                 << " s; cache: topo " << c.topologyHits << "/"
                 << (c.topologyHits + c.topologyMisses) << " hits, routers "
                 << c.routerHits << "/" << (c.routerHits + c.routerMisses)
-                << ", references " << c.referenceHits << "/"
+                << ", tables " << c.tableHits << "/"
+                << (c.tableHits + c.tableMisses) << ", references "
+                << c.referenceHits << "/"
                 << (c.referenceHits + c.referenceMisses) << "\n";
       if (failed > 0) std::cerr << failed << " job(s) failed\n";
     }

@@ -9,7 +9,9 @@
 //   experiment_cli "kary(8, 2)" wrf64 r-NCA-d
 //   experiment_cli "XGFT(2; 8,8; 1,4)" pattern.txt Random
 //
-// Pattern files use the flow-list format of patterns/io.hpp.
+// Workloads and schemes resolve through the core:: registries (any
+// registered pattern spec like ring:64 works); anything that is not a
+// registered pattern name is read as a flow-list file (patterns/io.hpp).
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -17,11 +19,8 @@
 #include "analysis/contention.hpp"
 #include "analysis/dependency.hpp"
 #include "analysis/report.hpp"
-#include "patterns/applications.hpp"
+#include "core/scenario.hpp"
 #include "patterns/io.hpp"
-#include "routing/colored.hpp"
-#include "routing/random_router.hpp"
-#include "routing/relabel.hpp"
 #include "trace/harness.hpp"
 #include "xgft/io.hpp"
 #include "xgft/printer.hpp"
@@ -29,10 +28,10 @@
 namespace {
 
 patterns::PhasedPattern loadWorkload(const std::string& spec) {
-  if (spec == "cg128") return patterns::cgD128();
-  if (spec == "wrf256") return patterns::wrf256();
-  if (spec == "wrf64") {
-    return patterns::wrfHalo(8, 8, patterns::kWrfMessageBytes);
+  core::Scenario sc;
+  sc.pattern = spec;
+  if (core::patternRegistry().contains(core::splitSpec(spec).name)) {
+    return sc.makeWorkload();
   }
   std::ifstream file(spec);
   if (!file) {
@@ -45,17 +44,14 @@ patterns::PhasedPattern loadWorkload(const std::string& spec) {
 routing::RouterPtr makeRouter(const std::string& name,
                               const xgft::Topology& topo,
                               const patterns::PhasedPattern& app) {
-  if (name == "Random" || name == "random") {
-    return routing::makeRandom(topo, 1);
+  core::Scenario sc;
+  sc.routing = core::schemeRegistry().canonical(name);
+  if (sc.schemeInfo().mode != core::RouteMode::kTable) {
+    throw std::invalid_argument("scheme '" + name +
+                                "' routes per segment inside the simulator "
+                                "and has no static analysis here");
   }
-  if (name == "s-mod-k") return routing::makeSModK(topo);
-  if (name == "d-mod-k") return routing::makeDModK(topo);
-  if (name == "r-NCA-u") return routing::makeRNcaUp(topo, 1);
-  if (name == "r-NCA-d") return routing::makeRNcaDown(topo, 1);
-  if (name == "colored") return routing::makeColored(topo, app);
-  throw std::invalid_argument(
-      "unknown scheme '" + name +
-      "' (try Random, s-mod-k, d-mod-k, r-NCA-u, r-NCA-d, colored)");
+  return sc.makeRouter(topo, app);
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+#include "core/compiled_routes.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace core {
+
+CompiledRoutes::CompiledRoutes(std::shared_ptr<const routing::Router> router)
+    : router_(std::move(router)) {
+  const xgft::Topology& topo = router_->topology();
+  numHosts_ = static_cast<std::size_t>(topo.numHosts());
+  stride_ = topo.height();
+  if (stride_ > 0xff) {
+    throw std::invalid_argument("CompiledRoutes: tree higher than 255 levels");
+  }
+  ports_.resize(numHosts_ * numHosts_ * stride_);
+  lens_.resize(numHosts_ * numHosts_);
+}
+
+std::uint64_t CompiledRoutes::tableBytes(const xgft::Topology& topo) {
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(topo.numHosts()) * topo.numHosts();
+  return pairs * (static_cast<std::uint64_t>(topo.height()) *
+                      sizeof(std::uint32_t) +
+                  sizeof(std::uint8_t));
+}
+
+std::shared_ptr<const CompiledRoutes> CompiledRoutes::compile(
+    std::shared_ptr<const routing::Router> router, std::uint32_t threads) {
+  if (!router) {
+    throw std::invalid_argument("CompiledRoutes::compile: null router");
+  }
+  auto table = std::shared_ptr<CompiledRoutes>(
+      new CompiledRoutes(std::move(router)));
+  const routing::Router& r = *table->router_;
+  const xgft::Topology& topo = r.topology();
+  const std::size_t n = table->numHosts_;
+  const std::uint32_t stride = table->stride_;
+
+  // Each worker fills disjoint source rows, so no synchronization is needed
+  // and the table contents are thread-count independent (routers are
+  // required to be deterministic and immutable after construction).
+  const auto fillRows = [&](std::size_t sBegin, std::size_t sEnd) {
+    for (std::size_t s = sBegin; s < sEnd; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        const std::size_t pair = s * n + d;
+        if (s == d) {
+          table->lens_[pair] = 0;
+          continue;
+        }
+        const xgft::Route route = r.route(static_cast<xgft::NodeIndex>(s),
+                                          static_cast<xgft::NodeIndex>(d));
+        std::string error;
+        if (!xgft::validateRoute(topo, static_cast<xgft::NodeIndex>(s),
+                                 static_cast<xgft::NodeIndex>(d), route,
+                                 &error)) {
+          throw std::invalid_argument("CompiledRoutes(" + r.name() +
+                                      "): " + error);
+        }
+        table->lens_[pair] = static_cast<std::uint8_t>(route.up.size());
+        std::copy(route.up.begin(), route.up.end(),
+                  table->ports_.begin() +
+                      static_cast<std::ptrdiff_t>(pair * stride));
+      }
+    }
+  };
+
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, n)));
+  if (threads <= 1 || n < 2) {
+    fillRows(0, n);
+  } else {
+    std::vector<std::thread> pool;
+    std::exception_ptr failure;
+    std::mutex failureMu;
+    pool.reserve(threads);
+    const std::size_t chunk = (n + threads - 1) / threads;
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      const std::size_t begin = std::min(n, static_cast<std::size_t>(w) * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back([&, begin, end] {
+        try {
+          fillRows(begin, end);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(failureMu);
+          if (!failure) failure = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+  return table;
+}
+
+xgft::Route CompiledRoutes::route(xgft::NodeIndex s, xgft::NodeIndex d) const {
+  const std::span<const std::uint32_t> ports = upPorts(s, d);
+  xgft::Route r;
+  r.up.assign(ports.begin(), ports.end());
+  return r;
+}
+
+}  // namespace core

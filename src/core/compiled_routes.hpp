@@ -1,0 +1,75 @@
+// compiled_routes.hpp — Flat per-(src, dst) forwarding tables compiled from
+// any Router.
+//
+// Every simulated message used to pay a virtual Router::route(s, d) call
+// (plus route validation and hop expansion) on the replayer's hot path.  A
+// CompiledRoutes handle is the compile-once/route-many split packet-routing
+// simulators rely on: the table is built once per (topology, scheme, seed)
+// — in parallel when asked — by querying the router for every ordered host
+// pair, validating each route exactly once, and storing the ascending
+// port choices in one flat array:
+//
+//   ports_[(s * numHosts + d) * stride + i]  =  up-port taken at level i,
+//   lens_ [ s * numHosts + d]                =  route length (= NCA level).
+//
+// The handle is immutable after compile() and therefore freely shared
+// across threads and campaign jobs (the engine memoizes it next to the
+// router).  sim::Network::addMessageCompiled consumes upPorts() spans
+// directly — a table lookup instead of virtual dispatch per message.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "routing/router.hpp"
+#include "xgft/route.hpp"
+#include "xgft/topology.hpp"
+
+namespace core {
+
+class CompiledRoutes {
+ public:
+  /// Compiles the full ordered-pair table from @p router, splitting the
+  /// source rows across @p threads workers (0 means hardware concurrency;
+  /// the result is identical for any thread count).  Every route is
+  /// validated against the topology; a malformed route throws
+  /// std::invalid_argument.  The router (and through it the topology) is
+  /// kept alive by the returned handle.
+  [[nodiscard]] static std::shared_ptr<const CompiledRoutes> compile(
+      std::shared_ptr<const routing::Router> router, std::uint32_t threads = 1);
+
+  /// Table size in bytes for a topology, before building — callers bound
+  /// memory with this (the engine falls back to virtual routing above its
+  /// limit).
+  [[nodiscard]] static std::uint64_t tableBytes(const xgft::Topology& topo);
+
+  /// The ascending port choices for (s, d); length == ncaLevel(s, d), empty
+  /// when s == d.  Valid for the handle's lifetime.
+  [[nodiscard]] std::span<const std::uint32_t> upPorts(
+      xgft::NodeIndex s, xgft::NodeIndex d) const {
+    const std::size_t pair = static_cast<std::size_t>(s) * numHosts_ + d;
+    return {ports_.data() + pair * stride_, lens_[pair]};
+  }
+
+  /// Materializes the xgft::Route for (s, d) — for analysis-style callers.
+  [[nodiscard]] xgft::Route route(xgft::NodeIndex s, xgft::NodeIndex d) const;
+
+  [[nodiscard]] const routing::Router& router() const { return *router_; }
+  [[nodiscard]] const xgft::Topology& topology() const {
+    return router_->topology();
+  }
+  [[nodiscard]] std::size_t numHosts() const { return numHosts_; }
+  [[nodiscard]] std::uint32_t stride() const { return stride_; }
+
+ private:
+  explicit CompiledRoutes(std::shared_ptr<const routing::Router> router);
+
+  std::shared_ptr<const routing::Router> router_;
+  std::size_t numHosts_ = 0;
+  std::uint32_t stride_ = 0;           ///< Tree height.
+  std::vector<std::uint32_t> ports_;   ///< numHosts^2 * stride.
+  std::vector<std::uint8_t> lens_;     ///< numHosts^2 route lengths.
+};
+
+}  // namespace core

@@ -1,0 +1,152 @@
+// registry.hpp — String-keyed factory registries (the open construction
+// API of the scenario layer).
+//
+// A Registry<Value> maps names to immutable entries (factories plus their
+// traits).  Producers self-register — the routing/, patterns/ and xgft/
+// modules each expose a registerBuiltin*() hook that core/scenario.cpp runs
+// exactly once — and consumers (engine, CLI, benches) only ever look names
+// up, so adding a scheme or workload touches one file in its own module and
+// nothing else.
+//
+// Contracts:
+//  * Names are unique; re-registering a taken name (or alias) throws.
+//  * Aliases resolve to a canonical name ("random" -> "Random"), so user
+//    spellings normalize before they reach cache keys or CSV cells.
+//  * Lookups are thread-safe against concurrent registration (shared
+//    mutex); entry references stay valid forever (std::map nodes are
+//    stable), so a caller may hold a `const Value&` without the lock.
+//  * Every lookup failure throws the same std::invalid_argument shape:
+//      unknown <kind> '<name>' (registered: a, b, c)
+//    — one consistent error wherever a bad name enters the system.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace core {
+
+template <typename Value>
+class Registry {
+ public:
+  /// @p kind is the human-readable noun used in error messages
+  /// ("routing scheme", "pattern", "topology preset").
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers @p value under @p name.  Throws std::invalid_argument if the
+  /// name (or an alias spelled the same) is already taken.
+  void add(std::string name, Value value) {
+    std::unique_lock lock(mu_);
+    if (spellings_.count(name) != 0) {
+      throw std::invalid_argument("duplicate " + kind_ + " registration '" +
+                                  name + "'");
+    }
+    // Entry first, spelling second (with rollback): every spelling present
+    // in spellings_ must resolve to an entry even if an insertion throws.
+    const auto entry = entries_.emplace(name, std::move(value)).first;
+    try {
+      spellings_.emplace(std::move(name), entry->first);
+    } catch (...) {
+      entries_.erase(entry);
+      throw;
+    }
+  }
+
+  /// Registers @p alt as an alternate spelling of the already-registered
+  /// @p canonical name.  Lookups under @p alt resolve to the canonical
+  /// entry; names() lists only canonical names.
+  void alias(std::string alt, const std::string& canonical) {
+    std::unique_lock lock(mu_);
+    if (entries_.count(canonical) == 0) {
+      throw std::invalid_argument("alias '" + alt + "' for unregistered " +
+                                  kind_ + " '" + canonical + "'");
+    }
+    if (spellings_.count(alt) != 0) {
+      throw std::invalid_argument("duplicate " + kind_ + " registration '" +
+                                  alt + "'");
+    }
+    spellings_.emplace(std::move(alt), canonical);
+  }
+
+  /// The entry registered under @p name (any accepted spelling).  The
+  /// returned reference is stable for the registry's lifetime.
+  [[nodiscard]] const Value& at(const std::string& name) const {
+    std::shared_lock lock(mu_);
+    const auto spelling = spellings_.find(name);
+    if (spelling == spellings_.end()) throw unknown(name);
+    return entries_.find(spelling->second)->second;
+  }
+
+  /// Like at(), but nullptr instead of throwing.
+  [[nodiscard]] const Value* find(const std::string& name) const {
+    std::shared_lock lock(mu_);
+    const auto spelling = spellings_.find(name);
+    if (spelling == spellings_.end()) return nullptr;
+    return &entries_.find(spelling->second)->second;
+  }
+
+  /// Resolves @p name to its canonical spelling; throws like at() when
+  /// unknown.
+  [[nodiscard]] std::string canonical(const std::string& name) const {
+    std::shared_lock lock(mu_);
+    const auto spelling = spellings_.find(name);
+    if (spelling == spellings_.end()) throw unknown(name);
+    return spelling->second;
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    std::shared_lock lock(mu_);
+    return spellings_.count(name) != 0;
+  }
+
+  /// Canonical names in sorted order — registration order never matters.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::shared_lock lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, value] : entries_) out.push_back(name);
+    return out;
+  }
+
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+
+ private:
+  [[nodiscard]] std::invalid_argument unknown(const std::string& name) const {
+    std::string msg = "unknown " + kind_ + " '" + name + "' (registered:";
+    bool first = true;
+    for (const auto& [canon, value] : entries_) {
+      msg += first ? " " : ", ";
+      msg += canon;
+      first = false;
+    }
+    msg += ")";
+    return std::invalid_argument(msg);
+  }
+
+  mutable std::shared_mutex mu_;
+  std::string kind_;
+  std::map<std::string, std::string> spellings_;  ///< Spelling -> canonical.
+  std::map<std::string, Value> entries_;          ///< Canonical -> value.
+};
+
+/// The one-time-populated process-wide registry instance behind accessors
+/// like schemeRegistry().  Keyed by the populate hook (a distinct hook gets
+/// a distinct instance), thread-safe via static initialization.  Populate
+/// hooks must not throw: an exception would leave the instance partially
+/// filled and every retried initialization failing on duplicates.
+template <typename Value, void (*Populate)(Registry<Value>&)>
+[[nodiscard]] Registry<Value>& populatedRegistry(const char* kind) {
+  static Registry<Value> reg{std::string(kind)};
+  static const bool once = (Populate(reg), true);
+  (void)once;
+  return reg;
+}
+
+}  // namespace core

@@ -1,0 +1,166 @@
+// scenario.hpp — The registry-driven Scenario construction API.
+//
+// The paper's evaluation is a cross-product of {topology, routing scheme,
+// traffic pattern} (Figs. 2/4/5).  This layer makes each axis an open,
+// string-keyed registry instead of a hard-coded if-chain:
+//
+//  * schemeRegistry()   "d-mod-k", "Random", "colored", ... -> SchemeInfo
+//  * patternRegistry()  "cg128", "ring", "uniform", ...     -> PatternInfo
+//  * topologyRegistry() "xgft2", "kary", "paper-slim", ...  -> TopologyInfo
+//
+// The built-in entries self-register from their home modules (see
+// routing/register.cpp, patterns/register.cpp, xgft/register.cpp), so
+// adding a scheme or workload is one file in its own module — the engine,
+// CLI and bench harnesses consume names only.  A Scenario is the value type
+// tying one of each together (plus message scale, seed and simulator
+// config); its make*() methods are the single construction path everything
+// above the registries uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "patterns/pattern.hpp"
+#include "routing/router.hpp"
+#include "sim/config.hpp"
+#include "xgft/params.hpp"
+
+namespace core {
+
+/// How the simulator consumes a scheme.  kTable schemes assign one static
+/// route per (s, d) pair — they build a Router and can be compiled to flat
+/// forwarding tables (CompiledRoutes).  kAdaptive and kSpray route per
+/// segment inside the simulator; they have no Router factory and no static
+/// contention analysis.
+enum class RouteMode : std::uint8_t { kTable, kAdaptive, kSpray };
+
+/// Everything a Router factory may consult besides the topology.
+struct RouterContext {
+  std::uint64_t seed = 1;
+  /// The workload, for pattern-aware schemes (Colored); null otherwise.
+  const patterns::PhasedPattern* app = nullptr;
+};
+
+/// One registered routing scheme: behavioural traits plus the factory.
+struct SchemeInfo {
+  RouteMode mode = RouteMode::kTable;
+  /// Route choice depends on the seed (Random, r-NCA-u/d, spray).
+  bool seeded = false;
+  /// Construction consults the workload (Colored) — cache keys must then
+  /// include the pattern, scale and seed.
+  bool patternAware = false;
+  std::string summary;  ///< One line for --list-schemes.
+  /// Builds the router; null for per-segment schemes (kAdaptive/kSpray).
+  std::function<routing::RouterPtr(const xgft::Topology&,
+                                   const RouterContext&)>
+      make;
+};
+
+/// Seed handed to seeded pattern factories (derived from the job seed).
+struct PatternContext {
+  std::uint64_t seed = 1;
+};
+
+/// One registered workload family, keyed by the name before the first ':'.
+struct PatternInfo {
+  std::string usage;    ///< e.g. "ring:N" — shown by --list-patterns.
+  std::string summary;  ///< One line for --list-patterns.
+  /// The generated flows depend on PatternContext::seed (uniform,
+  /// permutations) — such workloads cannot share a crossbar reference
+  /// across seeds.
+  bool seeded = false;
+  std::function<patterns::PhasedPattern(const std::vector<std::string>& args,
+                                        const PatternContext&)>
+      make;
+};
+
+/// One registered topology preset, keyed like patterns ("xgft2:16:16:10").
+struct TopologyInfo {
+  std::string usage;
+  std::string summary;
+  std::function<xgft::Params(const std::vector<std::string>& args)> make;
+};
+
+/// The process-wide registries.  First access registers the built-ins from
+/// routing/, patterns/ and xgft/; later self-registrations (plugins, tests)
+/// may add entries at any time — lookups are thread-safe.
+[[nodiscard]] Registry<SchemeInfo>& schemeRegistry();
+[[nodiscard]] Registry<PatternInfo>& patternRegistry();
+[[nodiscard]] Registry<TopologyInfo>& topologyRegistry();
+
+/// A colon-separated spec "name:arg1:arg2" split for registry dispatch.
+struct SpecName {
+  std::string full;
+  std::string name;
+  std::vector<std::string> args;
+
+  /// Throws std::invalid_argument unless exactly @p n args were given.
+  void requireArity(std::size_t n) const;
+
+  /// Arg @p i parsed as u32; throws std::invalid_argument on malformed or
+  /// missing values.
+  [[nodiscard]] std::uint32_t argU32(std::size_t i) const;
+};
+
+[[nodiscard]] SpecName splitSpec(const std::string& spec);
+
+/// Reassembles a SpecName from a registry key and its raw args (the inverse
+/// of splitSpec) — used by factory adapters to report the full spec in
+/// arity/parse errors.
+[[nodiscard]] SpecName joinSpec(std::string name,
+                                std::vector<std::string> args);
+
+/// Resolves a topology spec: the paper notation "XGFT(h; m...; w...)" goes
+/// through xgft::parseParams, anything else through topologyRegistry().
+[[nodiscard]] xgft::Params makeTopoParams(const std::string& spec);
+
+/// Derives an independent sub-seed for a named role ("pattern", "spray",
+/// ...) from a base seed.  Stable across platforms and releases: FNV-1a
+/// over the role name mixed through SplitMix64.
+[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t base,
+                                       std::string_view role);
+
+/// The scheme whose Router the routing name @p routing actually builds:
+/// table schemes build themselves, per-segment schemes (adaptive, spray)
+/// build the inert d-mod-k placeholder the replayer interface wants.  The
+/// single source of that fallback rule — Scenario::makeRouter constructs
+/// with it and the engine derives router cache keys from it, so keys and
+/// built routers cannot diverge.  Stores the build scheme's canonical name
+/// in @p name when non-null.
+[[nodiscard]] const SchemeInfo& routerBuildScheme(const std::string& routing,
+                                                  std::string* name = nullptr);
+
+/// One fully-specified simulation scenario: the unit the engine runs, the
+/// CLI sweeps and the bench harnesses construct.
+struct Scenario {
+  xgft::Params topo = xgft::karyNTree(16, 2);
+  std::string pattern = "cg128";     ///< patternRegistry() spec.
+  std::string routing = "d-mod-k";   ///< schemeRegistry() name (canonical).
+  double msgScale = 1.0;
+  std::uint64_t seed = 1;
+  sim::SimConfig sim = {};
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+
+  /// Traits of the configured scheme (throws on unknown names).
+  [[nodiscard]] const SchemeInfo& schemeInfo() const;
+
+  /// True when the workload's flows depend on the job seed.
+  [[nodiscard]] bool patternSeeded() const;
+
+  /// Instantiates the workload with message sizes already scaled by
+  /// msgScale; seeded patterns draw from deriveSeed(seed, "pattern").
+  [[nodiscard]] patterns::PhasedPattern makeWorkload() const;
+
+  /// Builds the router on @p t.  Per-segment schemes (adaptive, spray) get
+  /// the inert d-mod-k placeholder the replayer interface wants.  @p app is
+  /// only consulted by pattern-aware schemes.
+  [[nodiscard]] routing::RouterPtr makeRouter(
+      const xgft::Topology& t, const patterns::PhasedPattern& app) const;
+};
+
+}  // namespace core

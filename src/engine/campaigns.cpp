@@ -1,0 +1,98 @@
+#include "engine/campaigns.hpp"
+
+#include <sstream>
+
+#include "engine/spec.hpp"
+
+namespace engine {
+
+namespace {
+
+/// The Fig. 2/5 progressive slimming sweep on XGFT(2;16,16;1,w2):
+/// deterministic schemes once, seeded schemes swept over opt.seeds.
+std::string slimmingCampaign(const std::string& name,
+                             const std::string& pattern, bool rnca,
+                             const CampaignOptions& opt) {
+  std::ostringstream os;
+  const std::string scale = " msg_scale=" + formatShortest(opt.msgScale);
+  os << "# " << name << ": progressive slimming sweep, XGFT(2;16,16;1,w2)\n"
+     << "pattern=" << pattern << scale
+     << " w2=16..1 routing={s-mod-k,d-mod-k,colored} seed=1\n"
+     << "pattern=" << pattern << scale << " w2=16..1 routing="
+     << (rnca ? "{Random,r-NCA-u,r-NCA-d}" : "Random") << " seed=1.."
+     << opt.seeds << "\n";
+  return os.str();
+}
+
+void registerBuiltinCampaigns(core::Registry<CampaignInfo>& registry) {
+  const auto slimming = [&](const std::string& name,
+                            const std::string& pattern, bool rnca,
+                            const std::string& figure) {
+    CampaignInfo info;
+    info.summary = figure + " slimming sweep of " + pattern +
+                   (rnca ? " incl. the r-NCA proposals" : "");
+    info.text = [name, pattern, rnca](const CampaignOptions& opt) {
+      return slimmingCampaign(name, pattern, rnca, opt);
+    };
+    registry.add(name, std::move(info));
+  };
+  slimming("fig2-cg", "cg128", false, "Fig. 2");
+  slimming("fig2-wrf", "wrf256", false, "Fig. 2");
+  slimming("fig5-cg", "cg128", true, "Fig. 5");
+  slimming("fig5-wrf", "wrf256", true, "Fig. 5");
+
+  {
+    CampaignInfo info;
+    info.summary = "Fig. 4 per-NCA route-census extremes (alltoall:256)";
+    info.text = [](const CampaignOptions& opt) {
+      // All ordered pairs (alltoall) on the full and the slimmed tree: the
+      // nca_routes_min/max columns are Fig. 4's per-NCA census extremes.
+      // Tiny messages: the census is static, the simulation is a formality.
+      std::ostringstream os;
+      for (const char* w2 : {"16", "10"}) {
+        os << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
+           << " routing={s-mod-k,d-mod-k} seed=1\n"
+           << "pattern=alltoall:256 msg_scale=0.002 w2=" << w2
+           << " routing={Random,r-NCA-u,r-NCA-d} seed=1.." << opt.seeds
+           << "\n";
+      }
+      return os.str();
+    };
+    registry.add("fig4", std::move(info));
+  }
+
+  {
+    CampaignInfo info;
+    info.summary =
+        "small cross-scheme determinism probe (golden-CSV regression)";
+    info.text = [](const CampaignOptions& opt) {
+      // Every route mode (table, adaptive, spray) over two slimmings of a
+      // small tree — cheap enough for CI, wide enough that a change to any
+      // construction or simulation path shows up in the CSV.
+      std::ostringstream os;
+      os << "# smoke: all route modes on XGFT(2;8,8;1,w2)\n"
+         << "pattern=ring:64 msg_scale=" << formatShortest(opt.msgScale)
+         << " m1=8 m2=8 w2={4,2} "
+            "routing={s-mod-k,d-mod-k,colored,adaptive} seed=1\n"
+         << "pattern=ring:64 msg_scale=" << formatShortest(opt.msgScale)
+         << " m1=8 m2=8 w2={4,2} routing={Random,spray} seed=1.."
+         << opt.seeds << "\n";
+      return os.str();
+    };
+    registry.add("smoke", std::move(info));
+  }
+}
+
+}  // namespace
+
+core::Registry<CampaignInfo>& campaignRegistry() {
+  return core::populatedRegistry<CampaignInfo, registerBuiltinCampaigns>(
+      "builtin campaign");
+}
+
+std::string builtinCampaign(const std::string& name,
+                            const CampaignOptions& opt) {
+  return campaignRegistry().at(name).text(opt);
+}
+
+}  // namespace engine

@@ -1,0 +1,40 @@
+// campaigns.hpp — Registry of built-in campaigns (the paper's figure
+// sweeps and CI probes), keyed by name.
+//
+// A built-in campaign renders to the exact campaign text a user would put
+// in a file — the builtins go through the same parser/expander path as
+// user campaigns, so "fig5-cg" is documentation you can run.  The registry
+// replaces the CLI's name->text if-chain: callers enumerate names() or
+// render one by name, and a new campaign is one registration in
+// campaigns.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/registry.hpp"
+
+namespace engine {
+
+/// The tunables every built-in campaign accepts.
+struct CampaignOptions {
+  std::uint32_t seeds = 10;  ///< Seed-sweep width of randomized schemes.
+  double msgScale = 0.125;   ///< Message-size scale.
+};
+
+struct CampaignInfo {
+  std::string summary;  ///< One line for --list-campaigns.
+  std::function<std::string(const CampaignOptions&)> text;
+};
+
+/// The process-wide built-in campaign registry (self-populated on first
+/// access from campaigns.cpp).
+[[nodiscard]] core::Registry<CampaignInfo>& campaignRegistry();
+
+/// Renders the named built-in campaign; throws the registry's uniform
+/// error for unknown names.
+[[nodiscard]] std::string builtinCampaign(const std::string& name,
+                                          const CampaignOptions& opt);
+
+}  // namespace engine

@@ -64,7 +64,7 @@ void CampaignResults::writeCsv(std::ostream& os) const {
   for (const JobResult* job : ordered) {
     const ExperimentSpec& s = job->spec;
     os << job->jobIndex << ',' << csvEscape(s.topo.toString()) << ','
-       << csvEscape(s.pattern) << ',' << toString(s.routing) << ','
+       << csvEscape(s.pattern) << ',' << csvEscape(s.routing) << ','
        << formatShortest(s.msgScale) << ',' << s.seed << ','
        << (job->ok ? "ok" : "error") << ',' << job->makespanNs << ','
        << fixed6(job->slowdown) << ',' << job->net.messagesDelivered << ','

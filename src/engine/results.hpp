@@ -51,6 +51,8 @@ struct CacheStats {
   std::uint64_t topologyMisses = 0;
   std::uint64_t routerHits = 0;
   std::uint64_t routerMisses = 0;
+  std::uint64_t tableHits = 0;    ///< Compiled forwarding tables.
+  std::uint64_t tableMisses = 0;
   std::uint64_t referenceHits = 0;
   std::uint64_t referenceMisses = 0;
 };

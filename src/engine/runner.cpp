@@ -8,9 +8,7 @@
 #include <thread>
 
 #include "analysis/contention.hpp"
-#include "routing/colored.hpp"
-#include "routing/random_router.hpp"
-#include "routing/relabel.hpp"
+#include "core/scenario.hpp"
 #include "trace/harness.hpp"
 #include "trace/mapping.hpp"
 #include "trace/replayer.hpp"
@@ -30,6 +28,25 @@ std::string configKey(const sim::SimConfig& cfg) {
      << '/' << cfg.switchLatencyNs << '/' << cfg.linkLatencyNs << '/'
      << cfg.inputBufferSegments << '/' << cfg.outputBufferSegments;
   return os.str();
+}
+
+/// Cache key identifying a built router (and therefore its compiled
+/// forwarding table): topology, the scheme the job actually builds
+/// (core::routerBuildScheme — per-segment schemes share the d-mod-k
+/// placeholder), and — only where they matter — seed, workload and scale.
+std::string routerKey(const ExperimentSpec& spec, const xgft::Topology& topo) {
+  std::string name;
+  const core::SchemeInfo& scheme = core::routerBuildScheme(spec.routing, &name);
+  std::ostringstream key;
+  key << topo.params().toString() << '|' << name;
+  if (scheme.seeded) key << "|seed=" << spec.seed;
+  if (scheme.patternAware) {
+    // Pattern-aware tables depend on the workload (and on the seed via
+    // tie-breaking / sampling in the optimizer).
+    key << "|app=" << spec.pattern << '|'
+        << formatShortest(spec.msgScale) << "|seed=" << spec.seed;
+  }
+  return key.str();
 }
 
 }  // namespace
@@ -77,50 +94,26 @@ std::shared_ptr<const routing::Router> CampaignCache::router(
     const ExperimentSpec& spec,
     const std::shared_ptr<const xgft::Topology>& topo,
     const patterns::PhasedPattern& app) {
-  const Algo algo =
-      hasStaticRoutes(spec.routing) ? spec.routing : Algo::kDModK;
-  std::ostringstream key;
-  key << topo->params().toString() << '|' << toString(algo);
-  if (isSeeded(algo)) key << "|seed=" << spec.seed;
-  if (algo == Algo::kColored) {
-    // Colored tables depend on the workload (and on the seed via
-    // tie-breaking / sampling in the optimizer).
-    key << "|app=" << spec.pattern << '|'
-        << formatShortest(spec.msgScale) << "|seed=" << spec.seed;
-  }
-  return routers_.get(key.str(), [&]() -> std::shared_ptr<const routing::Router> {
-    routing::RouterPtr built;
-    switch (algo) {
-      case Algo::kColored: {
-        routing::ColoredOptions options;
-        options.seed = spec.seed;
-        built = routing::makeColored(*topo, app, options);
-        break;
-      }
-      case Algo::kRandom:
-        built = routing::makeRandom(*topo, spec.seed);
-        break;
-      case Algo::kSModK:
-        built = routing::makeSModK(*topo);
-        break;
-      case Algo::kDModK:
-        built = routing::makeDModK(*topo);
-        break;
-      case Algo::kRNcaUp:
-        built = routing::makeRNcaUp(*topo, spec.seed);
-        break;
-      case Algo::kRNcaDown:
-        built = routing::makeRNcaDown(*topo, spec.seed);
-        break;
-      case Algo::kAdaptive:
-      case Algo::kSpray:
-        throw std::logic_error("no static router for per-segment algorithms");
-    }
-    // Tie the topology's lifetime to the router handed out: routers hold a
-    // bare reference to their topology.
-    const routing::Router* raw = built.release();
-    return std::shared_ptr<const routing::Router>(
-        raw, [topo](const routing::Router* r) { delete r; });
+  return routers_.get(
+      routerKey(spec, *topo),
+      [&]() -> std::shared_ptr<const routing::Router> {
+        // The registry factory is the single construction path (the same
+        // one Scenario::makeRouter uses).
+        routing::RouterPtr built = spec.scenario().makeRouter(*topo, app);
+        // Tie the topology's lifetime to the router handed out: routers
+        // hold a bare reference to their topology.
+        const routing::Router* raw = built.release();
+        return std::shared_ptr<const routing::Router>(
+            raw, [topo](const routing::Router* r) { delete r; });
+      });
+}
+
+std::shared_ptr<const core::CompiledRoutes> CampaignCache::compiledRoutes(
+    const ExperimentSpec& spec,
+    const std::shared_ptr<const routing::Router>& router,
+    std::uint32_t threads) {
+  return tables_.get(routerKey(spec, router->topology()), [&] {
+    return core::CompiledRoutes::compile(router, threads);
   });
 }
 
@@ -130,7 +123,7 @@ sim::TimeNs CampaignCache::crossbarMakespan(const ExperimentSpec& spec,
   std::ostringstream key;
   key << spec.pattern << '|' << formatShortest(spec.msgScale) << '|'
       << configKey(cfg);
-  if (patternDependsOnSeed(spec.pattern)) {
+  if (core::patternRegistry().at(core::splitSpec(spec.pattern).name).seeded) {
     key << "|pseed=" << deriveSeed(spec.seed, "pattern");
   }
   return references_.get(key.str(), [&] {
@@ -149,6 +142,11 @@ CacheStats CampaignCache::stats() const {
     std::lock_guard<std::mutex> lock(routers_.mu);
     s.routerHits = routers_.hits;
     s.routerMisses = routers_.misses;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tables_.mu);
+    s.tableHits = tables_.hits;
+    s.tableMisses = tables_.misses;
   }
   {
     std::lock_guard<std::mutex> lock(references_.mu);
@@ -173,22 +171,34 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                                   std::to_string(topo->numHosts()) + " hosts");
     }
 
+    const core::SchemeInfo& scheme = core::schemeRegistry().at(spec.routing);
     trace::SprayConfig sprayCfg;
-    if (spec.routing == Algo::kAdaptive) {
+    if (scheme.mode == core::RouteMode::kAdaptive) {
       sprayCfg.adaptive = true;
-    } else if (spec.routing == Algo::kSpray) {
+    } else if (scheme.mode == core::RouteMode::kSpray) {
       sprayCfg.enabled = true;
       sprayCfg.seed = deriveSeed(spec.seed, "spray");
     }
-    // Per-segment algorithms never consult the router; D-mod-k is the inert
-    // placeholder the Replayer interface wants.
+    // Per-segment algorithms never consult the router; the cache hands them
+    // the inert d-mod-k placeholder the Replayer interface wants.
     const std::shared_ptr<const routing::Router> router =
         cache.router(spec, topo, app);
+
+    // Static schemes route through the compiled forwarding table (shared
+    // across every job with the same router key) unless the topology's
+    // table would blow the memory budget — then the virtual path serves.
+    std::shared_ptr<const core::CompiledRoutes> compiled;
+    if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes &&
+        core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
+      compiled = cache.compiledRoutes(spec, router,
+                                      std::max(1u, opt.compileThreads));
+    }
 
     sim::Network net(*topo, opt.sim);
     const trace::Trace t = trace::traceFromPhases(app);
     const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
-    trace::Replayer replayer(net, t, mapping, *router, sprayCfg);
+    trace::Replayer replayer(net, t, mapping, *router, sprayCfg,
+                             compiled.get());
     result.makespanNs = replayer.run();
     result.net = net.stats();
 
@@ -213,7 +223,7 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                           : static_cast<double>(result.makespanNs) /
                                 static_cast<double>(reference);
 
-    if (opt.collectContention && hasStaticRoutes(spec.routing)) {
+    if (opt.collectContention && scheme.mode == core::RouteMode::kTable) {
       const patterns::Pattern flat = app.flattened();
       const analysis::LoadSummary loads =
           analysis::computeLoads(*topo, flat, *router);
@@ -243,16 +253,25 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
   CampaignResults results;
   results.jobs.resize(specs.size());
 
-  std::uint32_t threads = opt_.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+  std::uint32_t poolWidth = opt_.threads;
+  if (poolWidth == 0) {
+    poolWidth = std::max(1u, std::thread::hardware_concurrency());
   }
-  threads = static_cast<std::uint32_t>(std::min<std::size_t>(
-      threads, std::max<std::size_t>(std::size_t{1}, specs.size())));
+  const std::uint32_t threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(poolWidth,
+                            std::max<std::size_t>(std::size_t{1},
+                                                  specs.size())));
+
+  // Table compilations get the pool's idle share: with fewer jobs than
+  // workers (threads < poolWidth) the spare threads speed up each compile,
+  // with a saturated pool each worker compiles serially (no N^2 thread
+  // blow-up).
+  RunnerOptions jobOpt = opt_;
+  jobOpt.compileThreads = std::max(1u, poolWidth / threads);
 
   std::mutex doneMu;  // Serializes onJobDone.
   const auto finishJob = [&](std::uint32_t index) {
-    JobResult job = runJob(specs[index], index, cache_, opt_);
+    JobResult job = runJob(specs[index], index, cache_, jobOpt);
     if (opt_.onJobDone) {
       std::lock_guard<std::mutex> lock(doneMu);
       opt_.onJobDone(job);

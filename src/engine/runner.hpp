@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/compiled_routes.hpp"
 #include "engine/results.hpp"
 #include "engine/spec.hpp"
 #include "routing/router.hpp"
@@ -51,6 +52,16 @@ class CampaignCache {
       const std::shared_ptr<const xgft::Topology>& topo,
       const patterns::PhasedPattern& app);
 
+  /// The compiled forwarding table for @p router (see core::CompiledRoutes):
+  /// flat per-(src, dst) port-index arrays built once per router cache key —
+  /// in parallel across @p threads workers (0 = hardware concurrency) — and
+  /// shared immutably across campaign jobs, so the simulation hot path does
+  /// a table lookup instead of a virtual route() call per message.
+  [[nodiscard]] std::shared_ptr<const core::CompiledRoutes> compiledRoutes(
+      const ExperimentSpec& spec,
+      const std::shared_ptr<const routing::Router>& router,
+      std::uint32_t threads);
+
   /// Makespan of @p app on the ideal Full-Crossbar under @p cfg.  Keyed on
   /// (pattern, msg_scale, sim config) — and the derived pattern seed only
   /// when the workload itself is seeded — so seed sweeps of a fixed
@@ -76,6 +87,7 @@ class CampaignCache {
 
   Memo<std::shared_ptr<const xgft::Topology>> topologies_;
   Memo<std::shared_ptr<const routing::Router>> routers_;
+  Memo<std::shared_ptr<const core::CompiledRoutes>> tables_;
   Memo<sim::TimeNs> references_;
 };
 
@@ -86,6 +98,22 @@ struct RunnerOptions {
   /// Also compute the static contention / NCA-census columns (costs one
   /// route sweep per job for algorithms with static routes).
   bool collectContention = true;
+
+  /// Compile static routes into flat forwarding tables (CompiledRoutes)
+  /// shared across jobs, removing virtual route() dispatch from the
+  /// replayer's per-message hot path.  Results are bit-identical either
+  /// way; disable to measure the virtual path or to save memory.
+  bool compileRoutes = true;
+
+  /// Upper bound on one compiled table's size; topologies whose full
+  /// ordered-pair table would exceed it fall back to virtual routing.
+  std::uint64_t maxCompiledTableBytes = 64ull << 20;
+
+  /// Worker threads one table compilation may use.  Runner::run sets this
+  /// to the pool's idle share (pool width / concurrent jobs): a single-job
+  /// campaign compiles across the whole pool, a saturated campaign
+  /// compiles serially per worker instead of oversubscribing the machine.
+  std::uint32_t compileThreads = 1;
 
   /// Simulator parameters shared by every job in the campaign.
   sim::SimConfig sim = {};

@@ -1,30 +1,17 @@
 #include "engine/spec.hpp"
 
-#include <algorithm>
 #include <charconv>
 #include <istream>
-#include <map>
 #include <sstream>
 #include <stdexcept>
-
-#include "patterns/applications.hpp"
-#include "patterns/synthetic.hpp"
-#include "trace/harness.hpp"
-#include "xgft/io.hpp"
-#include "xgft/rng.hpp"
 
 namespace engine {
 
 namespace {
 
-/// Default message size for the parameterized synthetic workloads; keeps
-/// them in the same bandwidth-dominated regime as the paper's traces.
-constexpr patterns::Bytes kSyntheticBytes = 512 * 1024;
-
 [[noreturn]] void fail(const std::string& what) {
   throw std::invalid_argument("campaign spec: " + what);
 }
-
 
 bool parseU64(std::string_view s, std::uint64_t& out) {
   const char* begin = s.data();
@@ -150,16 +137,19 @@ ExperimentSpec specFromAssignments(
   std::uint32_t w2 = 16;
   for (const auto& [key, value] : kv) {
     if (key == "topo") {
-      spec.topo = xgft::parseParams(value);
+      spec.topo = core::makeTopoParams(value);
       haveTopo = true;
     } else if (key == "m1" || key == "m2" || key == "w2") {
       const std::uint32_t v = requireU32(value, key);
       (key == "m1" ? m1 : key == "m2" ? m2 : w2) = v;
       haveFamily = true;
     } else if (key == "pattern") {
+      // Validate the family name now (fail at parse time with the
+      // registry's uniform error); arguments are checked at build time.
+      (void)core::patternRegistry().at(core::splitSpec(value).name);
       spec.pattern = value;
     } else if (key == "routing") {
-      spec.routing = parseAlgo(value);
+      spec.routing = core::schemeRegistry().canonical(value);
     } else if (key == "msg_scale") {
       spec.msgScale = requireDouble(value, key);
       if (spec.msgScale <= 0.0) fail("msg_scale must be > 0");
@@ -185,60 +175,21 @@ std::string formatShortest(double v) {
   return std::string(buf, end);
 }
 
-bool patternDependsOnSeed(const std::string& patternSpec) {
-  return patternSpec.rfind("uniform:", 0) == 0 ||
-         patternSpec.rfind("permutations:", 0) == 0;
-}
-
-std::string toString(Algo a) {
-  switch (a) {
-    case Algo::kColored:
-      return "colored";
-    case Algo::kRandom:
-      return "Random";
-    case Algo::kSModK:
-      return "s-mod-k";
-    case Algo::kDModK:
-      return "d-mod-k";
-    case Algo::kRNcaUp:
-      return "r-NCA-u";
-    case Algo::kRNcaDown:
-      return "r-NCA-d";
-    case Algo::kAdaptive:
-      return "adaptive";
-    case Algo::kSpray:
-      return "spray";
-  }
-  fail("unreachable algo");
-}
-
-Algo parseAlgo(const std::string& name) {
-  if (name == "colored") return Algo::kColored;
-  if (name == "Random" || name == "random") return Algo::kRandom;
-  if (name == "s-mod-k") return Algo::kSModK;
-  if (name == "d-mod-k") return Algo::kDModK;
-  if (name == "r-NCA-u") return Algo::kRNcaUp;
-  if (name == "r-NCA-d") return Algo::kRNcaDown;
-  if (name == "adaptive") return Algo::kAdaptive;
-  if (name == "spray") return Algo::kSpray;
-  fail("unknown routing '" + name +
-       "' (try colored, Random, s-mod-k, d-mod-k, r-NCA-u, r-NCA-d, "
-       "adaptive, spray)");
-}
-
-bool hasStaticRoutes(Algo a) {
-  return a != Algo::kAdaptive && a != Algo::kSpray;
-}
-
-bool isSeeded(Algo a) {
-  return a == Algo::kRandom || a == Algo::kRNcaUp || a == Algo::kRNcaDown ||
-         a == Algo::kSpray;
+core::Scenario ExperimentSpec::scenario(const sim::SimConfig& sim) const {
+  core::Scenario sc;
+  sc.topo = topo;
+  sc.pattern = pattern;
+  sc.routing = routing;
+  sc.msgScale = msgScale;
+  sc.seed = seed;
+  sc.sim = sim;
+  return sc;
 }
 
 std::string ExperimentSpec::toLine() const {
   std::ostringstream os;
   os << "topo=\"" << topo.toString() << "\" pattern=" << pattern
-     << " routing=" << toString(routing)
+     << " routing=" << routing
      << " msg_scale=" << formatShortest(msgScale) << " seed=" << seed;
   return os.str();
 }
@@ -306,90 +257,8 @@ std::vector<ExperimentSpec> parseCampaign(const std::string& text) {
   return parseCampaign(in);
 }
 
-std::uint64_t deriveSeed(std::uint64_t base, std::string_view role) {
-  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64 offset basis.
-  for (const char c : role) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;  // FNV-1a 64 prime.
-  }
-  return xgft::hashMix(base, h);
-}
-
 patterns::PhasedPattern makeWorkload(const ExperimentSpec& spec) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t colon = spec.pattern.find(':', start);
-    parts.push_back(spec.pattern.substr(
-        start, colon == std::string::npos ? colon : colon - start));
-    if (colon == std::string::npos) break;
-    start = colon + 1;
-  }
-  const std::string& name = parts[0];
-  const auto arg = [&](std::size_t i) -> std::uint32_t {
-    if (i >= parts.size()) {
-      fail("pattern '" + spec.pattern + "' is missing an argument");
-    }
-    return requireU32(parts[i], "pattern argument");
-  };
-  const auto arity = [&](std::size_t n) {
-    if (parts.size() != n + 1) {
-      fail("pattern '" + spec.pattern + "' wants " + std::to_string(n) +
-           " argument(s)");
-    }
-  };
-  const std::uint64_t patternSeed = deriveSeed(spec.seed, "pattern");
-
-  patterns::PhasedPattern app;
-  if (name == "cg128") {
-    arity(0);
-    app = patterns::cgD128();
-  } else if (name == "wrf256") {
-    arity(0);
-    app = patterns::wrf256();
-  } else if (name == "wrf64") {
-    arity(0);
-    app = patterns::wrfHalo(8, 8, patterns::kWrfMessageBytes);
-    app.name = "wrf64";
-  } else if (name == "shift") {
-    arity(1);
-    app = patterns::shiftAllToAll(arg(1), kSyntheticBytes);
-  } else {
-    patterns::Pattern p;
-    if (name == "ring") {
-      arity(1);
-      p = patterns::ringExchange(arg(1), kSyntheticBytes);
-    } else if (name == "alltoall") {
-      arity(1);
-      p = patterns::allToAll(arg(1), kSyntheticBytes);
-    } else if (name == "hotspot") {
-      arity(1);
-      p = patterns::hotspot(arg(1), 0, kSyntheticBytes);
-    } else if (name == "stencil") {
-      arity(2);
-      p = patterns::stencil2D(arg(1), arg(2), kSyntheticBytes);
-    } else if (name == "uniform") {
-      arity(2);
-      p = patterns::uniformRandom(arg(1), arg(2), kSyntheticBytes,
-                                  patternSeed);
-    } else if (name == "permutations") {
-      arity(2);
-      p = patterns::unionOfRandomPermutations(arg(1), arg(2), kSyntheticBytes,
-                                              patternSeed);
-    } else {
-      fail("unknown pattern '" + spec.pattern +
-           "' (try cg128, wrf256, wrf64, ring:N, alltoall:N, shift:N, "
-           "hotspot:N, stencil:R:C, uniform:N:F, permutations:N:K)");
-    }
-    app.numRanks = p.numRanks();
-    app.phases.push_back(std::move(p));
-  }
-  app.name = spec.pattern;
-  if (spec.msgScale != 1.0) {
-    app = trace::scaleMessages(app, spec.msgScale);
-    app.name = spec.pattern;
-  }
-  return app;
+  return spec.scenario().makeWorkload();
 }
 
 }  // namespace engine

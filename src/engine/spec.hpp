@@ -1,7 +1,7 @@
 // spec.hpp — Declarative experiment specifications for campaign sweeps.
 //
 // One ExperimentSpec names everything a single simulation run needs: the
-// XGFT under test, the workload, the routing algorithm, the message-size
+// XGFT under test, the workload, the routing scheme, the message-size
 // scale and the seed.  Campaign files describe whole sweeps declaratively:
 // each non-comment line is a key=value spec whose values may be lists or
 // integer ranges, and the line expands to the cross product — the Fig. 2/5
@@ -9,12 +9,18 @@
 //
 // Format (whitespace-separated key=value tokens; '#' starts a comment):
 //
-//   topo="XGFT(2; 16,16; 1,10)"   explicit topology (paper notation)
+//   topo="XGFT(2; 16,16; 1,10)"   explicit topology (paper notation),
+//                                 or a preset ("paper-slim", "kary:16:2")
 //   m1=16 m2=16 w2=16..1          or the 2-level family, sweepable
-//   pattern=cg128                 builtin workload (see makeWorkload)
-//   routing={Random,d-mod-k}      algorithm, or a {a,b,c} list
+//   pattern=cg128                 any registered workload (--list-patterns)
+//   routing={Random,d-mod-k}      any registered scheme, or a {a,b,c} list
 //   msg_scale=0.125               multiplies every message size
 //   seed=1..40                    integer ranges sweep inclusively
+//
+// Scheme, pattern and topology names resolve through the core:: registries
+// (core/scenario.hpp) — the spec layer stores validated canonical names and
+// holds no name->object knowledge of its own, so a scheme or workload
+// registered anywhere is immediately sweepable from a campaign file.
 //
 // Expansion order is deterministic: keys vary in the order they appear on
 // the line, the last key fastest, so job indices — and therefore derived
@@ -27,42 +33,18 @@
 #include <string_view>
 #include <vector>
 
+#include "core/scenario.hpp"
 #include "patterns/pattern.hpp"
 #include "xgft/params.hpp"
 
 namespace engine {
 
-/// The routing schemes a campaign can exercise.  The first six assign one
-/// static route per (s, d) pair; the last two route per segment inside the
-/// simulator (no static route, so no static contention analysis applies).
-enum class Algo : std::uint8_t {
-  kColored,
-  kRandom,
-  kSModK,
-  kDModK,
-  kRNcaUp,
-  kRNcaDown,
-  kAdaptive,
-  kSpray,
-};
-
-/// Canonical names: "colored", "Random", "s-mod-k", "d-mod-k", "r-NCA-u",
-/// "r-NCA-d", "adaptive", "spray" (matching the bench/CLI vocabulary).
-[[nodiscard]] std::string toString(Algo a);
-[[nodiscard]] Algo parseAlgo(const std::string& name);
-
-/// True for the six schemes with one static route per pair.
-[[nodiscard]] bool hasStaticRoutes(Algo a);
-
-/// True when route choice depends on the seed (Random, r-NCA-u/d, spray;
-/// colored uses its seed only for tie-breaking).
-[[nodiscard]] bool isSeeded(Algo a);
-
-/// One simulation job.
+/// One simulation job: the parse-level form of a core::Scenario (the
+/// engine-wide sim::SimConfig is supplied by RunnerOptions at run time).
 struct ExperimentSpec {
   xgft::Params topo = xgft::karyNTree(16, 2);
   std::string pattern = "cg128";
-  Algo routing = Algo::kDModK;
+  std::string routing = "d-mod-k";  ///< Canonical scheme name.
   double msgScale = 1.0;
   std::uint64_t seed = 1;
 
@@ -71,10 +53,15 @@ struct ExperimentSpec {
 
   /// Canonical one-line key=value rendering; parseSpecLine round-trips it.
   [[nodiscard]] std::string toLine() const;
+
+  /// The construction-level view: this spec plus the simulator config.
+  [[nodiscard]] core::Scenario scenario(const sim::SimConfig& sim = {}) const;
 };
 
 /// Parses a single spec line (no sweep syntax allowed).  Unknown keys,
-/// malformed values and list/range values all throw std::invalid_argument.
+/// malformed values and list/range values all throw std::invalid_argument;
+/// unknown scheme/pattern/preset names surface the registry's uniform
+/// "unknown <kind> '<name>' (registered: ...)" error.
 [[nodiscard]] ExperimentSpec parseSpecLine(const std::string& line);
 
 /// Expands one campaign line (sweep syntax allowed) to the cross product of
@@ -93,32 +80,19 @@ struct ExperimentSpec {
 /// output is byte-stable across platforms and thread counts.
 [[nodiscard]] std::string formatShortest(double v);
 
-/// True when the workload named by @p patternSpec draws on the job seed
-/// (uniform:..., permutations:...) — such jobs cannot share a crossbar
-/// reference across seeds.
-[[nodiscard]] bool patternDependsOnSeed(const std::string& patternSpec);
-
 /// Derives an independent sub-seed for a named role ("pattern", "spray",
-/// ...) from a job's base seed.  Stable across platforms and releases:
-/// FNV-1a over the role name mixed through SplitMix64 — so a campaign that
-/// sweeps seed=1..N gives every (job, role) pair an uncorrelated stream.
-[[nodiscard]] std::uint64_t deriveSeed(std::uint64_t base,
-                                       std::string_view role);
+/// ...) from a job's base seed.  Forwarded from core::deriveSeed; pinned by
+/// tests — a campaign that sweeps seed=1..N gives every (job, role) pair an
+/// uncorrelated stream.
+[[nodiscard]] inline std::uint64_t deriveSeed(std::uint64_t base,
+                                              std::string_view role) {
+  return core::deriveSeed(base, role);
+}
 
-/// Instantiates the builtin workload named by @p spec.pattern with message
-/// sizes already scaled by spec.msgScale.  Accepted names:
-///
-///   cg128                  the paper's NAS CG.D-128 phases
-///   wrf256 | wrf64         the paper's WRF halo (16x16) or an 8x8 mesh
-///   ring:N                 N-rank ring exchange
-///   alltoall:N             N-rank personalized all-to-all (single phase)
-///   shift:N                the N-1 cyclic-shift phases of [9]
-///   hotspot:N              all ranks to rank 0
-///   stencil:R:C            5-point halo on an R x C mesh
-///   uniform:N:F            F uniform random flows per rank (seeded)
-///   permutations:N:K       union of K random permutations (seeded)
-///
-/// Seeded synthetics draw from deriveSeed(spec.seed, "pattern").
+/// Instantiates the workload named by @p spec.pattern through the pattern
+/// registry, with message sizes already scaled by spec.msgScale (see
+/// core::Scenario::makeWorkload; `campaign_cli --list-patterns` enumerates
+/// the registered names).
 [[nodiscard]] patterns::PhasedPattern makeWorkload(const ExperimentSpec& spec);
 
 }  // namespace engine

@@ -1,0 +1,121 @@
+#include "patterns/register.hpp"
+
+#include "patterns/applications.hpp"
+#include "patterns/synthetic.hpp"
+
+namespace patterns {
+
+namespace {
+
+using core::PatternContext;
+using core::PatternInfo;
+using core::SpecName;
+
+/// Default message size for the parameterized synthetic workloads; keeps
+/// them in the same bandwidth-dominated regime as the paper's traces.
+constexpr Bytes kSyntheticBytes = 512 * 1024;
+
+/// Registers a whole-application (multi-phase) workload.
+void addPhased(core::Registry<PatternInfo>& registry, std::string name,
+               std::string usage, std::string summary, bool seeded,
+               std::function<PhasedPattern(const SpecName&,
+                                           const PatternContext&)>
+                   make) {
+  PatternInfo info;
+  info.usage = std::move(usage);
+  info.summary = std::move(summary);
+  info.seeded = seeded;
+  info.make = [name, make = std::move(make)](
+                  const std::vector<std::string>& args,
+                  const PatternContext& ctx) {
+    return make(core::joinSpec(name, args), ctx);
+  };
+  registry.add(std::move(name), std::move(info));
+}
+
+/// Registers a single-phase workload from a Pattern factory.
+void addSingle(core::Registry<PatternInfo>& registry, std::string name,
+               std::string usage, std::string summary, bool seeded,
+               std::function<Pattern(const SpecName&, const PatternContext&)>
+                   make) {
+  addPhased(registry, std::move(name), std::move(usage), std::move(summary),
+            seeded,
+            [make = std::move(make)](const SpecName& spec,
+                                     const PatternContext& ctx) {
+              Pattern p = make(spec, ctx);
+              PhasedPattern app;
+              app.numRanks = p.numRanks();
+              app.phases.push_back(std::move(p));
+              return app;
+            });
+}
+
+}  // namespace
+
+void registerBuiltinPatterns(core::Registry<core::PatternInfo>& registry) {
+  addPhased(registry, "cg128", "cg128",
+            "the paper's NAS CG.D-128 phases (Sec. VII-A)", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(0);
+              return cgD128();
+            });
+  addPhased(registry, "wrf256", "wrf256",
+            "the paper's WRF halo exchange on a 16x16 task mesh", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(0);
+              return wrf256();
+            });
+  addPhased(registry, "wrf64", "wrf64", "WRF-style halo on an 8x8 task mesh",
+            false, [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(0);
+              PhasedPattern app = wrfHalo(8, 8, kWrfMessageBytes);
+              app.name = "wrf64";
+              return app;
+            });
+  addPhased(registry, "shift", "shift:N",
+            "the N-1 cyclic-shift phases of all-to-all algorithms [9]", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(1);
+              return shiftAllToAll(spec.argU32(0), kSyntheticBytes);
+            });
+  addSingle(registry, "ring", "ring:N", "N-rank bidirectional ring exchange",
+            false, [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(1);
+              return ringExchange(spec.argU32(0), kSyntheticBytes);
+            });
+  addSingle(registry, "alltoall", "alltoall:N",
+            "N-rank personalized all-to-all (single phase)", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(1);
+              return allToAll(spec.argU32(0), kSyntheticBytes);
+            });
+  addSingle(registry, "hotspot", "hotspot:N",
+            "all N ranks send to rank 0 (pure endpoint contention)", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(1);
+              return hotspot(spec.argU32(0), 0, kSyntheticBytes);
+            });
+  addSingle(registry, "stencil", "stencil:R:C",
+            "5-point halo exchange on an R x C task mesh", false,
+            [](const SpecName& spec, const PatternContext&) {
+              spec.requireArity(2);
+              return stencil2D(spec.argU32(0), spec.argU32(1),
+                               kSyntheticBytes);
+            });
+  addSingle(registry, "uniform", "uniform:N:F",
+            "F uniform-random flows per rank over N ranks (seeded)", true,
+            [](const SpecName& spec, const PatternContext& ctx) {
+              spec.requireArity(2);
+              return uniformRandom(spec.argU32(0), spec.argU32(1),
+                                   kSyntheticBytes, ctx.seed);
+            });
+  addSingle(registry, "permutations", "permutations:N:K",
+            "union of K random permutations over N ranks (seeded)", true,
+            [](const SpecName& spec, const PatternContext& ctx) {
+              spec.requireArity(2);
+              return unionOfRandomPermutations(spec.argU32(0), spec.argU32(1),
+                                               kSyntheticBytes, ctx.seed);
+            });
+}
+
+}  // namespace patterns

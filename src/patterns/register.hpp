@@ -1,0 +1,17 @@
+// register.hpp — Self-registration of the built-in traffic patterns.
+//
+// The patterns module owns the knowledge of which workloads exist and how
+// to build them; core::patternRegistry() calls this hook exactly once on
+// first access.  To add a workload, extend registerBuiltinPatterns (one
+// edit, in this module) — campaign files and CLIs pick the new name up
+// through the registry without any change.
+#pragma once
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+
+namespace patterns {
+
+void registerBuiltinPatterns(core::Registry<core::PatternInfo>& registry);
+
+}  // namespace patterns

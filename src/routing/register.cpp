@@ -1,0 +1,100 @@
+#include "routing/register.hpp"
+
+#include <stdexcept>
+
+#include "routing/colored.hpp"
+#include "routing/random_router.hpp"
+#include "routing/relabel.hpp"
+
+namespace routing {
+
+namespace {
+
+using core::RouteMode;
+using core::RouterContext;
+using core::SchemeInfo;
+
+SchemeInfo tableScheme(
+    std::string summary,
+    std::function<RouterPtr(const xgft::Topology&, const RouterContext&)>
+        make,
+    bool seeded = false) {
+  SchemeInfo info;
+  info.mode = RouteMode::kTable;
+  info.seeded = seeded;
+  info.summary = std::move(summary);
+  info.make = std::move(make);
+  return info;
+}
+
+}  // namespace
+
+void registerBuiltinSchemes(core::Registry<core::SchemeInfo>& registry) {
+  registry.add(
+      "s-mod-k",
+      tableScheme("deterministic source-relabel routing (NCA = f(source))",
+                  [](const xgft::Topology& topo, const RouterContext&) {
+                    return makeSModK(topo);
+                  }));
+  registry.add(
+      "d-mod-k",
+      tableScheme(
+          "deterministic destination-relabel routing (NCA = f(destination))",
+          [](const xgft::Topology& topo, const RouterContext&) {
+            return makeDModK(topo);
+          }));
+  registry.add(
+      "Random",
+      tableScheme("one uniformly random NCA per (s, d) pair (Sec. V)",
+                  [](const xgft::Topology& topo, const RouterContext& ctx) {
+                    return makeRandom(topo, ctx.seed);
+                  },
+                  /*seeded=*/true));
+  registry.alias("random", "Random");
+  registry.add(
+      "r-NCA-u",
+      tableScheme("the paper's proposal: random relabel applied on the ascent",
+                  [](const xgft::Topology& topo, const RouterContext& ctx) {
+                    return makeRNcaUp(topo, ctx.seed);
+                  },
+                  /*seeded=*/true));
+  registry.add(
+      "r-NCA-d",
+      tableScheme("the paper's proposal: random relabel applied on the descent",
+                  [](const xgft::Topology& topo, const RouterContext& ctx) {
+                    return makeRNcaDown(topo, ctx.seed);
+                  },
+                  /*seeded=*/true));
+  {
+    SchemeInfo colored = tableScheme(
+        "pattern-aware Colored baseline (effective-contention optimizer)",
+        [](const xgft::Topology& topo, const RouterContext& ctx) {
+          if (ctx.app == nullptr) {
+            throw std::invalid_argument(
+                "colored routing needs the workload it optimizes for");
+          }
+          ColoredOptions options;
+          options.seed = ctx.seed;
+          return makeColored(topo, *ctx.app, options);
+        });
+    colored.patternAware = true;
+    registry.add("colored", std::move(colored));
+  }
+  {
+    SchemeInfo adaptive;
+    adaptive.mode = RouteMode::kAdaptive;
+    adaptive.summary =
+        "minimally-adaptive per-hop routing (least-occupied up-port)";
+    registry.add("adaptive", std::move(adaptive));
+  }
+  {
+    SchemeInfo spray;
+    spray.mode = RouteMode::kSpray;
+    spray.seeded = true;
+    spray.summary =
+        "per-segment multipath spraying over NCA-distinct routes [16]";
+    registry.add("spray", std::move(spray));
+  }
+}
+
+}  // namespace routing

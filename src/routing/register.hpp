@@ -1,0 +1,17 @@
+// register.hpp — Self-registration of the built-in routing schemes.
+//
+// The routing module owns the knowledge of which schemes exist and how to
+// build them; core::schemeRegistry() calls this hook exactly once on first
+// access.  To add a scheme, extend registerBuiltinSchemes (one edit, in
+// this module) — the engine, CLI and benches pick the new name up through
+// the registry without any change.
+#pragma once
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+
+namespace routing {
+
+void registerBuiltinSchemes(core::Registry<core::SchemeInfo>& registry);
+
+}  // namespace routing

@@ -39,6 +39,8 @@ struct SimConfig {
   /// Output buffer capacity per switch port, in segments.
   std::uint32_t outputBufferSegments = 4;
 
+  friend bool operator==(const SimConfig&, const SimConfig&) = default;
+
   /// Serialization time of one segment carrying @p payloadBytes.
   [[nodiscard]] TimeNs serializationNs(std::uint32_t payloadBytes) const {
     const double bits = 8.0 * (payloadBytes + headerBytes);

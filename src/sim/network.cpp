@@ -78,6 +78,38 @@ MsgId Network::addMessage(xgft::NodeIndex src, xgft::NodeIndex dst,
                              SprayPolicy::kRoundRobin);
 }
 
+MsgId Network::addMessageCompiled(xgft::NodeIndex src, xgft::NodeIndex dst,
+                                  Bytes bytes,
+                                  std::span<const std::uint32_t> upPorts) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.numSegments = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
+  if (src != dst) {
+    // Same walk as hopsOf(), minus the Route materialization and the
+    // re-validation (the compiled table was validated when it was built).
+    const std::uint32_t L = static_cast<std::uint32_t>(upPorts.size());
+    std::vector<std::uint32_t> path;
+    path.reserve(2 * static_cast<std::size_t>(L));
+    xgft::NodeIndex node = src;
+    for (std::uint32_t i = 0; i < L; ++i) {
+      path.push_back(
+          globalPort(i, node, topo_->upPortBase(i) + upPorts[i]));
+      node = topo_->parentIndex(i, node, upPorts[i]);
+    }
+    for (std::uint32_t j = L; j >= 1; --j) {
+      const std::uint32_t port = topo_->digit(0, dst, j);
+      path.push_back(globalPort(j, node, port));
+      node = topo_->childIndex(j, node, port);
+    }
+    m.paths.push_back(std::move(path));
+  }
+  messages_.push_back(std::move(m));
+  return static_cast<MsgId>(messages_.size() - 1);
+}
+
 MsgId Network::addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
                                    Bytes bytes,
                                    const std::vector<xgft::Route>& routes,

@@ -30,6 +30,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,17 @@ class Network {
   /// instantly upon release (local delivery, no network traversal).
   MsgId addMessage(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
                    const xgft::Route& route);
+
+  /// Fast-path variant of addMessage consuming a compiled forwarding-table
+  /// entry (core::CompiledRoutes::upPorts): the ascending port choices are
+  /// expanded straight into the global-port path with no route validation
+  /// and no intermediate Route object.  Precondition: @p upPorts came from
+  /// a table compiled against this network's topology (validated once at
+  /// compile time).  Produces the identical event sequence as addMessage
+  /// with the equivalent Route.
+  MsgId addMessageCompiled(xgft::NodeIndex src, xgft::NodeIndex dst,
+                           Bytes bytes,
+                           std::span<const std::uint32_t> upPorts);
 
   /// Registers a multipath message: each segment is sprayed over one of the
   /// given routes per @p policy.  All routes must share the same first-hop

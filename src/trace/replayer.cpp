@@ -9,14 +9,21 @@ namespace trace {
 
 Replayer::Replayer(sim::Network& net, const Trace& trace,
                    const Mapping& mapping, const routing::Router& router,
-                   SprayConfig spray)
+                   SprayConfig spray, const core::CompiledRoutes* compiled)
     : net_(&net),
       trace_(&trace),
       mapping_(&mapping),
       router_(&router),
+      compiled_(compiled),
       spray_(spray) {
   if (mapping.numRanks() != trace.numRanks) {
     throw std::invalid_argument("Replayer: mapping/trace rank mismatch");
+  }
+  if (spray_.adaptive || spray_.enabled) compiled_ = nullptr;
+  if (compiled_ != nullptr &&
+      &compiled_->topology() != &net.topology()) {
+    throw std::invalid_argument(
+        "Replayer: compiled routes built for a different topology");
   }
   ranks_.resize(trace.numRanks);
   finishNs_.resize(trace.numRanks, 0);
@@ -90,6 +97,9 @@ void Replayer::progress(patterns::Rank r) {
           }
           msg = net_->addMessageMultipath(src, dst, op.bytes, routes,
                                           spray_.policy, spray_.seed);
+        } else if (compiled_ != nullptr) {
+          msg = net_->addMessageCompiled(src, dst, op.bytes,
+                                         compiled_->upPorts(src, dst));
         } else {
           msg = net_->addMessage(src, dst, op.bytes, router_->route(src, dst));
         }

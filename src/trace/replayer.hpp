@@ -21,6 +21,7 @@
 #include <map>
 #include <vector>
 
+#include "core/compiled_routes.hpp"
 #include "routing/router.hpp"
 #include "sim/network.hpp"
 #include "trace/mapping.hpp"
@@ -46,9 +47,13 @@ struct SprayConfig {
 class Replayer final : public sim::TrafficSink {
  public:
   /// All references must outlive the replayer.  The replayer installs
-  /// itself as the network's sink.
+  /// itself as the network's sink.  When @p compiled is given (and no
+  /// per-segment mode is active) messages route through the compiled
+  /// forwarding table — a flat lookup instead of a virtual route() call per
+  /// message; the table must be compiled against @p net's topology.
   Replayer(sim::Network& net, const Trace& trace, const Mapping& mapping,
-           const routing::Router& router, SprayConfig spray = {});
+           const routing::Router& router, SprayConfig spray = {},
+           const core::CompiledRoutes* compiled = nullptr);
 
   /// Replays the whole trace; returns the time the last rank finished.
   /// Throws std::runtime_error if ranks are left blocked when the network
@@ -93,6 +98,7 @@ class Replayer final : public sim::TrafficSink {
   const Trace* trace_;
   const Mapping* mapping_;
   const routing::Router* router_;
+  const core::CompiledRoutes* compiled_ = nullptr;
   SprayConfig spray_;
 
   std::vector<RankState> ranks_;

@@ -1,0 +1,53 @@
+#include "xgft/register.hpp"
+
+#include "xgft/params.hpp"
+
+namespace xgft {
+
+namespace {
+
+using core::SpecName;
+using core::TopologyInfo;
+
+void add(core::Registry<TopologyInfo>& registry, std::string name,
+         std::string usage, std::string summary,
+         std::function<Params(const SpecName&)> make) {
+  TopologyInfo info;
+  info.usage = std::move(usage);
+  info.summary = std::move(summary);
+  info.make = [name, make = std::move(make)](
+                  const std::vector<std::string>& args) {
+    return make(core::joinSpec(name, args));
+  };
+  registry.add(std::move(name), std::move(info));
+}
+
+}  // namespace
+
+void registerBuiltinTopologies(core::Registry<core::TopologyInfo>& registry) {
+  add(registry, "xgft2", "xgft2:M1:M2:W2",
+      "two-level XGFT(2; M1,M2; 1,W2) — the paper's slimmable family",
+      [](const SpecName& spec) {
+        spec.requireArity(3);
+        return xgft2(spec.argU32(0), spec.argU32(1), spec.argU32(2));
+      });
+  add(registry, "kary", "kary:K:N", "k-ary n-tree (full bisection)",
+      [](const SpecName& spec) {
+        spec.requireArity(2);
+        return karyNTree(spec.argU32(0), spec.argU32(1));
+      });
+  add(registry, "paper-full", "paper-full",
+      "the paper's full tree XGFT(2; 16,16; 1,16), 256 hosts",
+      [](const SpecName& spec) {
+        spec.requireArity(0);
+        return xgft2(16, 16, 16);
+      });
+  add(registry, "paper-slim", "paper-slim",
+      "the paper's slimmed tree XGFT(2; 16,16; 1,10), 256 hosts",
+      [](const SpecName& spec) {
+        spec.requireArity(0);
+        return xgft2(16, 16, 10);
+      });
+}
+
+}  // namespace xgft

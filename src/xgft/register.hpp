@@ -1,0 +1,17 @@
+// register.hpp — Self-registration of the built-in topology presets.
+//
+// The xgft module owns the knowledge of which topology families exist;
+// core::topologyRegistry() calls this hook exactly once on first access.
+// Explicit paper notation ("XGFT(2; 16,16; 1,10)") bypasses the registry
+// through xgft::parseParams; presets cover the named families and the
+// paper's instances.
+#pragma once
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+
+namespace xgft {
+
+void registerBuiltinTopologies(core::Registry<core::TopologyInfo>& registry);
+
+}  // namespace xgft

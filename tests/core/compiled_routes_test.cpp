@@ -1,0 +1,130 @@
+// Tests for core::CompiledRoutes: the flat table agrees with the source
+// router on every ordered pair, parallel compilation is thread-count
+// independent, and the simulator's compiled fast path reproduces the
+// virtual path's results exactly.
+#include "core/compiled_routes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "trace/harness.hpp"
+
+namespace core {
+namespace {
+
+std::shared_ptr<const routing::Router> makeRouter(
+    const std::shared_ptr<const xgft::Topology>& topo,
+    const std::string& scheme, std::uint64_t seed = 1) {
+  Scenario sc;
+  sc.topo = topo->params();
+  sc.routing = scheme;
+  sc.seed = seed;
+  sc.pattern = "ring:16";
+  const patterns::PhasedPattern app = sc.makeWorkload();
+  routing::RouterPtr built = sc.makeRouter(*topo, app);
+  const routing::Router* raw = built.release();
+  return std::shared_ptr<const routing::Router>(
+      raw, [topo](const routing::Router* r) { delete r; });
+}
+
+TEST(CompiledRoutes, TableAgreesWithTheRouterOnEveryPair) {
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(4, 4, 3));
+  for (const char* scheme : {"d-mod-k", "s-mod-k", "Random", "r-NCA-u"}) {
+    const auto router = makeRouter(topo, scheme, 7);
+    const auto table = CompiledRoutes::compile(router, 1);
+    const xgft::Count n = topo->numHosts();
+    for (xgft::NodeIndex s = 0; s < n; ++s) {
+      for (xgft::NodeIndex d = 0; d < n; ++d) {
+        EXPECT_EQ(table->route(s, d), router->route(s, d))
+            << scheme << " (" << s << " -> " << d << ")";
+      }
+    }
+  }
+}
+
+TEST(CompiledRoutes, SelfPairsAreEmpty) {
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(4, 4, 2));
+  const auto table = CompiledRoutes::compile(makeRouter(topo, "d-mod-k"), 1);
+  for (xgft::NodeIndex s = 0; s < topo->numHosts(); ++s) {
+    EXPECT_TRUE(table->upPorts(s, s).empty());
+  }
+}
+
+TEST(CompiledRoutes, ParallelCompileMatchesSerial) {
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(8, 8, 4));
+  const auto router = makeRouter(topo, "Random", 3);
+  const auto serial = CompiledRoutes::compile(router, 1);
+  const auto parallel = CompiledRoutes::compile(router, 4);
+  const xgft::Count n = topo->numHosts();
+  for (xgft::NodeIndex s = 0; s < n; ++s) {
+    for (xgft::NodeIndex d = 0; d < n; ++d) {
+      ASSERT_EQ(serial->route(s, d), parallel->route(s, d));
+    }
+  }
+}
+
+TEST(CompiledRoutes, TableBytesMatchesLayout) {
+  const xgft::Topology topo(xgft::xgft2(4, 4, 2));
+  // 16 hosts, height 2: 256 pairs * (2 * 4 + 1) bytes.
+  EXPECT_EQ(CompiledRoutes::tableBytes(topo), 256u * 9u);
+}
+
+TEST(CompiledRoutes, CompiledReplayMatchesVirtualReplayExactly) {
+  // The whole point of the fast path: identical simulation results.  Replay
+  // the same workload through Replayer with and without the table.
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(8, 8, 3));
+  Scenario sc;
+  sc.topo = topo->params();
+  sc.pattern = "alltoall:32";
+  sc.msgScale = 0.0625;
+  for (const char* scheme : {"d-mod-k", "Random", "colored"}) {
+    sc.routing = scheme;
+    const patterns::PhasedPattern app = sc.makeWorkload();
+    const routing::RouterPtr router = sc.makeRouter(*topo, app);
+    const trace::RunResult virtualRun = trace::runApp(*topo, *router, app);
+
+    std::shared_ptr<const routing::Router> shared(
+        router.get(), [](const routing::Router*) {});
+    const auto table = CompiledRoutes::compile(shared, 2);
+    sim::Network net(*topo, sc.sim);
+    const trace::Trace t = trace::traceFromPhases(app);
+    const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
+    trace::Replayer replayer(net, t, mapping, *router, {}, table.get());
+    const sim::TimeNs makespan = replayer.run();
+
+    EXPECT_EQ(makespan, virtualRun.makespanNs) << scheme;
+    EXPECT_EQ(net.stats().segmentsDelivered,
+              virtualRun.stats.segmentsDelivered)
+        << scheme;
+    EXPECT_EQ(net.stats().eventsProcessed, virtualRun.stats.eventsProcessed)
+        << scheme;
+  }
+}
+
+TEST(CompiledRoutes, RejectsForeignTopologies) {
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(4, 4, 2));
+  const xgft::Topology other(xgft::xgft2(4, 4, 3));
+  const auto table = CompiledRoutes::compile(makeRouter(topo, "d-mod-k"), 1);
+
+  Scenario sc;
+  sc.topo = other.params();
+  sc.pattern = "ring:16";
+  const patterns::PhasedPattern app = sc.makeWorkload();
+  const routing::RouterPtr router = sc.makeRouter(other, app);
+  sim::Network net(other, sc.sim);
+  const trace::Trace t = trace::traceFromPhases(app);
+  const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
+  EXPECT_THROW(
+      trace::Replayer(net, t, mapping, *router, {}, table.get()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace core

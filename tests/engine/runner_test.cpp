@@ -55,7 +55,7 @@ TEST(Runner, MatchesTheSerialHarness) {
   ExperimentSpec spec;
   spec.topo = xgft::xgft2(8, 8, 4);
   spec.pattern = "ring:64";
-  spec.routing = Algo::kDModK;
+  spec.routing = "d-mod-k";
   spec.msgScale = 0.0625;
   RunnerOptions opt;
   opt.threads = 1;
@@ -106,7 +106,7 @@ TEST(Runner, SeededRoutersGetDistinctCacheEntries) {
   CampaignCache cache;
   ExperimentSpec spec;
   spec.topo = xgft::xgft2(4, 4, 2);
-  spec.routing = Algo::kRandom;
+  spec.routing = "Random";
   const patterns::PhasedPattern app = makeWorkload(spec);
   const auto topo = cache.topology(spec.topo);
   const auto r1 = cache.router(spec, topo, app);
@@ -123,7 +123,7 @@ TEST(Runner, UnseededRoutersAreSharedAcrossSeeds) {
   CampaignCache cache;
   ExperimentSpec spec;
   spec.topo = xgft::xgft2(4, 4, 2);
-  spec.routing = Algo::kSModK;
+  spec.routing = "s-mod-k";
   const patterns::PhasedPattern app = makeWorkload(spec);
   const auto topo = cache.topology(spec.topo);
   const auto r1 = cache.router(spec, topo, app);
@@ -175,7 +175,7 @@ TEST(Runner, PerSegmentAlgorithmsSkipStaticContention) {
   spec.topo = xgft::xgft2(4, 4, 4);
   spec.pattern = "alltoall:16";
   spec.msgScale = 0.0625;
-  spec.routing = Algo::kSpray;
+  spec.routing = "spray";
   CampaignCache cache;
   const RunnerOptions opt;
   const JobResult job = runJob(spec, 0, cache, opt);
