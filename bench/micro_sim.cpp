@@ -3,9 +3,12 @@
 // and end-to-end application replay cost.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "patterns/applications.hpp"
 #include "patterns/permutation.hpp"
 #include "routing/relabel.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/harness.hpp"
 
 namespace {
@@ -68,6 +71,30 @@ void BM_CrossbarReference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CrossbarReference)->Unit(benchmark::kMillisecond);
+
+void BM_EventCoreChurn(benchmark::State& state) {
+  // The event queue in isolation: a steady-state schedule/pop cycle with
+  // simulator-shaped deltas (transfer latency, wire free, wire arrive) at
+  // the given concurrency.  items = events popped.
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  static constexpr sim::TimeNs kDeltas[] = {100, 4096, 4116};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::uint32_t i = 0; i < width; ++i) q.push(kDeltas[i % 3], 0, i, 0);
+    sim::EventRecord ev{};
+    for (std::uint32_t i = 0; i < 100000; ++i) {
+      benchmark::DoNotOptimize(
+          q.popUntil(std::numeric_limits<sim::TimeNs>::max(), ev));
+      q.push(ev.t + kDeltas[i % 3], 0, ev.a, 0);
+    }
+    events += 100000;
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = queue pops");
+}
+BENCHMARK(BM_EventCoreChurn)->Arg(8)->Arg(256)->Arg(4096);
 
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));

@@ -16,6 +16,7 @@
 //   campaign_cli --list-schemes
 //   campaign_cli my_campaign.txt
 //   echo 'pattern=ring:64 w2=8..1 routing=Random seed=1..4' | campaign_cli -
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -206,6 +207,16 @@ int main(int argc, char** argv) {
     if (specs.empty()) {
       throw std::invalid_argument("campaign expanded to zero jobs");
     }
+    // Defensive pre-flight: parseCampaign already resolves these names, so
+    // today this loop cannot fire — it exists to pin the contract that a
+    // registry lookup can never fail mid-campaign (uniform "unknown <kind>
+    // '<name>' (registered: ...)" error, non-zero exit, output file never
+    // created) even if parse-time validation and job-time lookups drift
+    // apart in a future refactor.
+    for (const engine::ExperimentSpec& spec : specs) {
+      (void)core::schemeRegistry().at(spec.routing);
+      (void)core::patternRegistry().at(core::splitSpec(spec.pattern).name);
+    }
 
     engine::RunnerOptions ropt;
     ropt.threads = cli.threads;
@@ -225,11 +236,28 @@ int main(int argc, char** argv) {
     if (cli.outFile.empty()) {
       results.writeCsv(std::cout);
     } else {
-      std::ofstream out(cli.outFile);
-      if (!out) {
-        throw std::invalid_argument("cannot write: " + cli.outFile);
+      // Write-then-rename: an error (or a crash) mid-write must not leave
+      // a truncated CSV behind under the requested name.
+      const std::string tmpFile = cli.outFile + ".tmp";
+      try {
+        std::ofstream out(tmpFile, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          throw std::invalid_argument("cannot write: " + tmpFile);
+        }
+        results.writeCsv(out);
+        out.flush();
+        if (!out) {
+          throw std::runtime_error("write failed: " + tmpFile);
+        }
+        out.close();
+        if (std::rename(tmpFile.c_str(), cli.outFile.c_str()) != 0) {
+          throw std::runtime_error("cannot rename " + tmpFile + " to " +
+                                   cli.outFile);
+        }
+      } catch (...) {
+        std::remove(tmpFile.c_str());  // Every failure path: no .tmp litter.
+        throw;
       }
-      results.writeCsv(out);
     }
 
     std::size_t failed = 0;

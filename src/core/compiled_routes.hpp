@@ -15,7 +15,14 @@
 // The handle is immutable after compile() and therefore freely shared
 // across threads and campaign jobs (the engine memoizes it next to the
 // router).  sim::Network::addMessageCompiled consumes upPorts() spans
-// directly — a table lookup instead of virtual dispatch per message.
+// directly — a table lookup instead of virtual dispatch per message — and
+// the trace replayer goes one step further (Replayer::routeSetFor): the
+// span is expanded and interned into the network's RouteStore once per
+// (src, dst) pair, so repeat sends between the same endpoints are a pure
+// record append with no per-message table walk at all.  The same per-pair
+// interning backs the virtual-route fallback for topologies whose table
+// would exceed the engine's memory budget, which keeps route construction
+// off the per-message hot path in every mode.
 #pragma once
 
 #include <cstdint>

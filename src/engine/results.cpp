@@ -1,9 +1,11 @@
 #include "engine/results.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
+#include <locale>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace engine {
 
@@ -22,11 +24,18 @@ std::string csvEscape(const std::string& field) {
 }
 
 /// Fixed six-decimal rendering for measured ratios: stable, comparable and
-/// diff-friendly (shortest-round-trip would leak noise digits).
+/// diff-friendly (shortest-round-trip would leak noise digits).  Rendered
+/// via std::to_chars, which is locale-independent by specification — a
+/// comma-decimal process locale must not break golden-CSV comparisons
+/// (printf-family "%f" honours LC_NUMERIC and would).
 std::string fixed6(double v) {
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.6f", v);
-  return buf;
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, 6);
+  if (ec != std::errc{}) {
+    throw std::invalid_argument("fixed6: unformattable value");
+  }
+  return std::string(buf, end);
 }
 
 }  // namespace
@@ -53,6 +62,15 @@ std::string CampaignResults::csvHeader() {
 }
 
 void CampaignResults::writeCsv(std::ostream& os) const {
+  // The byte stream must not depend on the process locale: a global locale
+  // with grouping would render "47232" as "47,232" through operator<<.
+  // Restored on every exit path so the caller's stream keeps its locale.
+  const std::locale prev = os.imbue(std::locale::classic());
+  struct RestoreLocale {
+    std::ostream& os;
+    const std::locale& loc;
+    ~RestoreLocale() { os.imbue(loc); }
+  } restore{os, prev};
   std::vector<const JobResult*> ordered;
   ordered.reserve(jobs.size());
   for (const JobResult& job : jobs) ordered.push_back(&job);

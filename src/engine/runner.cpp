@@ -186,7 +186,10 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
 
     // Static schemes route through the compiled forwarding table (shared
     // across every job with the same router key) unless the topology's
-    // table would blow the memory budget — then the virtual path serves.
+    // table would blow the memory budget — then the virtual path serves,
+    // which since the interned-route rework costs one route() per distinct
+    // (src, dst) pair rather than per message (Replayer::routeSetFor), so
+    // the fallback is off every workload's per-message hot path.
     std::shared_ptr<const core::CompiledRoutes> compiled;
     if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes &&
         core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {

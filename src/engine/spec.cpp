@@ -156,7 +156,10 @@ ExperimentSpec specFromAssignments(
     } else if (key == "seed") {
       spec.seed = requireU64(value, key);
     } else {
-      fail("unknown key '" + key + "'");
+      // Mirror the registries' uniform unknown-name diagnostic so every
+      // bad token in a campaign file reads the same way.
+      fail("unknown campaign key '" + key +
+           "' (known: topo, m1, m2, w2, pattern, routing, msg_scale, seed)");
     }
   }
   if (haveTopo && haveFamily) {

@@ -13,7 +13,8 @@ constexpr std::uint32_t kNoPeer = 0xffffffffu;
 }  // namespace
 
 Network::Network(const xgft::Topology& topo, SimConfig cfg)
-    : topo_(&topo), cfg_(cfg) {
+    : topo_(&topo), cfg_(cfg),
+      serFullNs_(cfg.serializationNs(cfg.segmentBytes)) {
   const std::uint32_t h = topo.height();
   // Port bases per global node (hosts first, then switches level by level).
   portBase_.resize(topo.numNodes());
@@ -27,7 +28,9 @@ Network::Network(const xgft::Topology& topo, SimConfig cfg)
     if (l == 0) hostPortEnd_ = static_cast<std::uint32_t>(base);
   }
   if (base > 0xfffffff0ull) {
-    throw std::invalid_argument("Network: topology too large (port count)");
+    throw std::invalid_argument(
+        "Network: topology needs " + std::to_string(base) +
+        " global ports — exceeds the 32-bit port-id space");
   }
   ports_.resize(base);
   peer_.assign(base, kNoPeer);
@@ -58,10 +61,12 @@ Network::Network(const xgft::Topology& topo, SimConfig cfg)
       }
     }
   }
+  waitLink_.assign(base, kNil);
   for (std::uint32_t g = 0; g < peer_.size(); ++g) {
     if (peer_[g] == kNoPeer) {
       throw std::logic_error("Network: unwired port " + std::to_string(g));
     }
+    ports_[g].peer = peer_[g];
     ports_[g].credits = cfg_.inputBufferSegments;
   }
 }
@@ -72,42 +77,106 @@ std::uint32_t Network::globalPort(std::uint32_t level, xgft::NodeIndex node,
                                     port);
 }
 
+std::uint32_t Network::segmentCountOf(Bytes bytes) const {
+  const Bytes segments =
+      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes);
+  if (segments > 0xffffffffull) {
+    throw std::invalid_argument(
+        "Network: a " + std::to_string(bytes) + "-byte message needs " +
+        std::to_string(segments) +
+        " segments — exceeds the 32-bit segment counter; split the message "
+        "or raise SimConfig::segmentBytes");
+  }
+  return static_cast<std::uint32_t>(segments);
+}
+
+MsgId Network::addRecord(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
+                         RouteSetId set, SprayPolicy policy,
+                         std::uint64_t spraySeed, bool adaptive) {
+  if (messages_.size() >= 0xffffffffull) {
+    throw std::length_error(
+        "Network: message-id space exhausted (2^32 - 1 messages) — shard "
+        "the workload across simulations or widen sim::MsgId");
+  }
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.numSegments = segmentCountOf(bytes);
+  m.set = set;
+  if (set != RouteStore::kNone) {
+    const std::span<const RouteId> routes = routes_.set(set);
+    m.setSize = static_cast<std::uint32_t>(routes.size());
+    m.route0 = routes[0];
+  }
+  m.spraySeed = spraySeed;
+  m.policy = policy;
+  m.adaptive = adaptive;
+  messages_.push_back(m);
+  return static_cast<MsgId>(messages_.size() - 1);
+}
+
 MsgId Network::addMessage(xgft::NodeIndex src, xgft::NodeIndex dst,
                           Bytes bytes, const xgft::Route& route) {
   return addMessageMultipath(src, dst, bytes, {route},
                              SprayPolicy::kRoundRobin);
 }
 
+RouteSetId Network::internCompiledPath(xgft::NodeIndex src,
+                                       xgft::NodeIndex dst,
+                                       std::span<const std::uint32_t> upPorts) {
+  if (src == dst) return RouteStore::kNone;
+  // Same walk as hopsOf(), minus the Route materialization and the
+  // re-validation (the compiled table was validated when it was built).
+  const std::uint32_t L = static_cast<std::uint32_t>(upPorts.size());
+  scratchPath_.clear();
+  xgft::NodeIndex node = src;
+  for (std::uint32_t i = 0; i < L; ++i) {
+    scratchPath_.push_back(
+        globalPort(i, node, topo_->upPortBase(i) + upPorts[i]));
+    node = topo_->parentIndex(i, node, upPorts[i]);
+  }
+  for (std::uint32_t j = L; j >= 1; --j) {
+    const std::uint32_t port = topo_->digit(0, dst, j);
+    scratchPath_.push_back(globalPort(j, node, port));
+    node = topo_->childIndex(j, node, port);
+  }
+  scratchSet_.assign(1, routes_.internPath(scratchPath_));
+  return routes_.internSet(scratchSet_);
+}
+
 MsgId Network::addMessageCompiled(xgft::NodeIndex src, xgft::NodeIndex dst,
                                   Bytes bytes,
                                   std::span<const std::uint32_t> upPorts) {
-  Message m;
-  m.src = src;
-  m.dst = dst;
-  m.bytes = bytes;
-  m.numSegments = static_cast<std::uint32_t>(
-      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
-  if (src != dst) {
-    // Same walk as hopsOf(), minus the Route materialization and the
-    // re-validation (the compiled table was validated when it was built).
-    const std::uint32_t L = static_cast<std::uint32_t>(upPorts.size());
-    std::vector<std::uint32_t> path;
-    path.reserve(2 * static_cast<std::size_t>(L));
-    xgft::NodeIndex node = src;
-    for (std::uint32_t i = 0; i < L; ++i) {
-      path.push_back(
-          globalPort(i, node, topo_->upPortBase(i) + upPorts[i]));
-      node = topo_->parentIndex(i, node, upPorts[i]);
-    }
-    for (std::uint32_t j = L; j >= 1; --j) {
-      const std::uint32_t port = topo_->digit(0, dst, j);
-      path.push_back(globalPort(j, node, port));
-      node = topo_->childIndex(j, node, port);
-    }
-    m.paths.push_back(std::move(path));
+  return addMessageSet(src, dst, bytes, internCompiledPath(src, dst, upPorts));
+}
+
+RouteSetId Network::internRoutes(xgft::NodeIndex src, xgft::NodeIndex dst,
+                                 const std::vector<xgft::Route>& routes) {
+  if (routes.empty()) {
+    throw std::invalid_argument("addMessageMultipath: need >= 1 route");
   }
-  messages_.push_back(std::move(m));
-  return static_cast<MsgId>(messages_.size() - 1);
+  if (src == dst) return RouteStore::kNone;
+  scratchSet_.clear();
+  std::uint32_t firstHop = kNil;
+  for (const xgft::Route& route : routes) {
+    std::string error;
+    if (!validateRoute(*topo_, src, dst, route, &error)) {
+      throw std::invalid_argument("addMessage: " + error);
+    }
+    scratchPath_.clear();
+    for (const xgft::Hop& hop : hopsOf(*topo_, src, dst, route)) {
+      scratchPath_.push_back(globalPort(hop.level, hop.node, hop.outPort));
+    }
+    if (firstHop == kNil) {
+      firstHop = scratchPath_[0];
+    } else if (scratchPath_[0] != firstHop) {
+      throw std::invalid_argument(
+          "addMessageMultipath: routes must share the first-hop port");
+    }
+    scratchSet_.push_back(routes_.internPath(scratchPath_));
+  }
+  return routes_.internSet(scratchSet_);
 }
 
 MsgId Network::addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
@@ -115,56 +184,39 @@ MsgId Network::addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
                                    const std::vector<xgft::Route>& routes,
                                    SprayPolicy policy,
                                    std::uint64_t spraySeed) {
-  if (routes.empty()) {
-    throw std::invalid_argument("addMessageMultipath: need >= 1 route");
+  return addMessageSet(src, dst, bytes, internRoutes(src, dst, routes), policy,
+                       spraySeed);
+}
+
+MsgId Network::addMessageSet(xgft::NodeIndex src, xgft::NodeIndex dst,
+                             Bytes bytes, RouteSetId set, SprayPolicy policy,
+                             std::uint64_t spraySeed) {
+  if ((set == RouteStore::kNone) != (src == dst)) {
+    throw std::invalid_argument(
+        "addMessageSet: route set and endpoints disagree (kNone iff src == "
+        "dst)");
   }
-  Message m;
-  m.src = src;
-  m.dst = dst;
-  m.bytes = bytes;
-  m.policy = policy;
-  m.spraySeed = spraySeed;
-  m.numSegments = static_cast<std::uint32_t>(
-      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
-  if (src != dst) {
-    for (const xgft::Route& route : routes) {
-      std::string error;
-      if (!validateRoute(*topo_, src, dst, route, &error)) {
-        throw std::invalid_argument("addMessage: " + error);
-      }
-      std::vector<std::uint32_t> path;
-      for (const xgft::Hop& hop : hopsOf(*topo_, src, dst, route)) {
-        path.push_back(globalPort(hop.level, hop.node, hop.outPort));
-      }
-      if (!m.paths.empty() && path[0] != m.paths[0][0]) {
-        throw std::invalid_argument(
-            "addMessageMultipath: routes must share the first-hop port");
-      }
-      m.paths.push_back(std::move(path));
-    }
+  if (set != RouteStore::kNone && set >= routes_.numSets()) {
+    throw std::out_of_range("addMessageSet: unknown route set");
   }
-  messages_.push_back(std::move(m));
-  return static_cast<MsgId>(messages_.size() - 1);
+  return addRecord(src, dst, bytes, set, policy, spraySeed,
+                   /*adaptive=*/false);
 }
 
 MsgId Network::addMessageAdaptive(xgft::NodeIndex src, xgft::NodeIndex dst,
                                   Bytes bytes) {
-  Message m;
-  m.src = src;
-  m.dst = dst;
-  m.bytes = bytes;
-  m.adaptive = true;
-  m.numSegments = static_cast<std::uint32_t>(
-      std::max<Bytes>(1, (bytes + cfg_.segmentBytes - 1) / cfg_.segmentBytes));
+  RouteSetId set = RouteStore::kNone;
   if (src != dst) {
     // The host uplink is fixed per message (w1 = 1 in the paper's trees;
     // for w1 > 1 messages stripe across NIC ports by id).
     const std::uint32_t port =
         static_cast<std::uint32_t>(messages_.size() % topo_->params().w(1));
-    m.paths.push_back({globalPort(0, src, port)});
+    scratchPath_.assign(1, globalPort(0, src, port));
+    scratchSet_.assign(1, routes_.internPath(scratchPath_));
+    set = routes_.internSet(scratchSet_);
   }
-  messages_.push_back(std::move(m));
-  return static_cast<MsgId>(messages_.size() - 1);
+  return addRecord(src, dst, bytes, set, SprayPolicy::kRoundRobin, 1,
+                   /*adaptive=*/true);
 }
 
 void Network::release(MsgId msg, TimeNs t) {
@@ -181,15 +233,25 @@ void Network::scheduleCallback(TimeNs t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("scheduleCallback: time in the past");
   }
-  callbacks_.push_back(std::move(fn));
-  schedule(t, Kind::kCallback,
-           static_cast<std::uint32_t>(callbacks_.size() - 1));
+  std::uint32_t slot;
+  if (!freeCallbackSlots_.empty()) {
+    slot = freeCallbackSlots_.back();
+    freeCallbackSlots_.pop_back();
+    callbacks_[slot] = std::move(fn);
+  } else {
+    if (callbacks_.size() >= 0xffffffffull) {
+      throw std::length_error(
+          "Network: callback-slot space exhausted (2^32 pending callbacks)");
+    }
+    slot = static_cast<std::uint32_t>(callbacks_.size());
+    callbacks_.push_back(std::move(fn));
+  }
+  schedule(t, Kind::kCallback, slot);
 }
 
 void Network::run(TimeNs until) {
-  while (!queue_.empty() && queue_.top().t <= until) {
-    const Event ev = queue_.top();
-    queue_.pop();
+  EventRecord ev;
+  while (queue_.popUntil(until, ev)) {
     now_ = ev.t;
     handle(ev);
     ++stats_.eventsProcessed;
@@ -220,13 +282,8 @@ TimeNs Network::wireBusyNs(std::uint32_t gport) const {
   return ports_.at(gport).busyNs;
 }
 
-void Network::schedule(TimeNs t, Kind kind, std::uint32_t a,
-                       std::uint32_t seg) {
-  queue_.push(Event{t, nextSeq_++, kind, a, seg});
-}
-
-void Network::handle(const Event& ev) {
-  switch (ev.kind) {
+void Network::handle(const EventRecord& ev) {
+  switch (static_cast<Kind>(ev.kind())) {
     case Kind::kRelease:
       handleRelease(ev.a);
       break;
@@ -239,9 +296,14 @@ void Network::handle(const Event& ev) {
     case Kind::kTransfer:
       handleTransfer(ev.a, ev.seg);
       break;
-    case Kind::kCallback:
-      callbacks_[ev.a]();
+    case Kind::kCallback: {
+      // Move the closure out before invoking: the slot is recycled, and the
+      // callback may itself schedule new callbacks into it.
+      std::function<void()> fn = std::move(callbacks_[ev.a]);
+      freeCallbackSlots_.push_back(ev.a);
+      fn();
       break;
+    }
   }
 }
 
@@ -257,8 +319,9 @@ void Network::handleRelease(MsgId msg) {
     if (sink_ != nullptr) sink_->onMessageDelivered(msg, now_);
     return;
   }
-  ports_[m.paths[0][0]].active.push_back(msg);
-  tryInjectHost(m.paths[0][0]);
+  const std::uint32_t hostPort = routes_.path(m.route0)[0];
+  activePushBack(ports_[hostPort], msg);
+  tryInjectHost(hostPort);
 }
 
 std::uint32_t Network::segmentPayload(const Message& m,
@@ -269,48 +332,53 @@ std::uint32_t Network::segmentPayload(const Message& m,
       std::min<Bytes>(remaining, cfg_.segmentBytes));
 }
 
-std::uint32_t Network::allocSegment(MsgId msg, std::uint32_t pathIdx,
+std::uint32_t Network::allocSegment(MsgId msg, RouteId route,
                                     std::uint32_t bytes) {
   std::uint32_t idx;
-  if (!freeSegments_.empty()) {
-    idx = freeSegments_.back();
-    freeSegments_.pop_back();
+  if (freeSegments_ != kNil) {
+    idx = freeSegments_;
+    freeSegments_ = segments_[idx].next;
   } else {
+    if (segments_.size() >= kNil) {
+      throw std::length_error(
+          "Network: segment pool exhausted (2^32 - 1 slots)");
+    }
     idx = static_cast<std::uint32_t>(segments_.size());
     segments_.emplace_back();
   }
-  segments_[idx] = Segment{msg, 0, pathIdx, bytes};
+  segments_[idx] = Segment{msg, route, 0, bytes, 0, kNil};
   return idx;
 }
 
-void Network::freeSegment(std::uint32_t seg) { freeSegments_.push_back(seg); }
-
 void Network::tryInjectHost(std::uint32_t gOutPort) {
   PortState& port = ports_[gOutPort];
-  if (port.wireBusy || port.credits == 0 || port.active.empty()) return;
-  const MsgId msgId = port.active.front();
-  port.active.pop_front();
+  if (port.wireBusy || port.credits == 0 || port.activeHead == kNil) return;
+  const MsgId msgId = port.activeHead;
   Message& m = messages_[msgId];
+  port.activeHead = m.nextActive;
+  if (port.activeHead == kNil) port.activeTail = kNil;
   const std::uint32_t payload = segmentPayload(m, m.injectedSegments);
-  std::uint32_t pathIdx = 0;
-  if (m.paths.size() > 1) {
+  RouteId route = m.route0;
+  if (m.setSize > 1) {
+    std::uint32_t pathIdx = 0;
     switch (m.policy) {
       case SprayPolicy::kRoundRobin:
-        pathIdx = m.injectedSegments % m.paths.size();
+        pathIdx = m.injectedSegments % m.setSize;
         break;
       case SprayPolicy::kRandom:
         pathIdx = static_cast<std::uint32_t>(
             xgft::hashMix(m.spraySeed, msgId, m.injectedSegments) %
-            m.paths.size());
+            m.setSize);
         break;
     }
+    route = routes_.set(m.set)[pathIdx];
   }
-  const std::uint32_t seg = allocSegment(msgId, pathIdx, payload);
+  const std::uint32_t seg = allocSegment(msgId, route, payload);
   ++m.injectedSegments;
   ++stats_.segmentsInjected;
   // Round robin: messages with segments left rejoin the tail, so concurrent
   // messages interleave segment by segment (Sec. VI-B).
-  if (m.injectedSegments < m.numSegments) port.active.push_back(msgId);
+  if (m.injectedSegments < m.numSegments) activePushBack(port, msgId);
   startTransmission(gOutPort, seg);
 }
 
@@ -319,10 +387,15 @@ void Network::startTransmission(std::uint32_t gOutPort, std::uint32_t seg) {
   assert(!port.wireBusy && port.credits > 0);
   port.wireBusy = true;
   --port.credits;
-  const TimeNs ser = cfg_.serializationNs(segments_[seg].payloadBytes);
+  // Full segments dominate; their serialization time is precomputed (the
+  // floating-point flit arithmetic is off the hot path).
+  const std::uint32_t payload = segments_[seg].payloadBytes;
+  const TimeNs ser = payload == cfg_.segmentBytes
+                         ? serFullNs_
+                         : cfg_.serializationNs(payload);
   port.busyNs += ser;
   schedule(now_ + ser, Kind::kWireFree, gOutPort);
-  schedule(now_ + ser + cfg_.linkLatencyNs, Kind::kWireArrive, peer_[gOutPort],
+  schedule(now_ + ser + cfg_.linkLatencyNs, Kind::kWireArrive, port.peer,
            seg);
 }
 
@@ -341,9 +414,9 @@ void Network::handleWireFree(std::uint32_t gOutPort) {
 
 void Network::tryTransmitSwitch(std::uint32_t gOutPort) {
   PortState& port = ports_[gOutPort];
-  if (port.wireBusy || port.credits == 0 || port.outQ.empty()) return;
-  const std::uint32_t seg = port.outQ.front();
-  port.outQ.pop_front();
+  if (port.wireBusy || port.credits == 0 || port.outHead == kNil) return;
+  const std::uint32_t seg = segPopFront(port.outHead, port.outTail);
+  --port.outCount;
   startTransmission(gOutPort, seg);
   serveWaitingInputs(gOutPort);
 }
@@ -359,16 +432,17 @@ void Network::handleWireArrive(std::uint32_t gInPort, std::uint32_t seg) {
     return;
   }
   PortState& port = ports_[gInPort];
-  port.inQ.push_back(seg);
-  stats_.maxInputQueueDepth = std::max(
-      stats_.maxInputQueueDepth, static_cast<std::uint32_t>(port.inQ.size()));
+  segPushBack(port.inHead, port.inTail, seg);
+  ++port.inCount;
+  stats_.maxInputQueueDepth =
+      std::max(stats_.maxInputQueueDepth, port.inCount);
   tryAdvanceInput(gInPort);
 }
 
 void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
   const MsgId msgId = segments_[seg].msg;
   freeSegment(seg);
-  returnCredit(peer_[gInPort]);
+  returnCredit(ports_[gInPort].peer);
   ++stats_.segmentsDelivered;
   Message& m = messages_[msgId];
   ++m.deliveredSegments;
@@ -383,22 +457,48 @@ void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
 
 void Network::tryAdvanceInput(std::uint32_t gInPort) {
   PortState& port = ports_[gInPort];
-  if (port.transferring || port.inQ.empty()) return;
-  const std::uint32_t seg = port.inQ.front();
+  if (port.transferring || port.inHead == kNil) return;
+  const std::uint32_t seg = port.inHead;
   Segment& segment = segments_[seg];
-  // Adaptive segments (re-)pick their output now; a segment woken after
-  // blocking re-evaluates against current queue occupancies.
   const std::uint32_t out = messages_[segment.msg].adaptive
                                 ? resolveAdaptive(gInPort, segment)
                                 : pathOf(segment)[segment.hop];
   segment.resolvedOut = out;
+  advanceInputTo(gInPort, seg, out);
+}
+
+void Network::wakeInput(std::uint32_t gInPort) {
+  PortState& port = ports_[gInPort];
+  if (port.transferring || port.inHead == kNil) return;
+  const std::uint32_t seg = port.inHead;
+  Segment& segment = segments_[seg];
+  // The front segment is unchanged since it blocked (arrivals append, only
+  // transfers pop), so a static route's resolved output is still right.
+  // Adaptive segments re-pick against current queue occupancies.
+  std::uint32_t out = segment.resolvedOut;
+  if (messages_[segment.msg].adaptive) {
+    out = resolveAdaptive(gInPort, segment);
+    segment.resolvedOut = out;
+  }
+  advanceInputTo(gInPort, seg, out);
+}
+
+void Network::advanceInputTo(std::uint32_t gInPort, std::uint32_t seg,
+                             std::uint32_t out) {
+  PortState& port = ports_[gInPort];
   PortState& outPort = ports_[out];
-  if (outPort.outQ.size() + outPort.reserved < cfg_.outputBufferSegments) {
+  if (outPort.outCount + outPort.reserved < cfg_.outputBufferSegments) {
     ++outPort.reserved;
     port.transferring = true;
     schedule(now_ + cfg_.switchLatencyNs, Kind::kTransfer, gInPort, seg);
   } else if (!port.queuedWaiting) {
-    outPort.waitingInputs.push_back(gInPort);
+    waitLink_[gInPort] = kNil;
+    if (outPort.waitTail == kNil) {
+      outPort.waitHead = gInPort;
+    } else {
+      waitLink_[outPort.waitTail] = gInPort;
+    }
+    outPort.waitTail = gInPort;
     port.queuedWaiting = true;
   }
 }
@@ -409,14 +509,16 @@ void Network::handleTransfer(std::uint32_t gInPort, std::uint32_t seg) {
   const std::uint32_t out = segment.resolvedOut;
   PortState& outPort = ports_[out];
   --outPort.reserved;
-  outPort.outQ.push_back(seg);
+  assert(port.inHead == seg);
+  const std::uint32_t front = segPopFront(port.inHead, port.inTail);
+  (void)front;
+  --port.inCount;
+  segPushBack(outPort.outHead, outPort.outTail, seg);
+  ++outPort.outCount;
   stats_.maxOutputQueueDepth =
-      std::max(stats_.maxOutputQueueDepth,
-               static_cast<std::uint32_t>(outPort.outQ.size()));
-  assert(!port.inQ.empty() && port.inQ.front() == seg);
-  port.inQ.pop_front();
+      std::max(stats_.maxOutputQueueDepth, outPort.outCount);
   port.transferring = false;
-  returnCredit(peer_[gInPort]);
+  returnCredit(port.peer);
   tryAdvanceInput(gInPort);
   tryTransmitSwitch(out);
 }
@@ -451,7 +553,7 @@ std::uint32_t Network::resolveAdaptive(std::uint32_t gInPort,
     const std::uint32_t gout = globalPort(level, owner.node, upBase + p);
     const PortState& out = ports_[gout];
     const std::uint64_t score =
-        (static_cast<std::uint64_t>(out.outQ.size()) + out.reserved) * 2 +
+        (static_cast<std::uint64_t>(out.outCount) + out.reserved) * 2 +
         (out.wireBusy ? 1 : 0);
     if (score < bestScore) {
       bestScore = score;
@@ -468,13 +570,13 @@ void Network::returnCredit(std::uint32_t gOutPort) {
 
 void Network::serveWaitingInputs(std::uint32_t gOutPort) {
   PortState& outPort = ports_[gOutPort];
-  while (!outPort.waitingInputs.empty() &&
-         outPort.outQ.size() + outPort.reserved <
-             cfg_.outputBufferSegments) {
-    const std::uint32_t gInPort = outPort.waitingInputs.front();
-    outPort.waitingInputs.pop_front();
+  while (outPort.waitHead != kNil &&
+         outPort.outCount + outPort.reserved < cfg_.outputBufferSegments) {
+    const std::uint32_t gInPort = outPort.waitHead;
+    outPort.waitHead = waitLink_[gInPort];
+    if (outPort.waitHead == kNil) outPort.waitTail = kNil;
     ports_[gInPort].queuedWaiting = false;
-    tryAdvanceInput(gInPort);
+    wakeInput(gInPort);
   }
 }
 

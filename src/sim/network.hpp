@@ -21,20 +21,32 @@
 // credit protocol cannot deadlock; run() checks full drainage and throws on
 // any stranded segment (a routing-table bug would surface here, not hang).
 //
+// Data layout (DESIGN.md §7): the inner loop runs entirely over flat
+// storage — POD events in a calendar queue (event_queue.hpp), segments in a
+// contiguous slot pool whose FIFO queues are intrusive `next` links (no
+// per-port deques, no allocation after warm-up), and routes interned once
+// in a shared arena (route_store.hpp) so messages/segments carry indices,
+// never copied port vectors.
+//
 // Determinism: ties in the event queue break by insertion order, so equal
 // configurations and inputs replay identically on every platform.
+//
+// Overflow semantics are hardened, not silent: message ids, segment counts,
+// route arenas and the global-port space are 32-bit by design (the flat
+// layout depends on it); any workload that would exceed them throws with a
+// clear message instead of wrapping.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/route_store.hpp"
 #include "xgft/route.hpp"
 #include "xgft/topology.hpp"
 
@@ -74,7 +86,8 @@ struct NetworkStats {
 class Network {
  public:
   /// Builds the port-level machine for @p topo.  The topology reference must
-  /// outlive the Network.
+  /// outlive the Network.  Throws std::invalid_argument if the topology's
+  /// port count does not fit the 32-bit global-port space.
   Network(const xgft::Topology& topo, SimConfig cfg);
 
   /// Registers the completion listener (optional).
@@ -115,6 +128,35 @@ class Network {
   MsgId addMessageAdaptive(xgft::NodeIndex src, xgft::NodeIndex dst,
                            Bytes bytes);
 
+  // ---- Interned-route fast path (route_store.hpp) --------------------------
+  //
+  // Callers that send many messages between the same endpoints (the trace
+  // replayer) intern the route material once per (src, dst) pair and then
+  // add messages by set id: validation, hop expansion and route storage all
+  // happen exactly once per distinct route set, and addMessageSet is a pure
+  // O(1) record append.  Produces the identical event sequence as the
+  // equivalent addMessage/addMessageMultipath calls.
+
+  /// Interns the validated global-port paths of @p routes (the
+  /// addMessageMultipath rules: >= 1 route, shared first-hop port) and
+  /// returns the set handle.  For src == dst returns RouteStore::kNone
+  /// (local delivery needs no routes, matching addMessageMultipath).
+  RouteSetId internRoutes(xgft::NodeIndex src, xgft::NodeIndex dst,
+                          const std::vector<xgft::Route>& routes);
+
+  /// internRoutes for one compiled forwarding-table entry (no validation,
+  /// same contract as addMessageCompiled).
+  RouteSetId internCompiledPath(xgft::NodeIndex src, xgft::NodeIndex dst,
+                                std::span<const std::uint32_t> upPorts);
+
+  /// Registers a message over a previously interned route set.  @p set must
+  /// come from internRoutes/internCompiledPath for the same (src, dst), or
+  /// be RouteStore::kNone iff src == dst.
+  MsgId addMessageSet(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
+                      RouteSetId set,
+                      SprayPolicy policy = SprayPolicy::kRoundRobin,
+                      std::uint64_t spraySeed = 1);
+
   /// Makes the message visible to the source adapter at time @p t (must not
   /// precede the current simulation time).
   void release(MsgId msg, TimeNs t);
@@ -131,6 +173,7 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
   [[nodiscard]] const xgft::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const RouteStore& routes() const { return routes_; }
 
   /// Completion time of a delivered message; throws if not yet delivered.
   [[nodiscard]] TimeNs deliveryTime(MsgId msg) const;
@@ -149,6 +192,9 @@ class Network {
   }
 
  private:
+  /// Intrusive-list terminator for segment/message/port links.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   enum class Kind : std::uint8_t {
     kRelease,
     kWireArrive,
@@ -157,27 +203,21 @@ class Network {
     kCallback,
   };
 
-  struct Event {
-    TimeNs t = 0;
-    std::uint64_t seq = 0;
-    Kind kind = Kind::kRelease;
-    std::uint32_t a = 0;    ///< Port / message / callback index.
-    std::uint32_t seg = 0;  ///< Segment pool index where applicable.
-
-    bool operator>(const Event& other) const {
-      if (t != other.t) return t > other.t;
-      return seq > other.seq;
-    }
-  };
-
+  /// One in-flight segment in the contiguous slot pool.  `next` threads the
+  /// FIFO queue (input or output buffer) the segment currently sits in — a
+  /// segment is in at most one queue at a time, so one link suffices.
   struct Segment {
     MsgId msg = 0;
+    RouteId route = 0;          ///< Interned path this segment follows.
     std::uint32_t hop = 0;      ///< Hops completed so far.
-    std::uint32_t pathIdx = 0;  ///< Which of the message's routes.
     std::uint32_t payloadBytes = 0;
     std::uint32_t resolvedOut = 0;  ///< Output gport chosen at this switch.
+    std::uint32_t next = kNil;      ///< Intrusive FIFO link / free-list link.
   };
 
+  /// POD message record; routes live in the interned store (set).  The
+  /// single-route fast path (`setSize` == 1) keeps the route id inline so
+  /// injection never touches the set arena.
   struct Message {
     xgft::NodeIndex src = 0;
     xgft::NodeIndex dst = 0;
@@ -185,15 +225,16 @@ class Network {
     std::uint32_t numSegments = 0;
     std::uint32_t injectedSegments = 0;
     std::uint32_t deliveredSegments = 0;
+    RouteSetId set = RouteStore::kNone;  ///< Candidate routes (kNone: local).
+    std::uint32_t setSize = 0;           ///< |set| (0 for local delivery).
+    RouteId route0 = 0;                  ///< set[0], inline.
+    std::uint32_t nextActive = kNil;     ///< Host-adapter round-robin link.
+    std::uint64_t spraySeed = 1;
+    TimeNs deliveredAt = 0;
+    SprayPolicy policy = SprayPolicy::kRoundRobin;
     bool released = false;
     bool delivered = false;
     bool adaptive = false;
-    SprayPolicy policy = SprayPolicy::kRoundRobin;
-    std::uint64_t spraySeed = 1;
-    TimeNs deliveredAt = 0;
-    /// Global output ports per hop, one sequence per candidate route
-    /// (empty for adaptive messages).
-    std::vector<std::vector<std::uint32_t>> paths;
   };
 
   /// Reverse port lookup: which node owns a global port.
@@ -203,25 +244,39 @@ class Network {
     std::uint32_t localPort = 0;
   };
 
+  /// Flat per-port state: all queues are intrusive head/tail links into the
+  /// segment pool (inQ/outQ), the port array itself (waiting inputs) or the
+  /// message table (host-adapter round robin).  Exactly one cache line per
+  /// port — the waiting-list link lives in the cold side array waitLink_.
   struct PortState {
+    std::uint32_t peer = 0;  ///< The gport this port's wire ends at.
     // Output side.
-    std::deque<std::uint32_t> outQ;  ///< Segment pool indices.
-    std::uint32_t reserved = 0;      ///< Transfers in flight into outQ.
-    bool wireBusy = false;
-    std::uint32_t credits = 0;  ///< Free slots at the peer's input buffer.
-    std::deque<std::uint32_t> waitingInputs;  ///< Blocked inputs (RR order).
+    std::uint32_t outHead = kNil;  ///< FIFO of segment pool indices.
+    std::uint32_t outTail = kNil;
+    std::uint32_t waitHead = kNil;  ///< Blocked input gports (RR order).
+    std::uint32_t waitTail = kNil;
+    std::uint32_t reserved = 0;  ///< Transfers in flight into the out FIFO.
+    std::uint32_t credits = 0;   ///< Free slots at the peer's input buffer.
+    std::uint32_t outCount = 0;
     // Input side.
-    std::deque<std::uint32_t> inQ;
-    bool transferring = false;
-    bool queuedWaiting = false;  ///< Already parked in some waitingInputs.
+    std::uint32_t inHead = kNil;  ///< FIFO of segment pool indices.
+    std::uint32_t inTail = kNil;
+    std::uint32_t inCount = 0;
     // Host adapter (host ports only): active-message round robin.
-    std::deque<MsgId> active;
+    std::uint32_t activeHead = kNil;  ///< FIFO of MsgIds.
+    std::uint32_t activeTail = kNil;
+    bool wireBusy = false;
+    bool transferring = false;
+    bool queuedWaiting = false;  ///< Already parked in some waiting list.
     // Accounting.
     TimeNs busyNs = 0;
   };
+  static_assert(sizeof(PortState) == 64, "PortState must stay one cache line");
 
-  void schedule(TimeNs t, Kind kind, std::uint32_t a, std::uint32_t seg = 0);
-  void handle(const Event& ev);
+  void schedule(TimeNs t, Kind kind, std::uint32_t a, std::uint32_t seg = 0) {
+    queue_.push(t, static_cast<std::uint8_t>(kind), a, seg);
+  }
+  void handle(const EventRecord& ev);
 
   void handleRelease(MsgId msg);
   void handleWireArrive(std::uint32_t gInPort, std::uint32_t seg);
@@ -232,30 +287,77 @@ class Network {
   void tryTransmitSwitch(std::uint32_t gOutPort);
   void startTransmission(std::uint32_t gOutPort, std::uint32_t seg);
   void tryAdvanceInput(std::uint32_t gInPort);
+  /// tryAdvanceInput for an input woken from a waiting list: the blocked
+  /// front segment's resolved output is still valid for static routes, so
+  /// only adaptive segments re-resolve.
+  void wakeInput(std::uint32_t gInPort);
+  /// Shared tail of tryAdvanceInput/wakeInput: reserve the output slot or
+  /// park the input in @p out's waiting list.
+  void advanceInputTo(std::uint32_t gInPort, std::uint32_t seg,
+                      std::uint32_t out);
   void serveWaitingInputs(std::uint32_t gOutPort);
   void returnCredit(std::uint32_t gOutPort);
   void deliverSegment(std::uint32_t gInPort, std::uint32_t seg);
   void outputDispatch(std::uint32_t gOutPort);
 
-  [[nodiscard]] std::uint32_t allocSegment(MsgId msg, std::uint32_t pathIdx,
+  // Intrusive FIFO helpers over the segment pool / message table.
+  void segPushBack(std::uint32_t& head, std::uint32_t& tail,
+                   std::uint32_t seg) {
+    segments_[seg].next = kNil;
+    if (tail == kNil) {
+      head = seg;
+    } else {
+      segments_[tail].next = seg;
+    }
+    tail = seg;
+  }
+  std::uint32_t segPopFront(std::uint32_t& head, std::uint32_t& tail) {
+    const std::uint32_t seg = head;
+    head = segments_[seg].next;
+    if (head == kNil) tail = kNil;
+    return seg;
+  }
+  /// Appends @p msg to a host port's active-message round-robin FIFO.
+  void activePushBack(PortState& port, MsgId msg) {
+    messages_[msg].nextActive = kNil;
+    if (port.activeTail == kNil) {
+      port.activeHead = msg;
+    } else {
+      messages_[port.activeTail].nextActive = msg;
+    }
+    port.activeTail = msg;
+  }
+
+  /// Appends the message/segment bookkeeping shared by every addMessage*
+  /// flavour; guards the 32-bit id and segment-count spaces.
+  MsgId addRecord(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
+                  RouteSetId set, SprayPolicy policy, std::uint64_t spraySeed,
+                  bool adaptive);
+
+  [[nodiscard]] std::uint32_t allocSegment(MsgId msg, RouteId route,
                                            std::uint32_t bytes);
-  [[nodiscard]] const std::vector<std::uint32_t>& pathOf(
+  [[nodiscard]] std::span<const std::uint32_t> pathOf(
       const Segment& seg) const {
-    return messages_[seg.msg].paths[seg.pathIdx];
+    return routes_.path(seg.route);
   }
   /// Picks the output gport for an adaptive segment sitting at the node
   /// owning @p gInPort.
   [[nodiscard]] std::uint32_t resolveAdaptive(std::uint32_t gInPort,
                                               const Segment& seg);
-  void freeSegment(std::uint32_t seg);
+  void freeSegment(std::uint32_t seg) {
+    segments_[seg].next = freeSegments_;
+    freeSegments_ = seg;
+  }
   [[nodiscard]] bool isHostPort(std::uint32_t gport) const {
     return gport < hostPortEnd_;
   }
   [[nodiscard]] std::uint32_t segmentPayload(const Message& m,
                                              std::uint32_t index) const;
+  [[nodiscard]] std::uint32_t segmentCountOf(Bytes bytes) const;
 
   const xgft::Topology* topo_;
   SimConfig cfg_;
+  TimeNs serFullNs_ = 0;  ///< serializationNs(segmentBytes), precomputed.
   TrafficSink* sink_ = nullptr;
 
   std::vector<std::uint64_t> portBase_;  ///< Per global node id.
@@ -265,13 +367,18 @@ class Network {
   std::uint32_t hostPortEnd_ = 0;        ///< Host ports occupy [0, end).
 
   std::vector<PortState> ports_;
+  std::vector<std::uint32_t> waitLink_;  ///< Per-port waiting-list link.
   std::vector<Message> messages_;
-  std::vector<Segment> segments_;
-  std::vector<std::uint32_t> freeSegments_;
+  std::vector<Segment> segments_;        ///< Slot pool.
+  std::uint32_t freeSegments_ = kNil;    ///< Free-list head (next links).
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  RouteStore routes_;
+  std::vector<std::uint32_t> scratchPath_;  ///< Reused path-building buffer.
+  std::vector<RouteId> scratchSet_;         ///< Reused set-building buffer.
+
+  EventQueue queue_;
   std::vector<std::function<void()>> callbacks_;
-  std::uint64_t nextSeq_ = 0;
+  std::vector<std::uint32_t> freeCallbackSlots_;
   TimeNs now_ = 0;
   NetworkStats stats_;
 };

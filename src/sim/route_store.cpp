@@ -1,0 +1,71 @@
+#include "sim/route_store.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "xgft/rng.hpp"
+
+namespace sim {
+
+namespace {
+
+std::uint64_t hashSpan(std::span<const std::uint32_t> v) {
+  // SplitMix chaining (xgft/rng.hpp): platform-independent, and the length
+  // is folded in so a prefix never collides with its extension by design.
+  std::uint64_t h = xgft::hashMix(0x9e3779b97f4a7c15ULL, v.size());
+  for (const std::uint32_t x : v) h = xgft::hashMix(h, x);
+  return h;
+}
+
+bool equalsSlice(std::span<const std::uint32_t> value,
+                 const std::vector<std::uint32_t>& data, std::uint32_t off,
+                 std::uint32_t len) {
+  if (value.size() != len) return false;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    if (data[off + i] != value[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t RouteStore::intern(
+    std::span<const std::uint32_t> value, std::vector<std::uint32_t>& data,
+    std::vector<Slice>& slices,
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>& index,
+    const char* what) {
+  const std::uint64_t h = hashSpan(value);
+  std::vector<std::uint32_t>& candidates = index[h];
+  for (const std::uint32_t id : candidates) {
+    const Slice s = slices[id];
+    if (equalsSlice(value, data, s.off, s.len)) return id;
+  }
+  // New content: append to the arena, with checked 32-bit bounds instead of
+  // a silent wrap on absurd scales.
+  if (data.size() + value.size() > 0xffffffffull) {
+    throw std::length_error(std::string("RouteStore: ") + what +
+                            " arena exceeds 2^32 entries — shard the "
+                            "workload across simulations");
+  }
+  if (slices.size() >= kNone) {
+    throw std::length_error(std::string("RouteStore: ") + what +
+                            " id space exhausted (2^32 - 1 entries)");
+  }
+  const Slice s{static_cast<std::uint32_t>(data.size()),
+                static_cast<std::uint32_t>(value.size())};
+  data.insert(data.end(), value.begin(), value.end());
+  const std::uint32_t id = static_cast<std::uint32_t>(slices.size());
+  slices.push_back(s);
+  candidates.push_back(id);
+  return id;
+}
+
+RouteId RouteStore::internPath(std::span<const std::uint32_t> gports) {
+  return intern(gports, pathData_, paths_, pathIndex_, "path");
+}
+
+RouteSetId RouteStore::internSet(std::span<const RouteId> routes) {
+  return intern(routes, setData_, sets_, setIndex_, "route-set");
+}
+
+}  // namespace sim

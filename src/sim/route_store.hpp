@@ -1,0 +1,84 @@
+// route_store.hpp — Interned message routes in flat arenas.
+//
+// Every message used to carry its own std::vector<std::vector<uint32_t>>
+// copy of the global-port path(s) it traverses — one to two heap
+// allocations per message on the replayer's hot path, and identical paths
+// (every message of a (src, dst) pair, every segment of a sprayed set)
+// duplicated thousands of times.  The RouteStore is the slot-pool
+// counterpart for routes: paths live once in one contiguous uint32 arena,
+// deduplicated by content, and messages/segments refer to them by index —
+//
+//   path  (RouteId):    one global-output-port sequence, hop by hop,
+//   set (RouteSetId):   an ordered list of RouteIds (a multipath message's
+//                       candidate routes; order matters for spraying).
+//
+// Ids are dense uint32 handles; spans stay valid for the store's lifetime
+// (arenas only grow).  Exceeding the 32-bit arena or id space throws
+// std::length_error instead of silently wrapping (the overflow-hardening
+// contract of sim::Network).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sim {
+
+using RouteId = std::uint32_t;
+using RouteSetId = std::uint32_t;
+
+class RouteStore {
+ public:
+  /// Reserved "no route set" handle (messages delivered locally).
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Interns one hop-by-hop global-port path; returns the id of the
+  /// existing copy when an identical path was interned before.
+  [[nodiscard]] RouteId internPath(std::span<const std::uint32_t> gports);
+
+  /// Interns an ordered route-id list (deduplicated like paths).
+  [[nodiscard]] RouteSetId internSet(std::span<const RouteId> routes);
+
+  [[nodiscard]] std::span<const std::uint32_t> path(RouteId id) const {
+    const Slice s = paths_[id];
+    return {pathData_.data() + s.off, s.len};
+  }
+  [[nodiscard]] std::span<const RouteId> set(RouteSetId id) const {
+    const Slice s = sets_[id];
+    return {setData_.data() + s.off, s.len};
+  }
+
+  [[nodiscard]] std::size_t numPaths() const { return paths_.size(); }
+  [[nodiscard]] std::size_t numSets() const { return sets_.size(); }
+  /// Total interned uint32 entries (arena footprint, for reports).
+  [[nodiscard]] std::size_t arenaEntries() const {
+    return pathData_.size() + setData_.size();
+  }
+
+ private:
+  struct Slice {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Generic content-hashed interning into (data, slices, index).
+  static std::uint32_t intern(std::span<const std::uint32_t> value,
+                              std::vector<std::uint32_t>& data,
+                              std::vector<Slice>& slices,
+                              std::unordered_map<std::uint64_t,
+                                                 std::vector<std::uint32_t>>&
+                                  index,
+                              const char* what);
+
+  std::vector<std::uint32_t> pathData_;
+  std::vector<Slice> paths_;
+  std::vector<std::uint32_t> setData_;
+  std::vector<Slice> sets_;
+  // Content hash -> candidate ids (same-hash collisions are resolved by
+  // comparing the stored bytes).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> pathIndex_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> setIndex_;
+};
+
+}  // namespace sim

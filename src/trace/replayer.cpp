@@ -19,6 +19,11 @@ Replayer::Replayer(sim::Network& net, const Trace& trace,
   if (mapping.numRanks() != trace.numRanks) {
     throw std::invalid_argument("Replayer: mapping/trace rank mismatch");
   }
+  // Per-segment modes never consult the forwarding table (spray enumerates
+  // NCA routes, adaptive routes hop by hop), so a compiled handle is inert
+  // for them — but every mode interns its per-(src, dst) route material
+  // exactly once (routeSetFor), so no per-message route construction
+  // remains on any path.
   if (spray_.adaptive || spray_.enabled) compiled_ = nullptr;
   if (compiled_ != nullptr &&
       &compiled_->topology() != &net.topology()) {
@@ -34,6 +39,45 @@ Replayer::Replayer(sim::Network& net, const Trace& trace,
 
 std::uint64_t Replayer::matchKey(patterns::Rank src, std::uint32_t tag) const {
   return (static_cast<std::uint64_t>(src) << 32) | tag;
+}
+
+sim::RouteSetId Replayer::routeSetFor(xgft::NodeIndex src,
+                                      xgft::NodeIndex dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  const auto it = pairSets_.find(key);
+  if (it != pairSets_.end()) return it->second;
+  sim::RouteSetId set;
+  if (spray_.enabled) {
+    const xgft::Topology& topo = net_->topology();
+    const xgft::Count n = topo.numNcas(src, dst);
+    std::vector<xgft::Route> routes;
+    if (n <= spray_.maxPaths) {
+      for (xgft::Count c = 0; c < n; ++c) {
+        routes.push_back(routeViaNca(topo, src, dst, c));
+      }
+    } else {
+      for (std::uint32_t i = 0; i < spray_.maxPaths; ++i) {
+        routes.push_back(routeViaNca(
+            topo, src, dst, xgft::hashMix(spray_.seed, src, dst, i) % n));
+      }
+    }
+    // Spraying happens above the first hop: all candidate routes must
+    // leave the host through the same NIC port (relevant only when
+    // w1 > 1).
+    if (!routes.empty() && !routes[0].up.empty()) {
+      const std::uint32_t port0 = routes[0].up[0];
+      std::erase_if(routes, [port0](const xgft::Route& r) {
+        return r.up[0] != port0;
+      });
+    }
+    set = net_->internRoutes(src, dst, routes);
+  } else if (compiled_ != nullptr) {
+    set = net_->internCompiledPath(src, dst, compiled_->upPorts(src, dst));
+  } else {
+    set = net_->internRoutes(src, dst, {router_->route(src, dst)});
+  }
+  pairSets_.emplace(key, set);
+  return set;
 }
 
 sim::TimeNs Replayer::run() {
@@ -72,36 +116,15 @@ void Replayer::progress(patterns::Rank r) {
         sim::MsgId msg = 0;
         if (spray_.adaptive) {
           msg = net_->addMessageAdaptive(src, dst, op.bytes);
-        } else if (spray_.enabled) {
-          const xgft::Topology& topo = net_->topology();
-          const xgft::Count n = topo.numNcas(src, dst);
-          std::vector<xgft::Route> routes;
-          if (n <= spray_.maxPaths) {
-            for (xgft::Count c = 0; c < n; ++c) {
-              routes.push_back(routeViaNca(topo, src, dst, c));
-            }
-          } else {
-            for (std::uint32_t i = 0; i < spray_.maxPaths; ++i) {
-              routes.push_back(routeViaNca(
-                  topo, src, dst, xgft::hashMix(spray_.seed, src, dst, i) % n));
-            }
-          }
-          // Spraying happens above the first hop: all candidate routes must
-          // leave the host through the same NIC port (relevant only when
-          // w1 > 1).
-          if (!routes.empty() && !routes[0].up.empty()) {
-            const std::uint32_t port0 = routes[0].up[0];
-            std::erase_if(routes, [port0](const xgft::Route& r) {
-              return r.up[0] != port0;
-            });
-          }
-          msg = net_->addMessageMultipath(src, dst, op.bytes, routes,
-                                          spray_.policy, spray_.seed);
-        } else if (compiled_ != nullptr) {
-          msg = net_->addMessageCompiled(src, dst, op.bytes,
-                                         compiled_->upPorts(src, dst));
         } else {
-          msg = net_->addMessage(src, dst, op.bytes, router_->route(src, dst));
+          // Route material (validated, hop-expanded, interned) is built at
+          // most once per (src, dst) pair — repeat sends are a pure record
+          // append in the simulator.
+          const sim::RouteSetId set = routeSetFor(src, dst);
+          msg = net_->addMessageSet(
+              src, dst, op.bytes, set,
+              spray_.enabled ? spray_.policy : sim::SprayPolicy::kRoundRobin,
+              spray_.enabled ? spray_.seed : 1);
         }
         if (msg != msgInfo_.size()) {
           throw std::logic_error("Replayer: non-dense message ids");

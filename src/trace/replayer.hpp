@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "core/compiled_routes.hpp"
@@ -93,6 +94,12 @@ class Replayer final : public sim::TrafficSink {
   void arriveAtBarrier(patterns::Rank r);
   [[nodiscard]] std::uint64_t matchKey(patterns::Rank src,
                                        std::uint32_t tag) const;
+  /// The interned route set for (src, dst) under the active routing mode
+  /// (compiled table, virtual route() fallback, or spray enumeration),
+  /// built on first use and memoized — the per-message hot path never
+  /// constructs routes.
+  [[nodiscard]] sim::RouteSetId routeSetFor(xgft::NodeIndex src,
+                                            xgft::NodeIndex dst);
 
   sim::Network* net_;
   const Trace* trace_;
@@ -110,6 +117,8 @@ class Replayer final : public sim::TrafficSink {
     std::uint32_t tag = 0;
   };
   std::vector<MsgInfo> msgInfo_;  ///< Indexed by MsgId (dense).
+  // (src, dst) -> interned route set in the network's RouteStore.
+  std::unordered_map<std::uint64_t, sim::RouteSetId> pairSets_;
   // Per receiving rank: (src, tag) -> counts.
   std::vector<std::map<std::uint64_t, std::uint32_t>> postedRecvs_;
   std::vector<std::map<std::uint64_t, std::uint32_t>> unexpected_;

@@ -1,0 +1,93 @@
+// Locale-independence regression for campaign CSV output: a process
+// running under a comma-decimal, digit-grouping locale must produce the
+// exact same CSV bytes as the "C" locale, or golden-CSV comparisons (and
+// any downstream parser) silently break.  Guards the std::to_chars float
+// rendering in engine/results.cpp and the classic-locale imbue in
+// writeCsv.
+//
+// The test installs the hostile locale twice over: std::locale::global
+// with custom numpunct facets (always available — covers iostream
+// formatting) and, when the host has it, setlocale(LC_ALL, "de_DE.UTF-8")
+// (covers the printf/strtod family).
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <fstream>
+#include <locale>
+#include <sstream>
+
+#include "engine/campaigns.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
+
+#ifndef XGFT_TESTS_DIR
+#error "XGFT_TESTS_DIR must point at the source tests/ directory"
+#endif
+
+namespace engine {
+namespace {
+
+/// 1.234.567,89-style numeric formatting, no locale data needed.
+template <typename Base>
+class CommaDecimal : public Base {
+ public:
+  using Base::Base;
+
+ protected:
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class CommaLocale : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = std::locale::global(std::locale(
+        std::locale::classic(), new CommaDecimal<std::numpunct<char>>()));
+    previousC_ = std::setlocale(LC_ALL, nullptr);
+    // Best effort: a real comma-decimal C locale too, if generated on the
+    // host (covers snprintf-style formatting the facets cannot reach).
+    if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr) {
+      std::setlocale(LC_ALL, "fr_FR.UTF-8");
+    }
+  }
+  void TearDown() override {
+    std::locale::global(previous_);
+    std::setlocale(LC_ALL, previousC_.c_str());
+  }
+
+ private:
+  std::locale previous_{};
+  std::string previousC_;
+};
+
+TEST_F(CommaLocale, NumbersWouldDriftWithoutTheGuards) {
+  // Sanity: the hostile locale really does reformat numbers through
+  // iostreams, so a pass below is meaningful.
+  std::ostringstream os;
+  os << 47232;
+  EXPECT_EQ(os.str(), "47.232");
+}
+
+TEST_F(CommaLocale, SmokeCampaignCsvMatchesTheFixtureByteForByte) {
+  std::ifstream fixture(
+      std::string(XGFT_TESTS_DIR) + "/engine/data/smoke_campaign.csv",
+      std::ios::binary);
+  ASSERT_TRUE(fixture) << "missing smoke_campaign.csv fixture";
+  std::ostringstream want;
+  want << fixture.rdbuf();
+
+  const CampaignOptions copt{/*seeds=*/2, /*msgScale=*/0.0625};
+  const std::vector<ExperimentSpec> specs =
+      parseCampaign(builtinCampaign("smoke", copt));
+  ASSERT_FALSE(specs.empty());
+  const CampaignResults results = Runner(RunnerOptions{}).run(specs);
+  for (const JobResult& job : results.jobs) {
+    ASSERT_TRUE(job.ok) << job.spec.toLine() << ": " << job.error;
+  }
+  EXPECT_EQ(results.toCsv(), want.str())
+      << "campaign CSV depends on the process locale";
+}
+
+}  // namespace
+}  // namespace engine

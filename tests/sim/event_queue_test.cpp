@@ -1,0 +1,175 @@
+// Tests for the calendar-queue event core: exact (t, insertion-seq)
+// service order against a std::priority_queue reference model across the
+// regimes the queue adapts to (dense, sparse, time-bunched bursts, small),
+// plus the until/rewind semantics Network::run(until) relies on.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "xgft/rng.hpp"
+
+namespace sim {
+namespace {
+
+/// Reference model: the (t, seq) min-queue the calendar replaced.
+struct RefEvent {
+  TimeNs t;
+  std::uint64_t seq;
+  std::uint32_t a;
+  bool operator>(const RefEvent& o) const {
+    if (t != o.t) return t > o.t;
+    return seq > o.seq;
+  }
+};
+
+class Reference {
+ public:
+  void push(TimeNs t, std::uint32_t a) { q_.push(RefEvent{t, seq_++, a}); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] RefEvent pop() {
+    RefEvent e = q_.top();
+    q_.pop();
+    return e;
+  }
+  [[nodiscard]] TimeNs topTime() const { return q_.top().t; }
+
+ private:
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<RefEvent>>
+      q_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Drains both queues fully, asserting identical (t, payload) order.
+void expectSameDrain(EventQueue& q, Reference& ref) {
+  EventRecord got{};
+  while (ref.empty() ? false : true) {
+    const RefEvent want = ref.pop();
+    ASSERT_TRUE(q.popUntil(std::numeric_limits<TimeNs>::max(), got));
+    EXPECT_EQ(got.t, want.t);
+    EXPECT_EQ(got.a, want.a);
+  }
+  EXPECT_FALSE(q.popUntil(std::numeric_limits<TimeNs>::max(), got));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyPopsNothing) {
+  EventQueue q;
+  EventRecord out{};
+  EXPECT_FALSE(q.popUntil(std::numeric_limits<TimeNs>::max(), out));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, EqualTimesPopInInsertionOrder) {
+  EventQueue q;
+  for (std::uint32_t i = 0; i < 100; ++i) q.push(500, 0, i, 0);
+  EventRecord out{};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q.popUntil(1000, out));
+    EXPECT_EQ(out.a, i);
+  }
+}
+
+TEST(EventQueue, KindRidesInTheTag) {
+  EventQueue q;
+  q.push(10, 5, 1, 2);
+  EventRecord out{};
+  ASSERT_TRUE(q.popUntil(10, out));
+  EXPECT_EQ(out.kind(), 5);
+  EXPECT_EQ(out.a, 1u);
+  EXPECT_EQ(out.seg, 2u);
+}
+
+TEST(EventQueue, MatchesReferenceOnMixedRandomLoad) {
+  // Interleaved pushes and pops over several time scales — exercises the
+  // small mode, the migration to the calendar, bucket growth, and the
+  // width adaptation, all against the reference order.
+  EventQueue q;
+  Reference ref;
+  xgft::Rng rng(42);
+  TimeNs now = 0;
+  std::uint32_t id = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const std::uint64_t r = rng.next() % 100;
+    if (r < 60) {
+      // Simulator-like deltas: 0, 20, 100, ~4096, plus occasional far
+      // future and same-instant bursts.
+      static constexpr TimeNs deltas[] = {0, 20, 100, 4096, 4128, 70000};
+      const TimeNs t = now + deltas[rng.next() % 6];
+      q.push(t, 0, id, 0);
+      ref.push(t, id);
+      ++id;
+    } else if (!ref.empty()) {
+      EventRecord got{};
+      const RefEvent want = ref.pop();
+      ASSERT_TRUE(q.popUntil(std::numeric_limits<TimeNs>::max(), got));
+      ASSERT_EQ(got.t, want.t);
+      ASSERT_EQ(got.a, want.a);
+      now = got.t;
+    }
+  }
+  expectSameDrain(q, ref);
+}
+
+TEST(EventQueue, BurstsAtOneInstantStayOrdered) {
+  // The ideal-crossbar regime: thousands of events at identical times.
+  EventQueue q;
+  Reference ref;
+  std::uint32_t id = 0;
+  for (TimeNs t = 0; t < 10; ++t) {
+    for (int i = 0; i < 2000; ++i) {
+      q.push(t * 4128, 0, id, 0);
+      ref.push(t * 4128, id);
+      ++id;
+    }
+  }
+  expectSameDrain(q, ref);
+}
+
+TEST(EventQueue, UntilBlocksWithoutConsuming) {
+  EventQueue q;
+  q.push(5000, 0, 1, 0);
+  EventRecord out{};
+  EXPECT_FALSE(q.popUntil(4999, out));
+  EXPECT_EQ(q.size(), 1u);
+  ASSERT_TRUE(q.popUntil(5000, out));
+  EXPECT_EQ(out.a, 1u);
+}
+
+TEST(EventQueue, PushBeforeTheCursorAfterABlockedPop) {
+  // run(until) semantics: a blocked pop may leave the cursor deep in the
+  // future; a later push at an earlier time must still pop first.
+  EventQueue q;
+  // Leave small mode so the calendar cursor is exercised.
+  for (std::uint32_t i = 0; i < 200; ++i) q.push(1 << 20, 0, 1000 + i, 0);
+  EventRecord out{};
+  EXPECT_FALSE(q.popUntil(10, out));  // Cursor hunts far forward.
+  q.push(50, 0, 7, 0);                // Earlier than everything pending.
+  ASSERT_TRUE(q.popUntil(std::numeric_limits<TimeNs>::max(), out));
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_EQ(out.t, 50u);
+}
+
+TEST(EventQueue, DrainRefillCyclesSurviveModeChanges) {
+  EventQueue q;
+  Reference ref;
+  std::uint32_t id = 0;
+  TimeNs base = 0;
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    // Alternate tiny and large batches to force small <-> calendar moves.
+    const int n = (cycle % 2 == 0) ? 5 : 3000;
+    for (int i = 0; i < n; ++i) {
+      const TimeNs t = base + static_cast<TimeNs>(i % 97) * 64;
+      q.push(t, 0, id, 0);
+      ref.push(t, id);
+      ++id;
+    }
+    expectSameDrain(q, ref);
+    base += 1 << 24;  // Huge jump: the next batch is in a far slot.
+  }
+}
+
+}  // namespace
+}  // namespace sim

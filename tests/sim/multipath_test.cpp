@@ -111,6 +111,74 @@ TEST(Multipath, SprayedPermutationBeatsWorstStaticChoice) {
   EXPECT_LT(makespan(true) * 3, makespan(false));
 }
 
+TEST(Multipath, OutOfOrderSegmentsReassemble) {
+  // Force out-of-order arrival deterministically: two candidate routes,
+  // one pre-congested by a long blocking message, round-robin spraying.
+  // Even-indexed segments crawl behind the blocker while odd ones race
+  // ahead, so delivery order != injection order; the adapter's reassembly
+  // must still complete the message exactly once, after its slowest
+  // segment.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  SimConfig cfg;
+  cfg.headerBytes = 0;
+  Network net(topo, cfg);
+  std::vector<xgft::Route> routes = allRoutes(topo, 0, 15);
+  ASSERT_EQ(routes.size(), 2u);
+  // Blocker: saturates root 0's down path toward host 15's switch.
+  const MsgId blocker =
+      net.addMessage(1, 14, 64 * 1024, routeViaNca(topo, 1, 14, 0));
+  const MsgId sprayed = net.addMessageMultipath(
+      0, 15, 8 * 1024, routes, SprayPolicy::kRoundRobin);
+  net.release(blocker, 0);
+  net.release(sprayed, 0);
+  net.run();
+  EXPECT_EQ(net.stats().messagesDelivered, 2u);
+  EXPECT_EQ(net.stats().segmentsDelivered, 64u + 8u);
+  // The sprayed message is gated by its congested even segments: it cannot
+  // have finished at the uncontended single-route time.
+  Network clean(topo, cfg);
+  const MsgId alone = clean.addMessageMultipath(
+      0, 15, 8 * 1024, routes, SprayPolicy::kRoundRobin);
+  clean.release(alone, 0);
+  clean.run();
+  EXPECT_GT(net.deliveryTime(sprayed), clean.deliveryTime(alone));
+}
+
+TEST(Multipath, MaxPathsAboveRouteCountUsesEveryRouteOnce) {
+  // spray.maxPaths far above numNcas: the replayer must enumerate each of
+  // the n NCA routes exactly once (no duplicates, no out-of-range choice)
+  // and behave identically to maxPaths == n.
+  const Topology topo(xgft::xgft2(4, 4, 4));  // numNcas == 4 per pair.
+  const auto app = trace::scaleMessages(
+      patterns::wrfHalo(4, 4, 64 * 1024), 0.5);
+  const auto runWith = [&](std::uint32_t maxPaths) {
+    trace::SprayConfig spray;
+    spray.enabled = true;
+    spray.maxPaths = maxPaths;
+    return trace::runAppSprayed(topo, app, spray);
+  };
+  const trace::RunResult wide = runWith(64);
+  const trace::RunResult exact = runWith(4);
+  EXPECT_EQ(wide.makespanNs, exact.makespanNs);
+  EXPECT_EQ(wide.stats.eventsProcessed, exact.stats.eventsProcessed);
+  EXPECT_EQ(wide.stats.segmentsDelivered, exact.stats.segmentsDelivered);
+  EXPECT_EQ(wide.stats.messagesDelivered, app.phases[0].size());
+}
+
+TEST(Multipath, MaxPathsOfOneDegeneratesToSingleRoute) {
+  // The boundary below: spraying with maxPaths == 1 selects one seeded
+  // route per pair and still delivers everything.
+  const Topology topo(xgft::xgft2(4, 4, 4));
+  const auto app = trace::scaleMessages(
+      patterns::wrfHalo(4, 4, 64 * 1024), 0.5);
+  trace::SprayConfig spray;
+  spray.enabled = true;
+  spray.maxPaths = 1;
+  const trace::RunResult r = trace::runAppSprayed(topo, app, spray);
+  EXPECT_GT(r.makespanNs, 0u);
+  EXPECT_EQ(r.stats.messagesDelivered, app.phases[0].size());
+}
+
 TEST(Multipath, HarnessSprayRunsEndToEnd) {
   const Topology topo(xgft::xgft2(8, 8, 4));
   const auto app = trace::scaleMessages(

@@ -262,6 +262,136 @@ TEST(Network, RunUntilPausesAndResumes) {
   EXPECT_EQ(net.stats().messagesDelivered, 1u);
 }
 
+TEST(Network, SegmentCountOverflowThrowsInsteadOfWrapping) {
+  // A message so large its segment count exceeds the 32-bit counter must
+  // be rejected with a clear message, not silently truncated modulo 2^32
+  // (2^42 bytes / 1 KB segments = 2^32 segments, one past the counter).
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Network net(topo, SimConfig{});
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  try {
+    (void)net.addMessage(0, 1, Bytes{1} << 42, router->route(0, 1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("32-bit segment counter"),
+              std::string::npos)
+        << e.what();
+  }
+  // Nothing was registered: the id space is untouched by the failed add.
+  EXPECT_THROW(net.release(0, 0), std::out_of_range);
+  // The largest representable segment count is still accepted.
+  const MsgId ok =
+      net.addMessage(0, 1, (Bytes{1} << 42) - 1024, router->route(0, 1));
+  EXPECT_EQ(ok, 0u);
+}
+
+TEST(Network, OversizedTopologyPortSpaceThrows) {
+  // The flat event core indexes ports with 32-bit ids; a topology that
+  // cannot fit must be rejected at Network construction, before the wiring
+  // arrays are sized from the overflowed count.  XGFT(1; 2^16; 2^16) has
+  // only 131072 nodes (cheap to build) but 2^33 ports — the guard fires
+  // before any port array is allocated.
+  const xgft::Params params({1u << 16}, {1u << 16});
+  const Topology big(params);
+  try {
+    Network net(big, SimConfig{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("port"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Network, StrandedTrafficThrowsOnDrainNotHangs) {
+  // Degenerate flow control: zero-capacity output buffers make every
+  // switch hop unpassable, so a released message parks forever in the
+  // first input buffer.  run() must detect the stranding when the event
+  // queue drains and throw, not return silently or hang.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  SimConfig cfg;
+  cfg.outputBufferSegments = 0;
+  Network net(topo, cfg);
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const MsgId m = net.addMessage(0, 1, 1024, router->route(0, 1));
+  net.release(m, 0);
+  try {
+    net.run();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("undelivered released message"),
+              std::string::npos)
+        << e.what();
+  }
+  // The message entered the network but never completed.
+  EXPECT_EQ(net.stats().segmentsInjected, 1u);
+  EXPECT_EQ(net.stats().segmentsDelivered, 0u);
+  EXPECT_THROW((void)net.deliveryTime(m), std::logic_error);
+}
+
+TEST(Network, UnreleasedTrafficIsNotStranded) {
+  // Drainage only audits released messages: registering without releasing
+  // is legal and run() returns cleanly.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Network net(topo, SimConfig{});
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  (void)net.addMessage(0, 1, 1024, router->route(0, 1));
+  EXPECT_NO_THROW(net.run());
+}
+
+TEST(Network, InternedSetsMatchThePerMessagePath) {
+  // The interned-route fast path must produce the identical simulation as
+  // per-message addMessage calls with the same routes.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const auto runOnce = [&](bool interned) {
+    Network net(topo, SimConfig{});
+    if (interned) {
+      const RouteSetId set = net.internRoutes(0, 9, {router->route(0, 9)});
+      for (int i = 0; i < 8; ++i) {
+        net.release(net.addMessageSet(0, 9, 4096, set), 0);
+      }
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        net.release(net.addMessage(0, 9, 4096, router->route(0, 9)), 0);
+      }
+    }
+    net.run();
+    return net.stats().lastDeliveryNs;
+  };
+  EXPECT_EQ(runOnce(true), runOnce(false));
+}
+
+TEST(Network, AddMessageSetValidatesItsArguments) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Network net(topo, SimConfig{});
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const RouteSetId set = net.internRoutes(0, 9, {router->route(0, 9)});
+  // kNone is only for local (src == dst) messages, and vice versa.
+  EXPECT_THROW((void)net.addMessageSet(0, 9, 100, sim::RouteStore::kNone),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.addMessageSet(3, 3, 100, set),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.addMessageSet(0, 9, 100, set + 1),
+               std::out_of_range);
+  // Local messages with kNone are fine.
+  const MsgId local = net.addMessageSet(4, 4, 100, sim::RouteStore::kNone);
+  net.release(local, 10);
+  net.run();
+  EXPECT_EQ(net.deliveryTime(local), 10u);
+}
+
+TEST(Network, RouteInterningDeduplicatesAcrossMessages) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Network net(topo, SimConfig{});
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  for (int i = 0; i < 100; ++i) {
+    (void)net.addMessage(0, 9, 1024, router->route(0, 9));
+  }
+  // One hundred identical messages share one interned path and one set.
+  EXPECT_EQ(net.routes().numPaths(), 1u);
+  EXPECT_EQ(net.routes().numSets(), 1u);
+}
+
 TEST(Network, CallbacksFireInOrder) {
   const Topology topo(xgft::xgft2(4, 4, 2));
   Network net(topo, SimConfig{});

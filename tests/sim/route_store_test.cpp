@@ -1,0 +1,76 @@
+// Tests for the interned-route arenas: content deduplication, span
+// stability, and the set layer multipath messages index into.
+#include "sim/route_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sim {
+namespace {
+
+TEST(RouteStore, DeduplicatesIdenticalPaths) {
+  RouteStore store;
+  const std::vector<std::uint32_t> a{1, 2, 3};
+  const std::vector<std::uint32_t> b{1, 2, 3};
+  const std::vector<std::uint32_t> c{1, 2, 4};
+  const RouteId ra = store.internPath(a);
+  EXPECT_EQ(store.internPath(b), ra);
+  EXPECT_NE(store.internPath(c), ra);
+  EXPECT_EQ(store.numPaths(), 2u);
+}
+
+TEST(RouteStore, PrefixesAndExtensionsAreDistinct) {
+  RouteStore store;
+  const std::vector<std::uint32_t> shortPath{1, 2};
+  const std::vector<std::uint32_t> longPath{1, 2, 3};
+  EXPECT_NE(store.internPath(shortPath), store.internPath(longPath));
+  EXPECT_EQ(store.path(store.internPath(shortPath)).size(), 2u);
+  EXPECT_EQ(store.path(store.internPath(longPath)).size(), 3u);
+}
+
+TEST(RouteStore, PathSpansSurviveArenaGrowth) {
+  RouteStore store;
+  const RouteId first = store.internPath(std::vector<std::uint32_t>{7, 8, 9});
+  // Force many reallocation-sized appends.
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    (void)store.internPath(std::vector<std::uint32_t>{i, i + 1, i + 2});
+  }
+  const std::span<const std::uint32_t> p = store.path(first);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], 7u);
+  EXPECT_EQ(p[2], 9u);
+}
+
+TEST(RouteStore, SetsDeduplicateByContentAndKeepOrder) {
+  RouteStore store;
+  const RouteId r0 = store.internPath(std::vector<std::uint32_t>{1});
+  const RouteId r1 = store.internPath(std::vector<std::uint32_t>{2});
+  const std::vector<RouteId> ab{r0, r1};
+  const std::vector<RouteId> ba{r1, r0};
+  const RouteSetId sab = store.internSet(ab);
+  EXPECT_EQ(store.internSet(ab), sab);
+  // Order matters for spraying: a reversed set is a different set.
+  EXPECT_NE(store.internSet(ba), sab);
+  const std::span<const RouteId> got = store.set(sab);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], r0);
+  EXPECT_EQ(got[1], r1);
+}
+
+TEST(RouteStore, ManyCollidingLengthsStayConsistent) {
+  // Same multiset of entries in different orders/lengths must never alias.
+  RouteStore store;
+  std::vector<RouteId> ids;
+  for (std::uint32_t len = 1; len <= 64; ++len) {
+    std::vector<std::uint32_t> path(len, 5);
+    ids.push_back(store.internPath(path));
+  }
+  for (std::uint32_t len = 1; len <= 64; ++len) {
+    EXPECT_EQ(store.path(ids[len - 1]).size(), len);
+  }
+  EXPECT_EQ(store.numPaths(), 64u);
+}
+
+}  // namespace
+}  // namespace sim
