@@ -1,0 +1,80 @@
+// loadsweep_latency — Load–latency curves on the paper's trees: offered
+// load vs accepted throughput and latency percentiles under open-loop
+// uniform Poisson traffic, for the static d-mod-k table, Random and the
+// minimally-adaptive per-hop scheme.
+//
+// Expected shape: accepted tracks offered up to the scheme's saturation
+// point, then plateaus while p99 latency explodes — the classic knee of
+// the random-traffic methodology (Sec. VII-C, Zahavi et al. [9]).  On the
+// slimmed tree (w2 = 10) static d-mod-k saturates well below the 10/16
+// bisection bound; adaptive routing pushes the knee to the right.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
+
+namespace {
+
+std::string campaignText(double msgScale, bool quick) {
+  std::ostringstream os;
+  const char* loads = quick ? "{0.1,0.3,0.5,0.7,0.9}"
+                            : "{0.05,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9,1}";
+  for (const char* topo : {"paper-full", "paper-slim"}) {
+    os << "topo=" << topo << " source=poisson:uniform load=" << loads
+       << " msg_scale=" << engine::formatShortest(msgScale)
+       << " routing={d-mod-k,Random,adaptive} seed=1\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchutil::Options opt = benchutil::Options::parse(argc, argv);
+  const bool quick = opt.seeds <= 3;
+  std::cout << "== Load-latency sweep: open-loop uniform Poisson on "
+               "XGFT(2;16,16;1,{16,10}) ==\n"
+            << "msg-scale=" << opt.msgScale
+            << " (message = " << static_cast<int>(4096 * opt.msgScale)
+            << " B)\n\n";
+
+  const std::vector<engine::ExperimentSpec> specs =
+      engine::parseCampaign(campaignText(opt.msgScale, quick));
+  engine::RunnerOptions ropt;
+  ropt.threads = opt.threads;
+  ropt.collectContention = false;
+  engine::Runner runner(ropt);
+  const engine::CampaignResults results = runner.run(specs);
+
+  if (opt.csv) {
+    results.writeCsv(std::cout);
+    return 0;
+  }
+  std::cout << std::left << std::setw(12) << "topo" << std::setw(10)
+            << "routing" << std::right << std::setw(9) << "offered"
+            << std::setw(10) << "accepted" << std::setw(12) << "p50 (ns)"
+            << std::setw(12) << "p99 (ns)" << std::setw(12) << "max (ns)"
+            << "\n";
+  for (const engine::JobResult& job : results.jobs) {
+    if (!job.ok) {
+      std::cout << "job " << job.jobIndex << " FAILED: " << job.error << "\n";
+      continue;
+    }
+    const bool slim = job.spec.topo.w(2) != 16;
+    std::cout << std::left << std::setw(12)
+              << (slim ? "paper-slim" : "paper-full") << std::setw(10)
+              << job.spec.routing << std::right << std::fixed
+              << std::setprecision(3) << std::setw(9) << job.offeredLoad
+              << std::setw(10) << job.acceptedLoad << std::setw(12)
+              << job.latencyP50Ns << std::setw(12) << job.latencyP99Ns
+              << std::setw(12) << job.latencyMaxNs << "\n";
+  }
+  std::cout << "\n" << results.jobs.size() << " operating points on "
+            << results.threadsUsed << " thread(s) in "
+            << static_cast<double>(results.wallTimeNs) / 1e9 << " s\n";
+  return 0;
+}

@@ -33,8 +33,8 @@ struct CliOptions {
   std::string campaignFile;
   std::string builtin;
   std::string outFile;
-  std::string list;           // One of: schemes, patterns, topologies,
-                              // campaigns ("" = no listing).
+  std::string list;           // One of: schemes, patterns, sources,
+                              // topologies, campaigns ("" = no listing).
   std::uint32_t threads = 0;  // 0 = hardware concurrency.
   std::uint32_t seeds = 10;
   double msgScale = 0.125;
@@ -67,6 +67,8 @@ void usage(std::ostream& os) {
         "  --print-campaign  print the expanded campaign text and exit\n"
         "  --list-schemes    registered routing schemes, one per line\n"
         "  --list-patterns   registered workload patterns\n"
+        "  --list-sources    registered open-loop traffic sources "
+        "(source=/load= keys)\n"
         "  --list-topologies registered topology presets\n"
         "  --list-campaigns  registered builtin campaigns\n"
         "  --quiet           no progress on stderr\n";
@@ -92,6 +94,13 @@ int listRegistry(const std::string& what) {
     std::cout << "registered patterns:\n";
     for (const std::string& name : core::patternRegistry().names()) {
       const core::PatternInfo& info = core::patternRegistry().at(name);
+      row(name, info.usage, info.summary);
+    }
+  } else if (what == "sources") {
+    std::cout << "registered open-loop traffic sources (use with source= "
+                 "and load=):\n";
+    for (const std::string& name : core::sourceRegistry().names()) {
+      const core::SourceInfo& info = core::sourceRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "topologies") {
@@ -141,6 +150,8 @@ CliOptions parseCli(int argc, char** argv) {
       opt.list = "schemes";
     } else if (arg == "--list-patterns") {
       opt.list = "patterns";
+    } else if (arg == "--list-sources") {
+      opt.list = "sources";
     } else if (arg == "--list-topologies") {
       opt.list = "topologies";
     } else if (arg == "--list-campaigns") {
@@ -216,6 +227,9 @@ int main(int argc, char** argv) {
     for (const engine::ExperimentSpec& spec : specs) {
       (void)core::schemeRegistry().at(spec.routing);
       (void)core::patternRegistry().at(core::splitSpec(spec.pattern).name);
+      if (!spec.source.empty()) {
+        (void)core::sourceRegistry().at(core::splitSpec(spec.source).name);
+      }
     }
 
     engine::RunnerOptions ropt;

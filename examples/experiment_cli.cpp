@@ -6,12 +6,17 @@
 // and the simulated slowdown vs. the Full-Crossbar.
 //
 //   experiment_cli "XGFT(2; 16,16; 1,10)" cg128 d-mod-k
-//   experiment_cli "kary(8, 2)" wrf64 r-NCA-d
-//   experiment_cli "XGFT(2; 8,8; 1,4)" pattern.txt Random
+//   experiment_cli paper-slim wrf64 r-NCA-d
+//   experiment_cli xgft2:8:8:4 pattern.txt Random
 //
-// Workloads and schemes resolve through the core:: registries (any
-// registered pattern spec like ring:64 works); anything that is not a
-// registered pattern name is read as a flow-list file (patterns/io.hpp).
+// Everything resolves through the core:: registries (the shared
+// core::Scenario construction path): topologies accept the paper notation
+// or any registered preset (campaign_cli --list-topologies), workloads any
+// registered pattern spec like ring:64 (--list-patterns), schemes any
+// registered name (--list-schemes) — and a typo in any of them reports the
+// registries' uniform "unknown <kind> '<name>' (registered: ...)" error.
+// A workload argument naming an existing file is read as a flow-list file
+// (patterns/io.hpp) instead.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -22,7 +27,6 @@
 #include "core/scenario.hpp"
 #include "patterns/io.hpp"
 #include "trace/harness.hpp"
-#include "xgft/io.hpp"
 #include "xgft/printer.hpp"
 
 namespace {
@@ -34,11 +38,18 @@ patterns::PhasedPattern loadWorkload(const std::string& spec) {
     return sc.makeWorkload();
   }
   std::ifstream file(spec);
-  if (!file) {
-    throw std::invalid_argument("cannot open pattern file or unknown "
-                                "builtin workload: " + spec);
+  if (file) return patterns::readPhasedPattern(file);
+  // Not a file either: surface the registry's uniform unknown-name error,
+  // keeping the hint that a file open was attempted (the user's mistake
+  // may be a typo'd path, not a workload name).
+  try {
+    (void)core::patternRegistry().at(core::splitSpec(spec).name);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("cannot open '" + spec +
+                                "' as a pattern file, and " + e.what());
   }
-  return patterns::readPhasedPattern(file);
+  throw std::invalid_argument("unreachable: pattern '" + spec +
+                              "' resolved inconsistently");
 }
 
 routing::RouterPtr makeRouter(const std::string& name,
@@ -59,11 +70,13 @@ routing::RouterPtr makeRouter(const std::string& name,
 int main(int argc, char** argv) {
   if (argc != 4) {
     std::cerr << "usage: " << argv[0]
-              << " <topology> <pattern-file|cg128|wrf256|wrf64> <scheme>\n";
+              << " <topology|preset> <pattern|pattern-file> <scheme>\n"
+                 "registered names: campaign_cli --list-topologies | "
+                 "--list-patterns | --list-schemes\n";
     return 2;
   }
   try {
-    const xgft::Topology topo(xgft::parseParams(argv[1]));
+    const xgft::Topology topo(core::makeTopoParams(argv[1]));
     const patterns::PhasedPattern app = loadWorkload(argv[2]);
     if (app.numRanks > topo.numHosts()) {
       throw std::invalid_argument("pattern has more ranks than hosts");

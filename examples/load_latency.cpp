@@ -1,0 +1,62 @@
+// load_latency.cpp — Walkthrough of the open-loop streaming API.
+//
+// The closed-loop examples (quickstart, routing_comparison) replay a fixed
+// workload to drainage; this one instead *streams* traffic: every host
+// injects Poisson arrivals at a configured offered load, the run is split
+// into warmup/measurement/drain windows, and the result is one point on
+// the network's load–latency curve.  Sweeping the load traces the whole
+// curve: accepted throughput follows the offered load up to the routing
+// scheme's saturation point, beyond which queues grow and the latency
+// percentiles take off.
+//
+// The same sweep is available declaratively from the campaign engine:
+//   campaign_cli --builtin loadsweep
+// or with explicit keys:
+//   echo 'topo=paper-slim source=poisson:uniform load={0.2,0.6}
+//         routing=d-mod-k seed=1' | campaign_cli -
+#include <iomanip>
+#include <iostream>
+
+#include "patterns/source.hpp"
+#include "routing/relabel.hpp"
+#include "trace/openloop.hpp"
+#include "xgft/params.hpp"
+#include "xgft/topology.hpp"
+
+int main() {
+  // The paper's slimmed two-level tree, scaled down to 64 hosts so the
+  // sweep finishes in a couple of seconds.
+  const xgft::Topology topo(xgft::xgft2(8, 8, 5));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+
+  std::cout << "open-loop uniform Poisson on XGFT(2; 8,8; 1,5), d-mod-k\n\n"
+            << std::left << std::setw(9) << "offered" << std::right
+            << std::setw(10) << "accepted" << std::setw(12) << "mean (ns)"
+            << std::setw(12) << "p50 (ns)" << std::setw(12) << "p99 (ns)"
+            << "\n";
+
+  trace::OpenLoopOptions windows;  // 0.5 ms warmup, 2 ms measured.
+  for (const double load : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    patterns::OpenLoopConfig cfg;
+    cfg.numRanks = static_cast<patterns::Rank>(topo.numHosts());
+    cfg.arrivals = patterns::ArrivalProcess::kPoisson;
+    cfg.dest = patterns::DestDistribution::kUniform;
+    cfg.load = load;
+    cfg.messageBytes = 2048;
+    cfg.stopNs = windows.warmupNs + windows.measureNs;  // Then drain.
+    cfg.seed = 1;
+    patterns::OpenLoopSource source(cfg);
+
+    const trace::OpenLoopResult r =
+        trace::runOpenLoop(topo, *router, source, windows);
+    std::cout << std::fixed << std::setprecision(3) << std::left
+              << std::setw(9) << load << std::right << std::setw(10)
+              << r.acceptedLoad << std::setprecision(0) << std::setw(12)
+              << r.latency.meanNs << std::setw(12) << r.latency.p50Ns
+              << std::setw(12) << r.latency.p99Ns << "\n";
+  }
+  std::cout << "\nthe accepted column plateaus at the saturation load; past"
+               " it the p99\ncolumn grows with the measurement window — the"
+               " open-loop backlog is\nunbounded by design.\n";
+  return 0;
+}

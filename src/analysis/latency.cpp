@@ -1,0 +1,80 @@
+#include "analysis/latency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace analysis {
+
+LatencyHistogram::LatencyHistogram(std::uint64_t bucketWidthNs,
+                                   std::size_t numBuckets)
+    : widthNs_(bucketWidthNs), buckets_(numBuckets, 0) {
+  if (bucketWidthNs == 0 || numBuckets == 0) {
+    throw std::invalid_argument(
+        "LatencyHistogram: bucket width and count must be > 0");
+  }
+}
+
+void LatencyHistogram::record(sim::TimeNs latencyNs) {
+  if (count_ == 0) {
+    min_ = max_ = latencyNs;
+  } else {
+    min_ = std::min(min_, latencyNs);
+    max_ = std::max(max_, latencyNs);
+  }
+  ++count_;
+  sumNs_ += latencyNs;
+  const std::uint64_t bucket = latencyNs / widthNs_;
+  if (bucket < buckets_.size()) {
+    ++buckets_[bucket];
+  } else {
+    ++overflow_;
+  }
+}
+
+sim::TimeNs LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]: the smallest latency with at least `rank` samples
+  // at or below it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    if (cum + buckets_[b] >= rank) {
+      // Midpoint-convention linear interpolation inside the bucket (the
+      // rank-th sample sits half a step into its slice), clamped to the
+      // observed extremes so degenerate distributions report exact values.
+      const double within = (static_cast<double>(rank - cum) - 0.5) /
+                            static_cast<double>(buckets_[b]);
+      const double lo = static_cast<double>(b) * static_cast<double>(widthNs_);
+      const auto v = static_cast<sim::TimeNs>(
+          lo + within * static_cast<double>(widthNs_));
+      return std::clamp(v, min_, max_);
+    }
+    cum += buckets_[b];
+  }
+  return max_;  // Rank landed in the overflow bucket.
+}
+
+LatencySummary LatencyHistogram::summary() const {
+  LatencySummary s;
+  s.samples = count_;
+  if (count_ == 0) return s;
+  s.minNs = min_;
+  s.maxNs = max_;
+  s.meanNs = static_cast<double>(sumNs_) / static_cast<double>(count_);
+  s.p50Ns = quantile(0.5);
+  s.p99Ns = quantile(0.99);
+  return s;
+}
+
+double WindowAccount::acceptedLoad(std::uint64_t hosts,
+                                   double hostBytesPerNs) const {
+  if (endNs <= beginNs || hosts == 0 || hostBytesPerNs <= 0.0) return 0.0;
+  const double capacity = static_cast<double>(hosts) * hostBytesPerNs *
+                          static_cast<double>(endNs - beginNs);
+  return static_cast<double>(bytes) / capacity;
+}
+
+}  // namespace analysis

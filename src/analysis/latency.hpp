@@ -1,0 +1,81 @@
+// latency.hpp — Fixed-bucket latency histogram and windowed accounting for
+// the open-loop measurement layer.
+//
+// Load–latency methodology (DESIGN.md §8): a run is split into warmup,
+// measurement and drain windows.  Only messages *injected inside the
+// measurement window* contribute latency samples (they may complete during
+// drain), so the reported point is stationary: warmup transients and the
+// emptying network at the end are both excluded.  Accepted throughput is
+// accounted per window from delivered bytes.
+//
+// The histogram is a flat fixed-width bucket array (plus an overflow
+// bucket), so recording is one increment and quantiles are one prefix
+// scan — deterministic, allocation-free after construction, and cheap
+// enough to sit on the delivery path of every open-loop job.  Quantiles
+// interpolate linearly inside the hit bucket and clamp to the exact
+// observed [min, max]; samples past the last bucket land in overflow,
+// whose quantile conservatively reports the observed maximum.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace analysis {
+
+/// The five-number latency digest of one measurement window.
+struct LatencySummary {
+  std::uint64_t samples = 0;
+  sim::TimeNs minNs = 0;
+  double meanNs = 0.0;
+  sim::TimeNs p50Ns = 0;
+  sim::TimeNs p99Ns = 0;
+  sim::TimeNs maxNs = 0;
+};
+
+class LatencyHistogram {
+ public:
+  /// @p bucketWidthNs * @p numBuckets is the exactly-resolved range
+  /// (defaults: 512 ns * 65536 = ~33.5 ms); later samples overflow.
+  explicit LatencyHistogram(std::uint64_t bucketWidthNs = 512,
+                            std::size_t numBuckets = std::size_t{1} << 16);
+
+  void record(sim::TimeNs latencyNs);
+
+  [[nodiscard]] std::uint64_t samples() const { return count_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// Latency at quantile @p q in [0, 1]; 0 with no samples.
+  [[nodiscard]] sim::TimeNs quantile(double q) const;
+
+  /// min/mean/p50/p99/max in one call.
+  [[nodiscard]] LatencySummary summary() const;
+
+ private:
+  std::uint64_t widthNs_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t sumNs_ = 0;
+  sim::TimeNs min_ = 0;
+  sim::TimeNs max_ = 0;
+};
+
+/// Delivered-traffic account of one window [beginNs, endNs).
+struct WindowAccount {
+  sim::TimeNs beginNs = 0;
+  sim::TimeNs endNs = 0;  ///< Drain windows: the last delivery time.
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  /// Simulator events processed up to this window's boundary (sampled when
+  /// the partial run reaches it).
+  std::uint64_t eventsAtEnd = 0;
+
+  /// Delivered bytes as a fraction of @p hosts * @p hostBytesPerNs over the
+  /// window — the accepted load in the units offered load is specified in.
+  [[nodiscard]] double acceptedLoad(std::uint64_t hosts,
+                                    double hostBytesPerNs) const;
+};
+
+}  // namespace analysis

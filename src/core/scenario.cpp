@@ -1,5 +1,6 @@
 #include "core/scenario.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <stdexcept>
 
@@ -25,6 +26,11 @@ Registry<PatternInfo>& patternRegistry() {
 Registry<TopologyInfo>& topologyRegistry() {
   return populatedRegistry<TopologyInfo, xgft::registerBuiltinTopologies>(
       "topology preset");
+}
+
+Registry<SourceInfo>& sourceRegistry() {
+  return populatedRegistry<SourceInfo, patterns::registerBuiltinSources>(
+      "traffic source");
 }
 
 void SpecName::requireArity(std::size_t n) const {
@@ -135,6 +141,22 @@ routing::RouterPtr Scenario::makeRouter(
   ctx.seed = seed;
   ctx.app = &app;
   return build.make(t, ctx);
+}
+
+std::unique_ptr<patterns::TrafficSource> Scenario::makeSource(
+    patterns::Rank numRanks, sim::TimeNs startNs, sim::TimeNs stopNs) const {
+  const SpecName parsed = splitSpec(source);
+  const SourceInfo& info = sourceRegistry().at(parsed.name);
+  SourceContext ctx;
+  ctx.numRanks = numRanks;
+  ctx.load = load;
+  ctx.messageBytes = static_cast<patterns::Bytes>(
+      std::max(1.0, 4096.0 * msgScale));
+  ctx.hostBytesPerNs = sim.linkGbps / 8.0;
+  ctx.startNs = startNs;
+  ctx.stopNs = stopNs;
+  ctx.seed = deriveSeed(seed, "source");
+  return info.make(parsed.args, ctx);
 }
 
 }  // namespace core

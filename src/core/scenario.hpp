@@ -7,6 +7,7 @@
 //  * schemeRegistry()   "d-mod-k", "Random", "colored", ... -> SchemeInfo
 //  * patternRegistry()  "cg128", "ring", "uniform", ...     -> PatternInfo
 //  * topologyRegistry() "xgft2", "kary", "paper-slim", ...  -> TopologyInfo
+//  * sourceRegistry()   "poisson", "bursty", ...            -> SourceInfo
 //
 // The built-in entries self-register from their home modules (see
 // routing/register.cpp, patterns/register.cpp, xgft/register.cpp), so
@@ -19,12 +20,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "patterns/pattern.hpp"
+#include "patterns/source.hpp"
 #include "routing/router.hpp"
 #include "sim/config.hpp"
 #include "xgft/params.hpp"
@@ -85,12 +88,36 @@ struct TopologyInfo {
   std::function<xgft::Params(const std::vector<std::string>& args)> make;
 };
 
+/// Everything a traffic-source factory needs besides its spec args: the
+/// run-derived parameters (rank count, offered load, message size, link
+/// rate, measurement horizon) come from the Scenario, not the spec string,
+/// so one registered source serves every topology and load point.
+struct SourceContext {
+  patterns::Rank numRanks = 0;
+  double load = 0.5;  ///< Offered fraction of the per-host link rate.
+  patterns::Bytes messageBytes = 4096;
+  double hostBytesPerNs = 0.25;  ///< linkGbps / 8.
+  sim::TimeNs startNs = 0;
+  sim::TimeNs stopNs = 0;  ///< Arrivals stop here (end of measurement).
+  std::uint64_t seed = 1;  ///< Already derived for the "source" role.
+};
+
+/// One registered open-loop traffic-source family ("poisson:uniform").
+struct SourceInfo {
+  std::string usage;    ///< e.g. "poisson:hotspot:PCT" — for --list-sources.
+  std::string summary;  ///< One line for --list-sources.
+  std::function<std::unique_ptr<patterns::TrafficSource>(
+      const std::vector<std::string>& args, const SourceContext&)>
+      make;
+};
+
 /// The process-wide registries.  First access registers the built-ins from
 /// routing/, patterns/ and xgft/; later self-registrations (plugins, tests)
 /// may add entries at any time — lookups are thread-safe.
 [[nodiscard]] Registry<SchemeInfo>& schemeRegistry();
 [[nodiscard]] Registry<PatternInfo>& patternRegistry();
 [[nodiscard]] Registry<TopologyInfo>& topologyRegistry();
+[[nodiscard]] Registry<SourceInfo>& sourceRegistry();
 
 /// A colon-separated spec "name:arg1:arg2" split for registry dispatch.
 struct SpecName {
@@ -144,6 +171,13 @@ struct Scenario {
   std::uint64_t seed = 1;
   sim::SimConfig sim = {};
 
+  /// Open-loop streaming workload: a sourceRegistry() spec, or empty for
+  /// closed-loop phase replay of `pattern`.  `load` is the offered load
+  /// per host as a fraction of the link rate (only meaningful with a
+  /// source).
+  std::string source;
+  double load = 0.5;
+
   friend bool operator==(const Scenario&, const Scenario&) = default;
 
   /// Traits of the configured scheme (throws on unknown names).
@@ -161,6 +195,13 @@ struct Scenario {
   /// only consulted by pattern-aware schemes.
   [[nodiscard]] routing::RouterPtr makeRouter(
       const xgft::Topology& t, const patterns::PhasedPattern& app) const;
+
+  /// Instantiates the open-loop source named by `source` for @p numRanks
+  /// injecting hosts, offering in [startNs, stopNs).  Message size is
+  /// 4096 bytes scaled by msgScale; the seed is deriveSeed(seed, "source").
+  /// Throws on an empty/unknown source spec.
+  [[nodiscard]] std::unique_ptr<patterns::TrafficSource> makeSource(
+      patterns::Rank numRanks, sim::TimeNs startNs, sim::TimeNs stopNs) const;
 };
 
 }  // namespace core

@@ -64,6 +64,31 @@ void registerBuiltinCampaigns(core::Registry<CampaignInfo>& registry) {
   {
     CampaignInfo info;
     info.summary =
+        "open-loop load-latency sweep (uniform Poisson, paper-slim tree)";
+    info.text = [](const CampaignOptions& opt) {
+      // The classic accepted-throughput/latency methodology of the
+      // random-traffic literature the paper cites (Sec. VII-C, [9]): sweep
+      // the offered load on the slimmed tree and read the saturation knee
+      // off the p99 column.  Deterministic schemes once, Random swept over
+      // opt.seeds for the spread.
+      std::ostringstream os;
+      const std::string scale = " msg_scale=" + formatShortest(opt.msgScale);
+      os << "# loadsweep: offered load vs accepted throughput + latency "
+            "percentiles\n"
+         << "topo=paper-slim source=poisson:uniform"
+         << " load={0.05,0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9}"
+         << scale << " routing={d-mod-k,adaptive} seed=1\n"
+         << "topo=paper-slim source=poisson:uniform"
+         << " load={0.2,0.4,0.6,0.8}" << scale << " routing=Random seed=1.."
+         << opt.seeds << "\n";
+      return os.str();
+    };
+    registry.add("loadsweep", std::move(info));
+  }
+
+  {
+    CampaignInfo info;
+    info.summary =
         "small cross-scheme determinism probe (golden-CSV regression)";
     info.text = [](const CampaignOptions& opt) {
       // Every route mode (table, adaptive, spray) over two slimmings of a

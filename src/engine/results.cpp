@@ -54,11 +54,40 @@ const JobResult* CampaignResults::find(const ExperimentSpec& spec) const {
   return nullptr;
 }
 
-std::string CampaignResults::csvHeader() {
-  return "job,topo,pattern,routing,msg_scale,seed,status,"
-         "makespan_ns,slowdown,messages,segments,events,"
-         "max_out_queue,max_in_queue,util_max,util_mean,"
-         "max_flows_per_link,max_demand,nca_routes_min,nca_routes_max,error";
+namespace {
+
+/// The open-loop columns appended after `source` — the single list the
+/// extended header and the closed-row empty cells both derive from, so
+/// they cannot fall out of sync.
+constexpr const char* kOpenLoopColumns[] = {
+    "load",       "offered_load", "accepted_load", "lat_samples",
+    "lat_min_ns", "lat_mean_ns",  "lat_p50_ns",    "lat_p99_ns",
+    "lat_max_ns",
+};
+
+}  // namespace
+
+std::string CampaignResults::csvHeader(bool openLoop) {
+  std::string header =
+      "job,topo,pattern,routing,msg_scale,seed,status,"
+      "makespan_ns,slowdown,messages,segments,events,"
+      "max_out_queue,max_in_queue,util_max,util_mean,"
+      "max_flows_per_link,max_demand,nca_routes_min,nca_routes_max,error";
+  if (openLoop) {
+    header += ",source";
+    for (const char* column : kOpenLoopColumns) {
+      header += ',';
+      header += column;
+    }
+  }
+  return header;
+}
+
+bool CampaignResults::hasOpenLoopJobs() const {
+  for (const JobResult& job : jobs) {
+    if (job.openLoop || !job.spec.source.empty()) return true;
+  }
+  return false;
 }
 
 void CampaignResults::writeCsv(std::ostream& os) const {
@@ -78,11 +107,15 @@ void CampaignResults::writeCsv(std::ostream& os) const {
             [](const JobResult* a, const JobResult* b) {
               return a->jobIndex < b->jobIndex;
             });
-  os << csvHeader() << '\n';
+  const bool openLoop = hasOpenLoopJobs();
+  os << csvHeader(openLoop) << '\n';
   for (const JobResult* job : ordered) {
     const ExperimentSpec& s = job->spec;
+    // Open-loop rows leave the (inert) pattern cell empty; their workload
+    // is the source column.
     os << job->jobIndex << ',' << csvEscape(s.topo.toString()) << ','
-       << csvEscape(s.pattern) << ',' << csvEscape(s.routing) << ','
+       << csvEscape(s.source.empty() ? s.pattern : std::string()) << ','
+       << csvEscape(s.routing) << ','
        << formatShortest(s.msgScale) << ',' << s.seed << ','
        << (job->ok ? "ok" : "error") << ',' << job->makespanNs << ','
        << fixed6(job->slowdown) << ',' << job->net.messagesDelivered << ','
@@ -91,7 +124,23 @@ void CampaignResults::writeCsv(std::ostream& os) const {
        << ',' << fixed6(job->utilMax) << ',' << fixed6(job->utilMean) << ','
        << job->maxFlowsPerChannel << ',' << fixed6(job->maxDemand) << ','
        << job->ncaRoutesMin << ',' << job->ncaRoutesMax << ','
-       << csvEscape(job->error) << '\n';
+       << csvEscape(job->error);
+    if (openLoop) {
+      // Closed-loop rows keep the extended cells empty — absent, not zero.
+      os << ',' << csvEscape(s.source);
+      if (job->openLoop) {
+        os << ',' << formatShortest(s.load) << ','
+           << fixed6(job->offeredLoad) << ',' << fixed6(job->acceptedLoad)
+           << ',' << job->latencySamples << ',' << job->latencyMinNs << ','
+           << fixed6(job->latencyMeanNs) << ',' << job->latencyP50Ns << ','
+           << job->latencyP99Ns << ',' << job->latencyMaxNs;
+      } else {
+        for ([[maybe_unused]] const char* column : kOpenLoopColumns) {
+          os << ',';
+        }
+      }
+    }
+    os << '\n';
   }
 }
 

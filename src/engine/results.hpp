@@ -43,6 +43,19 @@ struct JobResult {
   /// (Fig. 4's metric), summarized as min/max per NCA node.
   std::uint64_t ncaRoutesMin = 0;
   std::uint64_t ncaRoutesMax = 0;
+
+  /// Open-loop (source=) measurements: the measurement-window operating
+  /// point.  Loads are fractions of the per-host link rate; latency is
+  /// over messages injected inside the measurement window.
+  bool openLoop = false;
+  double offeredLoad = 0.0;
+  double acceptedLoad = 0.0;
+  std::uint64_t latencySamples = 0;
+  sim::TimeNs latencyMinNs = 0;
+  double latencyMeanNs = 0.0;
+  sim::TimeNs latencyP50Ns = 0;
+  sim::TimeNs latencyP99Ns = 0;
+  sim::TimeNs latencyMaxNs = 0;
 };
 
 /// Aggregate cache behaviour of one campaign run (see CampaignCache).
@@ -71,8 +84,15 @@ struct CampaignResults {
   /// Finds the result of an exact spec, nullptr if absent.
   [[nodiscard]] const JobResult* find(const ExperimentSpec& spec) const;
 
-  /// The CSV column header (no trailing newline).
-  [[nodiscard]] static std::string csvHeader();
+  /// The CSV column header (no trailing newline).  @p openLoop appends the
+  /// load–latency columns; campaigns without open-loop jobs emit exactly
+  /// the historical header so existing golden CSVs stay byte-identical.
+  [[nodiscard]] static std::string csvHeader(bool openLoop);
+  [[nodiscard]] static std::string csvHeader() { return csvHeader(false); }
+
+  /// True when any job is an open-loop (source=) run — writeCsv then emits
+  /// the extended columns for every row.
+  [[nodiscard]] bool hasOpenLoopJobs() const;
 
   /// One deterministic CSV row per job, sorted by job index.  Fields that
   /// may contain commas or quotes (topology, error) are double-quoted with

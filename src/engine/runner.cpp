@@ -9,8 +9,10 @@
 
 #include "analysis/contention.hpp"
 #include "core/scenario.hpp"
+#include "patterns/source.hpp"
 #include "trace/harness.hpp"
 #include "trace/mapping.hpp"
+#include "trace/openloop.hpp"
 #include "trace/replayer.hpp"
 #include "trace/trace.hpp"
 
@@ -47,6 +49,19 @@ std::string routerKey(const ExperimentSpec& spec, const xgft::Topology& topo) {
         << formatShortest(spec.msgScale) << "|seed=" << spec.seed;
   }
   return key.str();
+}
+
+/// The spray/adaptive configuration the scheme's route mode implies.
+trace::SprayConfig sprayConfigFor(const core::SchemeInfo& scheme,
+                                  const ExperimentSpec& spec) {
+  trace::SprayConfig sprayCfg;
+  if (scheme.mode == core::RouteMode::kAdaptive) {
+    sprayCfg.adaptive = true;
+  } else if (scheme.mode == core::RouteMode::kSpray) {
+    sprayCfg.enabled = true;
+    sprayCfg.seed = deriveSeed(spec.seed, "spray");
+  }
+  return sprayCfg;
 }
 
 }  // namespace
@@ -156,12 +171,78 @@ CacheStats CampaignCache::stats() const {
   return s;
 }
 
+namespace {
+
+/// The open-loop (source=) job path: no trace, no crossbar reference — the
+/// streaming source runs through trace::runOpenLoop and the measurement
+/// window's operating point fills the load–latency columns.
+void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
+                    const RunnerOptions& opt, JobResult& result) {
+  const core::SchemeInfo& scheme = core::schemeRegistry().at(spec.routing);
+  if (scheme.patternAware) {
+    throw std::invalid_argument(
+        "scheme '" + spec.routing +
+        "' is pattern-aware and needs a closed-loop pattern= workload");
+  }
+  const std::shared_ptr<const xgft::Topology> topo =
+      cache.topology(spec.topo);
+  const trace::SprayConfig sprayCfg = sprayConfigFor(scheme, spec);
+  // Oblivious routers never look at the workload, so the cached router is
+  // shared with closed-loop jobs under the same key.
+  const patterns::PhasedPattern noApp;
+  const std::shared_ptr<const routing::Router> router =
+      cache.router(spec, topo, noApp);
+  std::shared_ptr<const core::CompiledRoutes> compiled;
+  if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes &&
+      core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
+    compiled = cache.compiledRoutes(spec, router,
+                                    std::max(1u, opt.compileThreads));
+  }
+
+  const sim::TimeNs stopNs = opt.openLoopWarmupNs + opt.openLoopMeasureNs;
+  const std::unique_ptr<patterns::TrafficSource> source =
+      spec.scenario(opt.sim).makeSource(
+          static_cast<patterns::Rank>(topo->numHosts()), 0, stopNs);
+
+  trace::OpenLoopOptions ol;
+  ol.warmupNs = opt.openLoopWarmupNs;
+  ol.measureNs = opt.openLoopMeasureNs;
+  ol.spray = sprayCfg;
+  ol.compiled = compiled.get();
+  const trace::OpenLoopResult r =
+      trace::runOpenLoop(*topo, *router, *source, ol, opt.sim);
+
+  result.makespanNs = r.lastDeliveryNs;
+  result.net = r.stats;
+  result.utilMax = r.utilMax;
+  result.utilMean = r.utilMean;
+  result.openLoop = true;
+  // Measured, not the configured nominal: gap rounding and the bursty
+  // line-rate clamp make the truly offered rate deviate from spec.load
+  // (which the CSV reports separately in the `load` column).
+  result.offeredLoad = r.offeredLoad;
+  result.acceptedLoad = r.acceptedLoad;
+  result.latencySamples = r.latency.samples;
+  result.latencyMinNs = r.latency.minNs;
+  result.latencyMeanNs = r.latency.meanNs;
+  result.latencyP50Ns = r.latency.p50Ns;
+  result.latencyP99Ns = r.latency.p99Ns;
+  result.latencyMaxNs = r.latency.maxNs;
+}
+
+}  // namespace
+
 JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                  CampaignCache& cache, const RunnerOptions& opt) {
   JobResult result;
   result.jobIndex = jobIndex;
   result.spec = spec;
   try {
+    if (!spec.source.empty()) {
+      runOpenLoopJob(spec, cache, opt, result);
+      result.ok = true;
+      return result;
+    }
     const patterns::PhasedPattern app = makeWorkload(spec);
     const std::shared_ptr<const xgft::Topology> topo = cache.topology(spec.topo);
     if (app.numRanks > topo->numHosts()) {
@@ -172,13 +253,7 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
     }
 
     const core::SchemeInfo& scheme = core::schemeRegistry().at(spec.routing);
-    trace::SprayConfig sprayCfg;
-    if (scheme.mode == core::RouteMode::kAdaptive) {
-      sprayCfg.adaptive = true;
-    } else if (scheme.mode == core::RouteMode::kSpray) {
-      sprayCfg.enabled = true;
-      sprayCfg.seed = deriveSeed(spec.seed, "spray");
-    }
+    const trace::SprayConfig sprayCfg = sprayConfigFor(scheme, spec);
     // Per-segment algorithms never consult the router; the cache hands them
     // the inert d-mod-k placeholder the Replayer interface wants.
     const std::shared_ptr<const routing::Router> router =
@@ -205,20 +280,10 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
     result.makespanNs = replayer.run();
     result.net = net.stats();
 
-    if (result.makespanNs > 0) {
-      double sum = 0.0;
-      std::uint64_t used = 0;
-      const double makespan = static_cast<double>(result.makespanNs);
-      for (std::uint32_t g = 0; g < net.numGlobalPorts(); ++g) {
-        const sim::TimeNs busy = net.wireBusyNs(g);
-        if (busy == 0) continue;
-        const double util = static_cast<double>(busy) / makespan;
-        result.utilMax = std::max(result.utilMax, util);
-        sum += util;
-        ++used;
-      }
-      if (used > 0) result.utilMean = sum / static_cast<double>(used);
-    }
+    const sim::WireUtilization util =
+        sim::wireUtilization(net, result.makespanNs);
+    result.utilMax = util.max;
+    result.utilMean = util.mean;
 
     const sim::TimeNs reference = cache.crossbarMakespan(spec, app, opt.sim);
     result.slowdown = reference == 0

@@ -118,6 +118,12 @@ struct RunnerOptions {
   /// Simulator parameters shared by every job in the campaign.
   sim::SimConfig sim = {};
 
+  /// Open-loop (source=) jobs: measurement windows.  [0, warmup) settles
+  /// the network, [warmup, warmup + measure) is the measured operating
+  /// point, then sources stop and the run drains (trace/openloop.hpp).
+  sim::TimeNs openLoopWarmupNs = 500'000;
+  sim::TimeNs openLoopMeasureNs = 2'000'000;
+
   /// Optional progress callback, invoked serially (under a lock) as jobs
   /// finish, in completion order.
   std::function<void(const JobResult&)> onJobDone;

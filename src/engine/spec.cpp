@@ -132,6 +132,8 @@ ExperimentSpec specFromAssignments(
   ExperimentSpec spec;
   bool haveTopo = false;
   bool haveFamily = false;
+  bool havePattern = false;
+  bool haveLoad = false;
   std::uint32_t m1 = 16;
   std::uint32_t m2 = 16;
   std::uint32_t w2 = 16;
@@ -148,6 +150,16 @@ ExperimentSpec specFromAssignments(
       // registry's uniform error); arguments are checked at build time.
       (void)core::patternRegistry().at(core::splitSpec(value).name);
       spec.pattern = value;
+      havePattern = true;
+    } else if (key == "source") {
+      (void)core::sourceRegistry().at(core::splitSpec(value).name);
+      spec.source = value;
+    } else if (key == "load") {
+      spec.load = requireDouble(value, key);
+      if (spec.load <= 0.0 || spec.load > 4.0) {
+        fail("load must be in (0, 4]");
+      }
+      haveLoad = true;
     } else if (key == "routing") {
       spec.routing = core::schemeRegistry().canonical(value);
     } else if (key == "msg_scale") {
@@ -159,11 +171,19 @@ ExperimentSpec specFromAssignments(
       // Mirror the registries' uniform unknown-name diagnostic so every
       // bad token in a campaign file reads the same way.
       fail("unknown campaign key '" + key +
-           "' (known: topo, m1, m2, w2, pattern, routing, msg_scale, seed)");
+           "' (known: topo, m1, m2, w2, pattern, source, load, routing, "
+           "msg_scale, seed)");
     }
   }
   if (haveTopo && haveFamily) {
     fail("give either topo= or the m1/m2/w2 family, not both");
+  }
+  if (havePattern && !spec.source.empty()) {
+    fail("give either pattern= (closed loop) or source= (open loop), "
+         "not both");
+  }
+  if (haveLoad && spec.source.empty()) {
+    fail("load= needs an open-loop source=");
   }
   if (haveFamily) spec.topo = xgft::xgft2(m1, m2, w2);
   return spec;
@@ -186,14 +206,21 @@ core::Scenario ExperimentSpec::scenario(const sim::SimConfig& sim) const {
   sc.msgScale = msgScale;
   sc.seed = seed;
   sc.sim = sim;
+  sc.source = source;
+  sc.load = load;
   return sc;
 }
 
 std::string ExperimentSpec::toLine() const {
   std::ostringstream os;
-  os << "topo=\"" << topo.toString() << "\" pattern=" << pattern
-     << " routing=" << routing
-     << " msg_scale=" << formatShortest(msgScale) << " seed=" << seed;
+  os << "topo=\"" << topo.toString() << "\"";
+  if (source.empty()) {
+    os << " pattern=" << pattern;
+  } else {
+    os << " source=" << source << " load=" << formatShortest(load);
+  }
+  os << " routing=" << routing << " msg_scale=" << formatShortest(msgScale)
+     << " seed=" << seed;
   return os.str();
 }
 

@@ -13,8 +13,13 @@
 //                                 or a preset ("paper-slim", "kary:16:2")
 //   m1=16 m2=16 w2=16..1          or the 2-level family, sweepable
 //   pattern=cg128                 any registered workload (--list-patterns)
+//   source=poisson:uniform        open-loop stream instead of pattern=
+//                                 (--list-sources); every host injects
+//   load={0.1,0.3,0.5}            offered load per host (fraction of the
+//                                 link rate; needs source=, sweepable)
 //   routing={Random,d-mod-k}      any registered scheme, or a {a,b,c} list
-//   msg_scale=0.125               multiplies every message size
+//   msg_scale=0.125               multiplies every message size (open-loop
+//                                 messages are 4096 B * msg_scale)
 //   seed=1..40                    integer ranges sweep inclusively
 //
 // Scheme, pattern and topology names resolve through the core:: registries
@@ -47,6 +52,12 @@ struct ExperimentSpec {
   std::string routing = "d-mod-k";  ///< Canonical scheme name.
   double msgScale = 1.0;
   std::uint64_t seed = 1;
+
+  /// Open-loop streaming job (core::sourceRegistry() spec) — replaces the
+  /// closed-loop pattern when non-empty; `load` is the offered load per
+  /// host as a fraction of the link rate.
+  std::string source;
+  double load = 0.5;
 
   friend bool operator==(const ExperimentSpec&,
                          const ExperimentSpec&) = default;

@@ -1,6 +1,10 @@
 #include "patterns/register.hpp"
 
+#include <charconv>
+#include <stdexcept>
+
 #include "patterns/applications.hpp"
+#include "patterns/source.hpp"
 #include "patterns/synthetic.hpp"
 
 namespace patterns {
@@ -9,6 +13,8 @@ namespace {
 
 using core::PatternContext;
 using core::PatternInfo;
+using core::SourceContext;
+using core::SourceInfo;
 using core::SpecName;
 
 /// Default message size for the parameterized synthetic workloads; keeps
@@ -116,6 +122,81 @@ void registerBuiltinPatterns(core::Registry<core::PatternInfo>& registry) {
               return unionOfRandomPermutations(spec.argU32(0), spec.argU32(1),
                                                kSyntheticBytes, ctx.seed);
             });
+}
+
+namespace {
+
+/// Shared spec parsing of the open-loop sources: the first arg names the
+/// destination distribution, hotspot takes an optional percentage
+/// ("poisson:hotspot:30" aims 30% of each rank's messages at rank 0).
+OpenLoopConfig openLoopConfig(const SpecName& spec, const SourceContext& ctx,
+                              ArrivalProcess arrivals) {
+  if (spec.args.empty()) {
+    throw std::invalid_argument(
+        "'" + spec.full +
+        "' wants a destination distribution (uniform | hotspot[:PCT] | perm)");
+  }
+  OpenLoopConfig cfg;
+  cfg.arrivals = arrivals;
+  const std::string& dest = spec.args[0];
+  if (dest == "uniform") {
+    spec.requireArity(1);
+    cfg.dest = DestDistribution::kUniform;
+  } else if (dest == "perm") {
+    spec.requireArity(1);
+    cfg.dest = DestDistribution::kPermutation;
+  } else if (dest == "hotspot") {
+    cfg.dest = DestDistribution::kHotspot;
+    if (spec.args.size() > 2) spec.requireArity(2);
+    if (spec.args.size() == 2) {
+      const std::uint32_t pct = spec.argU32(1);
+      if (pct > 100) {
+        throw std::invalid_argument("'" + spec.full +
+                                    "': hotspot percentage exceeds 100");
+      }
+      cfg.hotFraction = static_cast<double>(pct) / 100.0;
+    }
+  } else {
+    throw std::invalid_argument(
+        "'" + spec.full + "': unknown destination distribution '" + dest +
+        "' (known: uniform, hotspot[:PCT], perm)");
+  }
+  cfg.numRanks = ctx.numRanks;
+  cfg.load = ctx.load;
+  cfg.hostBytesPerNs = ctx.hostBytesPerNs;
+  cfg.messageBytes = ctx.messageBytes;
+  cfg.startNs = ctx.startNs;
+  cfg.stopNs = ctx.stopNs;
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+void addSource(core::Registry<SourceInfo>& registry, std::string name,
+               std::string usage, std::string summary,
+               ArrivalProcess arrivals) {
+  SourceInfo info;
+  info.usage = std::move(usage);
+  info.summary = std::move(summary);
+  info.make = [name, arrivals](const std::vector<std::string>& args,
+                               const SourceContext& ctx)
+      -> std::unique_ptr<TrafficSource> {
+    return std::make_unique<OpenLoopSource>(
+        openLoopConfig(core::joinSpec(name, args), ctx, arrivals));
+  };
+  registry.add(std::move(name), std::move(info));
+}
+
+}  // namespace
+
+void registerBuiltinSources(core::Registry<core::SourceInfo>& registry) {
+  addSource(registry, "poisson", "poisson:DEST[:PCT]",
+            "open-loop Poisson arrivals (DEST: uniform | hotspot[:PCT] | "
+            "perm)",
+            ArrivalProcess::kPoisson);
+  addSource(registry, "bursty", "bursty:DEST[:PCT]",
+            "open-loop on/off bursts at line rate (DEST: uniform | "
+            "hotspot[:PCT] | perm)",
+            ArrivalProcess::kBursty);
 }
 
 }  // namespace patterns

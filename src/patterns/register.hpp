@@ -14,4 +14,8 @@ namespace patterns {
 
 void registerBuiltinPatterns(core::Registry<core::PatternInfo>& registry);
 
+/// The open-loop traffic sources (source.hpp); core::sourceRegistry()
+/// calls this hook exactly once on first access.
+void registerBuiltinSources(core::Registry<core::SourceInfo>& registry);
+
 }  // namespace patterns

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "xgft/rng.hpp"
@@ -566,6 +567,24 @@ std::uint32_t Network::resolveAdaptive(std::uint32_t gInPort,
 void Network::returnCredit(std::uint32_t gOutPort) {
   ++ports_[gOutPort].credits;
   outputDispatch(gOutPort);
+}
+
+WireUtilization wireUtilization(const Network& net, TimeNs spanNs) {
+  WireUtilization out;
+  if (spanNs == 0) return out;
+  double sum = 0.0;
+  std::uint64_t used = 0;
+  const double span = static_cast<double>(spanNs);
+  for (std::uint32_t g = 0; g < net.numGlobalPorts(); ++g) {
+    const TimeNs busy = net.wireBusyNs(g);
+    if (busy == 0) continue;
+    const double util = static_cast<double>(busy) / span;
+    out.max = std::max(out.max, util);
+    sum += util;
+    ++used;
+  }
+  if (used > 0) out.mean = sum / static_cast<double>(used);
+  return out;
 }
 
 void Network::serveWaitingInputs(std::uint32_t gOutPort) {

@@ -383,4 +383,15 @@ class Network {
   NetworkStats stats_;
 };
 
+/// Wire utilization over @p spanNs from Network::wireBusyNs: the busy
+/// fraction of the busiest wire and the mean over wires that carried
+/// traffic.  The single implementation behind the engine's util_max /
+/// util_mean CSV columns and the open-loop runner.
+struct WireUtilization {
+  double max = 0.0;
+  double mean = 0.0;
+};
+[[nodiscard]] WireUtilization wireUtilization(const Network& net,
+                                              TimeNs spanNs);
+
 }  // namespace sim

@@ -3,9 +3,26 @@
 #include <stdexcept>
 #include <string>
 
-#include "xgft/rng.hpp"
-
 namespace trace {
+
+namespace {
+
+/// Also the pre-driver validation point: every check that can reject the
+/// construction must run here, before the InjectionProcess member installs
+/// itself as the network's sink — a later throw would unwind the process
+/// and leave the network with a dangling sink pointer.
+sim::InjectionOptions driverOptions(const Trace& trace,
+                                    const Mapping& mapping,
+                                    RouteSetResolver& resolver) {
+  if (mapping.numRanks() != trace.numRanks) {
+    throw std::invalid_argument("Replayer: mapping/trace rank mismatch");
+  }
+  sim::InjectionOptions opt = injectionOptions(resolver);
+  opt.hostOf = [&mapping](patterns::Rank r) { return mapping.hostOf(r); };
+  return opt;
+}
+
+}  // namespace
 
 Replayer::Replayer(sim::Network& net, const Trace& trace,
                    const Mapping& mapping, const routing::Router& router,
@@ -13,78 +30,22 @@ Replayer::Replayer(sim::Network& net, const Trace& trace,
     : net_(&net),
       trace_(&trace),
       mapping_(&mapping),
-      router_(&router),
-      compiled_(compiled),
-      spray_(spray) {
-  if (mapping.numRanks() != trace.numRanks) {
-    throw std::invalid_argument("Replayer: mapping/trace rank mismatch");
-  }
-  // Per-segment modes never consult the forwarding table (spray enumerates
-  // NCA routes, adaptive routes hop by hop), so a compiled handle is inert
-  // for them — but every mode interns its per-(src, dst) route material
-  // exactly once (routeSetFor), so no per-message route construction
-  // remains on any path.
-  if (spray_.adaptive || spray_.enabled) compiled_ = nullptr;
-  if (compiled_ != nullptr &&
-      &compiled_->topology() != &net.topology()) {
-    throw std::invalid_argument(
-        "Replayer: compiled routes built for a different topology");
-  }
+      resolver_(net, router, spray, compiled),
+      driver_(net, *this, driverOptions(trace, mapping, resolver_)) {
   ranks_.resize(trace.numRanks);
   finishNs_.resize(trace.numRanks, 0);
   postedRecvs_.resize(trace.numRanks);
   unexpected_.resize(trace.numRanks);
-  net_->setSink(this);
 }
 
 std::uint64_t Replayer::matchKey(patterns::Rank src, std::uint32_t tag) const {
   return (static_cast<std::uint64_t>(src) << 32) | tag;
 }
 
-sim::RouteSetId Replayer::routeSetFor(xgft::NodeIndex src,
-                                      xgft::NodeIndex dst) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
-  const auto it = pairSets_.find(key);
-  if (it != pairSets_.end()) return it->second;
-  sim::RouteSetId set;
-  if (spray_.enabled) {
-    const xgft::Topology& topo = net_->topology();
-    const xgft::Count n = topo.numNcas(src, dst);
-    std::vector<xgft::Route> routes;
-    if (n <= spray_.maxPaths) {
-      for (xgft::Count c = 0; c < n; ++c) {
-        routes.push_back(routeViaNca(topo, src, dst, c));
-      }
-    } else {
-      for (std::uint32_t i = 0; i < spray_.maxPaths; ++i) {
-        routes.push_back(routeViaNca(
-            topo, src, dst, xgft::hashMix(spray_.seed, src, dst, i) % n));
-      }
-    }
-    // Spraying happens above the first hop: all candidate routes must
-    // leave the host through the same NIC port (relevant only when
-    // w1 > 1).
-    if (!routes.empty() && !routes[0].up.empty()) {
-      const std::uint32_t port0 = routes[0].up[0];
-      std::erase_if(routes, [port0](const xgft::Route& r) {
-        return r.up[0] != port0;
-      });
-    }
-    set = net_->internRoutes(src, dst, routes);
-  } else if (compiled_ != nullptr) {
-    set = net_->internCompiledPath(src, dst, compiled_->upPorts(src, dst));
-  } else {
-    set = net_->internRoutes(src, dst, {router_->route(src, dst)});
-  }
-  pairSets_.emplace(key, set);
-  return set;
-}
-
 sim::TimeNs Replayer::run() {
   if (ran_) throw std::logic_error("Replayer::run: single-use");
   ran_ = true;
-  for (patterns::Rank r = 0; r < trace_->numRanks; ++r) progress(r);
-  net_->run();
+  driver_.run();
   sim::TimeNs makespan = 0;
   std::uint32_t blocked = 0;
   for (patterns::Rank r = 0; r < trace_->numRanks; ++r) {
@@ -99,6 +60,22 @@ sim::TimeNs Replayer::run() {
   return makespan;
 }
 
+patterns::Pull Replayer::pull(sim::TimeNs /*now*/,
+                              patterns::SourceMessage& out) {
+  if (!started_) {
+    started_ = true;
+    for (patterns::Rank r = 0; r < trace_->numRanks; ++r) progress(r);
+  }
+  if (pending_.empty()) {
+    return finishedRanks_ == trace_->numRanks ? patterns::Pull::kExhausted
+                                              : patterns::Pull::kBlocked;
+  }
+  const Pending entry = pending_.front();
+  pending_.pop_front();
+  out = entry.m;
+  return entry.wake ? patterns::Pull::kWake : patterns::Pull::kMessage;
+}
+
 void Replayer::progress(patterns::Rank r) {
   RankState& state = ranks_[r];
   if (state.finished || state.inCompute || state.blockingRecv ||
@@ -111,30 +88,19 @@ void Replayer::progress(patterns::Rank r) {
     switch (op.kind) {
       case OpKind::kIsend:
       case OpKind::kSend: {
-        const xgft::NodeIndex src = mapping_->hostOf(r);
-        const xgft::NodeIndex dst = mapping_->hostOf(op.peer);
-        sim::MsgId msg = 0;
-        if (spray_.adaptive) {
-          msg = net_->addMessageAdaptive(src, dst, op.bytes);
-        } else {
-          // Route material (validated, hop-expanded, interned) is built at
-          // most once per (src, dst) pair — repeat sends are a pure record
-          // append in the simulator.
-          const sim::RouteSetId set = routeSetFor(src, dst);
-          msg = net_->addMessageSet(
-              src, dst, op.bytes, set,
-              spray_.enabled ? spray_.policy : sim::SprayPolicy::kRoundRobin,
-              spray_.enabled ? spray_.seed : 1);
-        }
-        if (msg != msgInfo_.size()) {
-          throw std::logic_error("Replayer: non-dense message ids");
-        }
+        const std::uint64_t token = msgInfo_.size();
         msgInfo_.push_back(MsgInfo{r, op.peer, op.tag});
-        net_->release(msg, net_->now());
+        Pending entry;
+        entry.m.src = r;
+        entry.m.dst = op.peer;
+        entry.m.bytes = op.bytes;
+        entry.m.time = net_->now();
+        entry.m.token = token;
+        pending_.push_back(entry);
         ++state.pendingSends;
         ++state.pc;
         if (op.kind == OpKind::kSend) {
-          state.blockingSend = static_cast<std::int64_t>(msg);
+          state.blockingSend = static_cast<std::int64_t>(token);
           return;  // Blocks until this very message is delivered.
         }
         break;
@@ -192,43 +158,47 @@ void Replayer::progress(patterns::Rank r) {
       case OpKind::kCompute: {
         state.inCompute = true;
         ++state.pc;
-        net_->scheduleCallback(net_->now() + op.durationNs, [this, r]() {
-          ranks_[r].inCompute = false;
-          progress(r);
-        });
+        Pending entry;
+        entry.wake = true;
+        entry.m.time = net_->now() + op.durationNs;
+        entry.m.token = r;
+        pending_.push_back(entry);
         return;
       }
     }
   }
   state.finished = true;
+  ++finishedRanks_;
   finishNs_[r] = net_->now();
 }
 
-void Replayer::onMessageDelivered(sim::MsgId msg, sim::TimeNs /*time*/) {
-  const MsgInfo& info = msgInfo_.at(msg);
+void Replayer::onWake(std::uint64_t cookie, sim::TimeNs /*now*/) {
+  const patterns::Rank r = static_cast<patterns::Rank>(cookie);
+  ranks_[r].inCompute = false;
+  progress(r);
+}
+
+void Replayer::onDelivered(std::uint64_t token, sim::TimeNs /*now*/) {
+  const MsgInfo& info = msgInfo_.at(token);
   // Sender side: the isend/send completes.
   RankState& sender = ranks_[info.src];
   --sender.pendingSends;
-  const bool senderUnblocked =
-      sender.blockingSend == static_cast<std::int64_t>(msg);
-  if (senderUnblocked) sender.blockingSend = -1;
+  if (sender.blockingSend == static_cast<std::int64_t>(token)) {
+    sender.blockingSend = -1;
+  }
   // Receiver side: match a posted receive or buffer as unexpected.
   RankState& receiver = ranks_[info.dst];
   const std::uint64_t k = matchKey(info.src, info.tag);
   auto& posted = postedRecvs_[info.dst];
   const auto it = posted.find(k);
-  bool receiverMatched = false;
   if (it != posted.end()) {
     if (--it->second == 0) posted.erase(it);
     --receiver.outstandingRecvs;
-    receiverMatched = true;
     if (receiver.blockingRecv) receiver.blockingRecv = false;
   } else {
     ++unexpected_[info.dst][k];
   }
   // Wake both sides; progress() is a no-op for ranks still blocked.
-  (void)senderUnblocked;
-  (void)receiverMatched;
   progress(info.src);
   progress(info.dst);
 }

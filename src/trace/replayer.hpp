@@ -14,44 +14,44 @@
 //  * kBarrier blocks until every rank reached the same barrier index.
 //  * kCompute advances the rank after a fixed local delay.
 //
-// The replayer is single-use: construct, run(), read the makespan.
+// Since the streaming refactor (DESIGN.md §8) the replayer is the
+// closed-loop *source* of the shared injection mechanism: it implements
+// patterns::TrafficSource — the rank state machine emits messages (and
+// kWake timers for compute bursts) as it unblocks — and run() drives it
+// through a sim::InjectionProcess, the same process that runs open-loop
+// streams.  Route material resolves through trace::RouteSetResolver
+// (compiled table, virtual route() fallback, or spray enumeration),
+// memoized per (src, dst): no per-message route construction on any path.
+//
+// The replayer is single-use: construct, run(), read the makespan.  A
+// second run() throws std::logic_error; results of the first run stay
+// readable.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "core/compiled_routes.hpp"
+#include "patterns/source.hpp"
 #include "routing/router.hpp"
+#include "sim/injection.hpp"
 #include "sim/network.hpp"
 #include "trace/mapping.hpp"
+#include "trace/route_resolver.hpp"
 #include "trace/trace.hpp"
 
 namespace trace {
 
-/// Optional per-segment multipath spraying (the Greenberg–Leiserson
-/// packet-granular randomized routing, provided as an extension): when
-/// enabled, each message is given up to maxPaths NCA-distinct routes and
-/// the adapter sprays segments across them.
-struct SprayConfig {
-  bool enabled = false;
-  std::uint32_t maxPaths = 16;
-  sim::SprayPolicy policy = sim::SprayPolicy::kRandom;
-  std::uint64_t seed = 1;
-  /// Minimally-adaptive per-hop routing instead of spraying (mutually
-  /// exclusive with `enabled`): every segment picks the least-occupied
-  /// up-port at each switch (Network::addMessageAdaptive).
-  bool adaptive = false;
-};
-
-class Replayer final : public sim::TrafficSink {
+class Replayer final : public patterns::TrafficSource {
  public:
-  /// All references must outlive the replayer.  The replayer installs
-  /// itself as the network's sink.  When @p compiled is given (and no
-  /// per-segment mode is active) messages route through the compiled
-  /// forwarding table — a flat lookup instead of a virtual route() call per
-  /// message; the table must be compiled against @p net's topology.
+  /// All references must outlive the replayer.  The replayer's injection
+  /// process installs itself as the network's sink.  When @p compiled is
+  /// given (and no per-segment mode is active) messages route through the
+  /// compiled forwarding table — a flat lookup instead of a virtual
+  /// route() call per message; the table must be compiled against @p net's
+  /// topology.
   Replayer(sim::Network& net, const Trace& trace, const Mapping& mapping,
            const routing::Router& router, SprayConfig spray = {},
            const core::CompiledRoutes* compiled = nullptr);
@@ -60,8 +60,6 @@ class Replayer final : public sim::TrafficSink {
   /// Throws std::runtime_error if ranks are left blocked when the network
   /// drains (e.g. an unmatched receive).
   sim::TimeNs run();
-
-  void onMessageDelivered(sim::MsgId msg, sim::TimeNs time) override;
 
   /// Completion time of an individual rank (valid after run()).
   [[nodiscard]] sim::TimeNs finishTimeOf(patterns::Rank r) const {
@@ -77,48 +75,62 @@ class Replayer final : public sim::TrafficSink {
     return barrierNs_;
   }
 
+  // ---- patterns::TrafficSource (the closed-loop source) --------------------
+
+  [[nodiscard]] patterns::Rank numRanks() const override {
+    return trace_->numRanks;
+  }
+  [[nodiscard]] patterns::Pull pull(sim::TimeNs now,
+                                    patterns::SourceMessage& out) override;
+  void onDelivered(std::uint64_t token, sim::TimeNs now) override;
+  void onWake(std::uint64_t cookie, sim::TimeNs now) override;
+
  private:
   struct RankState {
     std::size_t pc = 0;
     std::uint32_t pendingSends = 0;       ///< Isends not yet delivered.
     std::uint32_t outstandingRecvs = 0;   ///< Posted, not yet arrived.
-    std::int64_t blockingSend = -1;       ///< MsgId a kSend waits on.
+    std::int64_t blockingSend = -1;       ///< Token a kSend waits on.
     bool blockingRecv = false;            ///< A kRecv waits for a match.
     bool inCompute = false;
     std::uint32_t barriersPassed = 0;
     bool finished = false;
   };
 
-  /// Advances rank r until it blocks or finishes.
+  /// One pending source action in program order: a message to inject or a
+  /// compute-timer request.  Keeping both in one queue preserves the exact
+  /// walk order (and therefore the event insertion order) of the
+  /// pre-streaming replayer.
+  struct Pending {
+    patterns::SourceMessage m;
+    bool wake = false;
+  };
+
+  /// Advances rank r until it blocks or finishes, queueing its actions.
   void progress(patterns::Rank r);
-  void arriveAtBarrier(patterns::Rank r);
+
   [[nodiscard]] std::uint64_t matchKey(patterns::Rank src,
                                        std::uint32_t tag) const;
-  /// The interned route set for (src, dst) under the active routing mode
-  /// (compiled table, virtual route() fallback, or spray enumeration),
-  /// built on first use and memoized — the per-message hot path never
-  /// constructs routes.
-  [[nodiscard]] sim::RouteSetId routeSetFor(xgft::NodeIndex src,
-                                            xgft::NodeIndex dst);
 
   sim::Network* net_;
   const Trace* trace_;
   const Mapping* mapping_;
-  const routing::Router* router_;
-  const core::CompiledRoutes* compiled_ = nullptr;
-  SprayConfig spray_;
+  RouteSetResolver resolver_;
+  sim::InjectionProcess driver_;
 
   std::vector<RankState> ranks_;
   std::vector<sim::TimeNs> finishNs_;
-  // Message bookkeeping: msg id -> (sender, receiver, tag).
+  std::uint32_t finishedRanks_ = 0;
+  // Message bookkeeping: token -> (sender, receiver, tag); tokens are
+  // assigned densely in injection order.
   struct MsgInfo {
     patterns::Rank src = 0;
     patterns::Rank dst = 0;
     std::uint32_t tag = 0;
   };
-  std::vector<MsgInfo> msgInfo_;  ///< Indexed by MsgId (dense).
-  // (src, dst) -> interned route set in the network's RouteStore.
-  std::unordered_map<std::uint64_t, sim::RouteSetId> pairSets_;
+  std::vector<MsgInfo> msgInfo_;
+  std::deque<Pending> pending_;
+  bool started_ = false;
   // Per receiving rank: (src, tag) -> counts.
   std::vector<std::map<std::uint64_t, std::uint32_t>> postedRecvs_;
   std::vector<std::map<std::uint64_t, std::uint32_t>> unexpected_;

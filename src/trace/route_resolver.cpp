@@ -1,0 +1,73 @@
+#include "trace/route_resolver.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "xgft/rng.hpp"
+
+namespace trace {
+
+RouteSetResolver::RouteSetResolver(sim::Network& net,
+                                   const routing::Router& router,
+                                   SprayConfig spray,
+                                   const core::CompiledRoutes* compiled)
+    : net_(&net), router_(&router), compiled_(compiled), spray_(spray) {
+  if (spray_.adaptive || spray_.enabled) compiled_ = nullptr;
+  if (compiled_ != nullptr && &compiled_->topology() != &net.topology()) {
+    throw std::invalid_argument(
+        "RouteSetResolver: compiled routes built for a different topology");
+  }
+}
+
+sim::InjectionOptions injectionOptions(RouteSetResolver& resolver) {
+  const SprayConfig& spray = resolver.spray();
+  sim::InjectionOptions opt;
+  opt.adaptive = spray.adaptive;
+  opt.policy = spray.enabled ? spray.policy : sim::SprayPolicy::kRoundRobin;
+  opt.spraySeed = spray.enabled ? spray.seed : 1;
+  opt.routeSet = [&resolver](xgft::NodeIndex s, xgft::NodeIndex d) {
+    return resolver.setFor(s, d);
+  };
+  return opt;
+}
+
+sim::RouteSetId RouteSetResolver::setFor(xgft::NodeIndex src,
+                                         xgft::NodeIndex dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  const auto it = pairSets_.find(key);
+  if (it != pairSets_.end()) return it->second;
+  sim::RouteSetId set;
+  if (spray_.enabled) {
+    const xgft::Topology& topo = net_->topology();
+    const xgft::Count n = topo.numNcas(src, dst);
+    std::vector<xgft::Route> routes;
+    if (n <= spray_.maxPaths) {
+      for (xgft::Count c = 0; c < n; ++c) {
+        routes.push_back(routeViaNca(topo, src, dst, c));
+      }
+    } else {
+      for (std::uint32_t i = 0; i < spray_.maxPaths; ++i) {
+        routes.push_back(routeViaNca(
+            topo, src, dst, xgft::hashMix(spray_.seed, src, dst, i) % n));
+      }
+    }
+    // Spraying happens above the first hop: all candidate routes must
+    // leave the host through the same NIC port (relevant only when
+    // w1 > 1).
+    if (!routes.empty() && !routes[0].up.empty()) {
+      const std::uint32_t port0 = routes[0].up[0];
+      std::erase_if(routes, [port0](const xgft::Route& r) {
+        return r.up[0] != port0;
+      });
+    }
+    set = net_->internRoutes(src, dst, routes);
+  } else if (compiled_ != nullptr) {
+    set = net_->internCompiledPath(src, dst, compiled_->upPorts(src, dst));
+  } else {
+    set = net_->internRoutes(src, dst, {router_->route(src, dst)});
+  }
+  pairSets_.emplace(key, set);
+  return set;
+}
+
+}  // namespace trace

@@ -1,0 +1,77 @@
+// route_resolver.hpp — Memoized (src, dst) -> interned-route-set resolution.
+//
+// Every injection mode builds its per-pair route material exactly once and
+// interns it in the network's RouteStore (sim/route_store.hpp); repeat
+// messages between the same endpoints are a pure record append.  This used
+// to live inside trace::Replayer; the streaming refactor hoists it here so
+// closed-loop replay and open-loop sources (trace/openloop.hpp) resolve
+// routes through one path:
+//
+//  * compiled   — flat forwarding-table lookup (core::CompiledRoutes);
+//  * virtual    — one router->route() call per distinct pair;
+//  * spray      — up to maxPaths NCA-distinct routes per pair, sprayed per
+//                 segment (the Greenberg–Leiserson extension);
+//  * adaptive   — no resolver at all (per-hop choice inside the simulator).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/compiled_routes.hpp"
+#include "routing/router.hpp"
+#include "sim/injection.hpp"
+#include "sim/network.hpp"
+
+namespace trace {
+
+/// Optional per-segment multipath spraying (the Greenberg–Leiserson
+/// packet-granular randomized routing, provided as an extension): when
+/// enabled, each message is given up to maxPaths NCA-distinct routes and
+/// the adapter sprays segments across them.
+struct SprayConfig {
+  bool enabled = false;
+  std::uint32_t maxPaths = 16;
+  sim::SprayPolicy policy = sim::SprayPolicy::kRandom;
+  std::uint64_t seed = 1;
+  /// Minimally-adaptive per-hop routing instead of spraying (mutually
+  /// exclusive with `enabled`): every segment picks the least-occupied
+  /// up-port at each switch (Network::addMessageAdaptive).
+  bool adaptive = false;
+};
+
+class RouteSetResolver {
+ public:
+  /// All references must outlive the resolver.  When @p compiled is given
+  /// (and no per-segment mode is active) pairs resolve through the compiled
+  /// forwarding table; it must be compiled against @p net's topology
+  /// (throws std::invalid_argument otherwise).  Per-segment modes (spray,
+  /// adaptive) never consult the table, so a compiled handle is inert for
+  /// them.
+  RouteSetResolver(sim::Network& net, const routing::Router& router,
+                   SprayConfig spray = {},
+                   const core::CompiledRoutes* compiled = nullptr);
+
+  /// The interned route set for host pair (src, dst) under the active
+  /// routing mode, built on first use and memoized.
+  [[nodiscard]] sim::RouteSetId setFor(xgft::NodeIndex src,
+                                       xgft::NodeIndex dst);
+
+  [[nodiscard]] const SprayConfig& spray() const { return spray_; }
+
+ private:
+  sim::Network* net_;
+  const routing::Router* router_;
+  const core::CompiledRoutes* compiled_;
+  SprayConfig spray_;
+  // (src, dst) -> interned route set in the network's RouteStore.
+  std::unordered_map<std::uint64_t, sim::RouteSetId> pairSets_;
+};
+
+/// The sim::InjectionOptions @p resolver's spray configuration implies —
+/// the single translation both the Replayer and the open-loop runner use
+/// (callers add their own hostOf mapping).  The resolver must outlive the
+/// returned options' routeSet closure.
+[[nodiscard]] sim::InjectionOptions injectionOptions(
+    RouteSetResolver& resolver);
+
+}  // namespace trace

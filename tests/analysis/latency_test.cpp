@@ -1,0 +1,76 @@
+// Tests for the fixed-bucket latency histogram and window accounting.
+#include "analysis/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace analysis {
+namespace {
+
+TEST(LatencyHistogram, EmptySummaryIsZero) {
+  const LatencyHistogram h;
+  const LatencySummary s = h.summary();
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.p99Ns, 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogram, ExactForDegenerateDistribution) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(12345);
+  const LatencySummary s = h.summary();
+  EXPECT_EQ(s.samples, 100u);
+  EXPECT_EQ(s.minNs, 12345u);
+  EXPECT_EQ(s.maxNs, 12345u);
+  EXPECT_EQ(s.p50Ns, 12345u);  // Clamped to the observed extremes.
+  EXPECT_EQ(s.p99Ns, 12345u);
+  EXPECT_DOUBLE_EQ(s.meanNs, 12345.0);
+}
+
+TEST(LatencyHistogram, QuantilesOfAUniformRamp) {
+  // 1..10000 ns with 1-ns buckets: quantiles are exact.
+  LatencyHistogram h(1, 16384);
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 5000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 9900.0, 1.0);
+  EXPECT_EQ(h.quantile(1.0), 10000u);
+}
+
+TEST(LatencyHistogram, WideBucketsInterpolateWithinTheBucket) {
+  LatencyHistogram h(1000, 16);
+  for (int i = 0; i < 1000; ++i) h.record(2500);  // All in bucket [2000, 3000).
+  // Interpolation stays inside the bucket and clamps to observed values.
+  EXPECT_EQ(h.quantile(0.5), 2500u);
+  EXPECT_EQ(h.quantile(0.01), 2500u);
+}
+
+TEST(LatencyHistogram, OverflowReportsObservedMax) {
+  LatencyHistogram h(10, 10);  // Resolves [0, 100) exactly.
+  h.record(5);
+  for (int i = 0; i < 99; ++i) h.record(1'000'000);
+  EXPECT_EQ(h.overflow(), 99u);
+  EXPECT_EQ(h.quantile(0.99), 1'000'000u);
+  EXPECT_EQ(h.summary().maxNs, 1'000'000u);
+  EXPECT_EQ(h.summary().minNs, 5u);
+}
+
+TEST(LatencyHistogram, RejectsDegenerateShape) {
+  EXPECT_THROW(LatencyHistogram(0, 16), std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(16, 0), std::invalid_argument);
+}
+
+TEST(WindowAccount, AcceptedLoadNormalizesByCapacity) {
+  WindowAccount w;
+  w.beginNs = 1000;
+  w.endNs = 2000;
+  w.bytes = 1000;
+  // 4 hosts * 0.25 B/ns * 1000 ns = 1000 B capacity -> load 1.0.
+  EXPECT_DOUBLE_EQ(w.acceptedLoad(4, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(w.acceptedLoad(8, 0.25), 0.5);
+  // Degenerate windows report zero instead of dividing by zero.
+  w.endNs = w.beginNs;
+  EXPECT_DOUBLE_EQ(w.acceptedLoad(4, 0.25), 0.0);
+}
+
+}  // namespace
+}  // namespace analysis

@@ -89,6 +89,47 @@ TEST(Spec, RejectsMalformedInput) {
   EXPECT_THROW(parseSpecLine("seed=1..4"), std::invalid_argument);
 }
 
+TEST(Spec, OpenLoopKeysParseAndRoundTrip) {
+  const ExperimentSpec spec =
+      parseSpecLine("topo=paper-slim source=poisson:uniform load=0.3 "
+                    "routing=Random seed=9");
+  EXPECT_EQ(spec.source, "poisson:uniform");
+  EXPECT_EQ(spec.load, 0.3);
+  EXPECT_EQ(parseSpecLine(spec.toLine()), spec);
+  // Closed-loop lines never mention source/load (the historical format).
+  EXPECT_EQ(parseSpecLine("pattern=ring:64").toLine().find("source"),
+            std::string::npos);
+}
+
+TEST(Spec, OpenLoopKeysValidate) {
+  // Unknown source names surface the registry's uniform error.
+  try {
+    (void)parseSpecLine("source=magic load=0.5");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown traffic source"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("(registered: "), std::string::npos);
+  }
+  // load needs a source; pattern and source are mutually exclusive; load
+  // bounds.
+  EXPECT_THROW(parseSpecLine("load=0.5"), std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("pattern=ring:64 source=poisson:uniform"),
+               std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("source=poisson:uniform load=0"),
+               std::invalid_argument);
+  EXPECT_THROW(parseSpecLine("source=poisson:uniform load=5"),
+               std::invalid_argument);
+}
+
+TEST(Spec, LoadSweepsExpandLikeAnyAxis) {
+  const auto jobs = expandCampaignLine(
+      "source=poisson:uniform load={0.1,0.2,0.3} routing=d-mod-k");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].load, 0.1);
+  EXPECT_EQ(jobs[2].load, 0.3);
+}
+
 TEST(Spec, RangeExpansionIsInclusiveBothDirections) {
   const auto up = expandCampaignLine("seed=2..5");
   ASSERT_EQ(up.size(), 4u);

@@ -1,0 +1,181 @@
+// Tests for the open-loop traffic sources: determinism, time ordering,
+// offered-load calibration, destination distributions and the stop
+// horizon.
+#include "patterns/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace patterns {
+namespace {
+
+OpenLoopConfig baseConfig() {
+  OpenLoopConfig cfg;
+  cfg.numRanks = 16;
+  cfg.load = 0.5;
+  cfg.hostBytesPerNs = 0.25;  // 2 Gbit/s.
+  cfg.messageBytes = 1024;
+  cfg.stopNs = 2'000'000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<SourceMessage> drain(OpenLoopSource& src) {
+  std::vector<SourceMessage> out;
+  SourceMessage m;
+  while (src.pull(0, m) == Pull::kMessage) out.push_back(m);
+  return out;
+}
+
+TEST(OpenLoopSource, ValidatesConfig) {
+  OpenLoopConfig cfg = baseConfig();
+  cfg.numRanks = 1;
+  EXPECT_THROW(OpenLoopSource{cfg}, std::invalid_argument);
+  cfg = baseConfig();
+  cfg.load = 0.0;
+  EXPECT_THROW(OpenLoopSource{cfg}, std::invalid_argument);
+  cfg = baseConfig();
+  cfg.stopNs = cfg.startNs;
+  EXPECT_THROW(OpenLoopSource{cfg}, std::invalid_argument);
+  cfg = baseConfig();
+  cfg.messageBytes = 0;
+  EXPECT_THROW(OpenLoopSource{cfg}, std::invalid_argument);
+  cfg = baseConfig();
+  cfg.dest = DestDistribution::kHotspot;
+  cfg.hotFraction = 1.5;
+  EXPECT_THROW(OpenLoopSource{cfg}, std::invalid_argument);
+}
+
+TEST(OpenLoopSource, StreamIsDeterministicAndTimeOrdered) {
+  OpenLoopSource a(baseConfig());
+  OpenLoopSource b(baseConfig());
+  const std::vector<SourceMessage> sa = drain(a);
+  const std::vector<SourceMessage> sb = drain(b);
+  ASSERT_FALSE(sa.empty());
+  ASSERT_EQ(sa.size(), sb.size());
+  sim::TimeNs last = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].src, sb[i].src);
+    EXPECT_EQ(sa[i].dst, sb[i].dst);
+    EXPECT_EQ(sa[i].time, sb[i].time);
+    EXPECT_EQ(sa[i].token, i);  // Tokens are dense in emission order.
+    EXPECT_GE(sa[i].time, last);
+    last = sa[i].time;
+    EXPECT_NE(sa[i].src, sa[i].dst);  // Never a self-message.
+    EXPECT_LT(sa[i].time, baseConfig().stopNs);
+  }
+}
+
+TEST(OpenLoopSource, SeedsChangeTheStream) {
+  OpenLoopConfig cfg = baseConfig();
+  OpenLoopSource a(cfg);
+  cfg.seed = 8;
+  OpenLoopSource b(cfg);
+  const std::vector<SourceMessage> sa = drain(a);
+  const std::vector<SourceMessage> sb = drain(b);
+  bool different = sa.size() != sb.size();
+  for (std::size_t i = 0; !different && i < sa.size(); ++i) {
+    different = sa[i].time != sb[i].time || sa[i].dst != sb[i].dst;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(OpenLoopSource, PoissonOfferedLoadIsCalibrated) {
+  // Offered bytes over the horizon must track load * rate * ranks * time
+  // closely (law of large numbers; ~16k arrivals here).
+  OpenLoopConfig cfg = baseConfig();
+  cfg.stopNs = 8'000'000;
+  OpenLoopSource src(cfg);
+  const std::vector<SourceMessage> all = drain(src);
+  const double offered = static_cast<double>(all.size()) *
+                         static_cast<double>(cfg.messageBytes);
+  const double expected = cfg.load * cfg.hostBytesPerNs *
+                          static_cast<double>(cfg.numRanks) *
+                          static_cast<double>(cfg.stopNs - cfg.startNs);
+  EXPECT_NEAR(offered / expected, 1.0, 0.05);
+}
+
+TEST(OpenLoopSource, BurstyMatchesMeanLoadWithBurstyGaps) {
+  OpenLoopConfig cfg = baseConfig();
+  cfg.arrivals = ArrivalProcess::kBursty;
+  cfg.burstLength = 8;
+  cfg.stopNs = 8'000'000;
+  OpenLoopSource src(cfg);
+  const std::vector<SourceMessage> all = drain(src);
+  const double offered = static_cast<double>(all.size()) *
+                         static_cast<double>(cfg.messageBytes);
+  const double expected = cfg.load * cfg.hostBytesPerNs *
+                          static_cast<double>(cfg.numRanks) *
+                          static_cast<double>(cfg.stopNs - cfg.startNs);
+  EXPECT_NEAR(offered / expected, 1.0, 0.08);
+
+  // Per-rank gap histogram is bimodal: line-rate gaps inside bursts
+  // dominate by count.
+  std::map<Rank, std::vector<sim::TimeNs>> perRank;
+  for (const SourceMessage& m : all) perRank[m.src].push_back(m.time);
+  const auto peakGap = static_cast<sim::TimeNs>(
+      static_cast<double>(cfg.messageBytes) / cfg.hostBytesPerNs + 0.5);
+  std::uint64_t atPeak = 0;
+  std::uint64_t total = 0;
+  for (auto& [r, times] : perRank) {
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      atPeak += (times[i] - times[i - 1]) == peakGap;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(atPeak) / static_cast<double>(total), 0.5);
+}
+
+TEST(OpenLoopSource, UniformCoversAllDestinations) {
+  OpenLoopConfig cfg = baseConfig();
+  cfg.numRanks = 8;
+  cfg.stopNs = 8'000'000;
+  OpenLoopSource src(cfg);
+  std::set<std::pair<Rank, Rank>> pairs;
+  for (const SourceMessage& m : drain(src)) pairs.emplace(m.src, m.dst);
+  // Every ordered non-self pair appears among ~16k draws.
+  EXPECT_EQ(pairs.size(), 8u * 7u);
+}
+
+TEST(OpenLoopSource, HotspotBiasesTowardRankZero) {
+  OpenLoopConfig cfg = baseConfig();
+  cfg.dest = DestDistribution::kHotspot;
+  cfg.hotFraction = 0.5;
+  cfg.stopNs = 8'000'000;
+  OpenLoopSource src(cfg);
+  std::uint64_t toHot = 0;
+  std::uint64_t fromOthers = 0;
+  for (const SourceMessage& m : drain(src)) {
+    if (m.src == 0) continue;
+    ++fromOthers;
+    toHot += m.dst == 0;
+  }
+  ASSERT_GT(fromOthers, 1000u);
+  // 50% aimed at the hotspot plus the uniform remainder's 1/15 share.
+  const double expected = 0.5 + 0.5 / 15.0;
+  EXPECT_NEAR(static_cast<double>(toHot) / static_cast<double>(fromOthers),
+              expected, 0.05);
+}
+
+TEST(OpenLoopSource, PermutationIsFixedAndFixedPointFree) {
+  OpenLoopConfig cfg = baseConfig();
+  cfg.dest = DestDistribution::kPermutation;
+  OpenLoopSource src(cfg);
+  std::map<Rank, Rank> target;
+  for (const SourceMessage& m : drain(src)) {
+    EXPECT_NE(m.src, m.dst);
+    const auto [it, inserted] = target.emplace(m.src, m.dst);
+    if (!inserted) EXPECT_EQ(it->second, m.dst);  // One target per rank.
+  }
+  // Injective: a permutation, not just a function.
+  std::set<Rank> images;
+  for (const auto& [src_, dst] : target) images.insert(dst);
+  EXPECT_EQ(images.size(), target.size());
+}
+
+}  // namespace
+}  // namespace patterns

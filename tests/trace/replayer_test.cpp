@@ -142,16 +142,24 @@ TEST(Replayer, UnmatchedReceiveThrows) {
 }
 
 TEST(Replayer, SingleUse) {
+  // The replayer is documented single-use: a second run() must throw
+  // (regression: it used to re-walk consumed rank state and return silent
+  // garbage) and must leave the first run's results readable.
   const Topology topo(xgft::xgft2(4, 4, 2));
-  Trace t;
-  t.numRanks = 1;
-  t.programs.resize(1);
+  patterns::Pattern p(4);
+  p.add(0, 3, 4096);
+  const Trace t = traceFromPattern(p);
   sim::Network net(topo, sim::SimConfig{});
   const routing::RouterPtr router = routing::makeDModK(topo);
-  const Mapping mapping = Mapping::sequential(1);
+  const Mapping mapping = Mapping::sequential(4);
   Replayer replayer(net, t, mapping, *router);
-  replayer.run();
+  const sim::TimeNs makespan = replayer.run();
+  EXPECT_GT(makespan, 0u);
   EXPECT_THROW(replayer.run(), std::logic_error);
+  EXPECT_THROW(replayer.run(), std::logic_error);  // Still, on every retry.
+  // The failed re-runs perturbed nothing.
+  EXPECT_EQ(replayer.finishTimeOf(0), makespan);
+  EXPECT_EQ(net.stats().messagesDelivered, 1u);
 }
 
 TEST(Replayer, TagsDisambiguateSameSourceMessages) {
@@ -173,6 +181,26 @@ TEST(Replayer, TagsDisambiguateSameSourceMessages) {
   Replayer replayer(net, t, mapping, *router);
   EXPECT_GT(replayer.run(), 0u);
   EXPECT_EQ(net.stats().messagesDelivered, 2u);
+}
+
+TEST(Replayer, RejectedConstructionLeavesNoSinkBehind) {
+  // A throwing constructor must not leave the network pointing at the
+  // destroyed replayer's injection process (regression: the rank-mismatch
+  // check used to run after the sink was installed).
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  Trace t;
+  t.numRanks = 2;
+  t.programs.resize(2);
+  sim::Network net(topo, sim::SimConfig{});
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const Mapping tooSmall = Mapping::sequential(1);
+  EXPECT_THROW(Replayer(net, t, tooSmall, *router), std::invalid_argument);
+  // Driving the network directly afterwards must not touch a dangling
+  // sink.
+  const sim::MsgId m = net.addMessage(0, 1, 1024, router->route(0, 1));
+  net.release(m, 0);
+  net.run();
+  EXPECT_EQ(net.stats().messagesDelivered, 1u);
 }
 
 TEST(Mapping, SequentialAndValidation) {

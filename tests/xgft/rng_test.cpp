@@ -76,6 +76,54 @@ TEST(Rng, ShufflePreservesElements) {
   EXPECT_NE(v, identity);
 }
 
+TEST(Rng, DerivedStreamSeedingIsPinned) {
+  // The open-loop traffic sources seed rank r's stream with
+  // hashMix(sourceSeed, r) (patterns/source.cpp); golden values pin that
+  // scheme so a silent change to the derivation breaks here, not in a
+  // campaign CSV.
+  EXPECT_EQ(hashMix(1, 0), 0x5e41ab087439611eULL);
+  EXPECT_EQ(hashMix(1, 1), 0xe9fd6049d65af21eULL);
+  EXPECT_EQ(hashMix(42, 7), 0x16062d6c1339e500ULL);
+}
+
+TEST(Rng, DerivedStreamsDoNotCollide) {
+  // Per-rank (and per-role) derived seeds must be pairwise distinct, and
+  // no two derived streams may share a prefix — a collision would
+  // correlate the traffic of two ranks exactly.
+  constexpr std::uint32_t kStreams = 256;
+  constexpr int kPrefix = 16;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t r = 0; r < kStreams; ++r) {
+    Rng stream(hashMix(9001, r));
+    for (int i = 0; i < kPrefix; ++i) {
+      EXPECT_TRUE(seen.insert(stream.next()).second)
+          << "streams " << r << " collide within " << kPrefix << " draws";
+    }
+  }
+}
+
+TEST(Rng, DerivedStreamsAreBitwiseUncorrelated) {
+  // Adjacent ranks draw from seeds that differ by one counter step; their
+  // outputs must still look independent.  Matching-bit counts between the
+  // i-th draws of neighbouring streams average 32/64 for independent
+  // uniform words; a systematic correlation would push the mean far off.
+  constexpr std::uint32_t kStreams = 64;
+  constexpr int kDraws = 64;
+  std::uint64_t agreeing = 0;
+  for (std::uint32_t r = 0; r + 1 < kStreams; ++r) {
+    Rng a(hashMix(1, r));
+    Rng b(hashMix(1, r + 1));
+    for (int i = 0; i < kDraws; ++i) {
+      agreeing += static_cast<std::uint64_t>(
+          __builtin_popcountll(~(a.next() ^ b.next())));
+    }
+  }
+  const double total = 64.0 * kDraws * (kStreams - 1);
+  const double fraction = static_cast<double>(agreeing) / total;
+  // ~500k Bernoulli(0.5) trials: 1% is > 14 standard deviations.
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
 TEST(Rng, ShuffleHandlesDegenerateSizes) {
   std::vector<int> empty;
   std::vector<int> one{7};

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff a fresh micro_sim run against the committed BENCH_sim.json baseline.
+
+Usage: bench_diff.py BENCH_sim.json BENCH_sim_raw.json [>> $GITHUB_STEP_SUMMARY]
+
+The committed baseline stores curated `after_*` numbers per benchmark
+(items/s for event-counting benches, wall-clock ms/us otherwise).  The raw
+file is Google Benchmark's --benchmark_out JSON.  The script renders a
+markdown comparison table to stdout and emits a GitHub `::warning::`
+annotation for every benchmark that regressed by more than REGRESSION_PCT.
+It always exits 0: the job summary is the report, CI does not gate on
+noisy single-run numbers.
+"""
+
+import json
+import sys
+
+REGRESSION_PCT = 10.0
+
+
+def raw_by_name(raw):
+    out = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def to_unit(value_ns_like, time_unit, target):
+    """Google Benchmark real_time (in `time_unit`) -> target unit."""
+    scale_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[time_unit]
+    ns = value_ns_like * scale_to_ns
+    return ns / {"us": 1e3, "ms": 1e6}[target]
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        raw = raw_by_name(json.load(f))
+
+    rows = []
+    warnings = []
+    missing = []
+    for bench in baseline.get("benchmarks", []):
+        name = bench["name"]
+        fresh = raw.get(name)
+        if fresh is None:
+            missing.append(name)
+            continue
+        if "after_items_per_second" in bench:
+            base = float(bench["after_items_per_second"])
+            new = float(fresh.get("items_per_second", 0.0))
+            # Higher is better.
+            delta_pct = (new - base) / base * 100.0
+            rows.append((name, f"{base / 1e6:.2f} M/s", f"{new / 1e6:.2f} M/s",
+                         delta_pct))
+            regressed = delta_pct < -REGRESSION_PCT
+        else:
+            unit = "ms" if "after_ms" in bench else "us"
+            base = float(bench[f"after_{unit}"])
+            new = to_unit(float(fresh["real_time"]),
+                          fresh.get("time_unit", "ns"), unit)
+            # Lower is better; report slowdown as a negative delta.
+            delta_pct = (base - new) / base * 100.0
+            rows.append((name, f"{base:.2f} {unit}", f"{new:.2f} {unit}",
+                         delta_pct))
+            regressed = delta_pct < -REGRESSION_PCT
+        if regressed:
+            warnings.append(
+                f"{name}: {abs(delta_pct):.1f}% slower than the committed "
+                f"BENCH_sim.json baseline")
+
+    print("## micro_sim vs committed BENCH_sim.json baseline\n")
+    print(f"Regression threshold: {REGRESSION_PCT:.0f}% "
+          "(single CI run; treat small deltas as noise).\n")
+    print("| benchmark | baseline | this run | delta |")
+    print("|---|---|---|---|")
+    for name, base, new, delta in rows:
+        flag = " ⚠️" if delta < -REGRESSION_PCT else ""
+        print(f"| {name} | {base} | {new} | {delta:+.1f}%{flag} |")
+    if missing:
+        print(f"\nNot in this run (skipped): {', '.join(missing)}")
+    if warnings:
+        print(f"\n**{len(warnings)} benchmark(s) regressed > "
+              f"{REGRESSION_PCT:.0f}%.**")
+    else:
+        print("\nNo regressions beyond the threshold.")
+
+    # GitHub annotations surface in the job log and the PR checks UI.
+    for w in warnings:
+        sys.stderr.write(f"::warning title=bench regression::{w}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
