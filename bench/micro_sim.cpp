@@ -5,11 +5,13 @@
 
 #include <limits>
 
+#include "obs/recorder.hpp"
 #include "patterns/applications.hpp"
 #include "patterns/permutation.hpp"
 #include "routing/relabel.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/harness.hpp"
+#include "trace/replayer.hpp"
 
 namespace {
 
@@ -50,6 +52,41 @@ void BM_HotspotContention(benchmark::State& state) {
   state.SetLabel("items = simulator events");
 }
 BENCHMARK(BM_HotspotContention)->Unit(benchmark::kMillisecond);
+
+void BM_PermutationTelemetry(benchmark::State& state) {
+  // The BM_PermutationOnFullTree workload with the obs::Recorder probe at
+  // each level: 0 = detached (the null-check hot path — must match the
+  // plain bench within noise, the DESIGN.md §9 overhead budget), 1 =
+  // summary sampling only, 2 = sampling + bounded event log.
+  const auto level = static_cast<int>(state.range(0));
+  const xgft::Topology topo(xgft::karyNTree(16, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const patterns::Pattern perm =
+      patterns::randomPermutation(256, 3).toPattern(16 * 1024);
+  patterns::PhasedPattern app;
+  app.numRanks = 256;
+  app.phases.push_back(perm);
+  const trace::Trace t = trace::traceFromPhases(app);
+  const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    obs::RecorderConfig cfg;
+    cfg.recordEvents = (level == 2);
+    obs::Recorder recorder(cfg);
+    sim::Network net(topo, sim::SimConfig{});
+    if (level > 0) net.setProbe(&recorder);
+    trace::Replayer replayer(net, t, mapping, *router);
+    benchmark::DoNotOptimize(replayer.run());
+    events += net.stats().eventsProcessed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_PermutationTelemetry)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CgReplayScaled(benchmark::State& state) {
   // The Fig. 2(b) inner loop at the default bench message scale.

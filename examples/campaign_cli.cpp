@@ -16,16 +16,24 @@
 //   campaign_cli --list-schemes
 //   campaign_cli my_campaign.txt
 //   echo 'pattern=ring:64 w2=8..1 routing=Random seed=1..4' | campaign_cli -
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "analysis/timeseries.hpp"
 #include "core/scenario.hpp"
 #include "engine/campaigns.hpp"
+#include "engine/manifest.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace {
 
@@ -41,6 +49,9 @@ struct CliOptions {
   bool contention = true;
   bool printCampaign = false;
   bool quiet = false;
+  bool telemetry = false;     // --telemetry[=DIR]: summary floor + manifest.
+  std::string telemetryDir;   // Non-empty: manifest + per-job series there.
+  std::string traceOut;       // --trace-out FILE: combined Chrome trace.
 };
 
 std::string joinNames(const std::vector<std::string>& names) {
@@ -63,6 +74,11 @@ void usage(std::ostream& os) {
         "  --msg-scale X     message-size scale of builtin campaigns "
         "(default 0.125)\n"
         "  --out FILE        write the CSV there instead of stdout\n"
+        "  --telemetry[=DIR] record per-job telemetry; writes a run manifest\n"
+        "                    (JSON) next to --out, or manifest + per-job\n"
+        "                    occupancy time-series CSVs into DIR\n"
+        "  --trace-out FILE  write a combined Chrome trace (implies event\n"
+        "                    recording; open at ui.perfetto.dev)\n"
         "  --no-contention   skip the static contention/census columns\n"
         "  --print-campaign  print the expanded campaign text and exit\n"
         "  --list-schemes    registered routing schemes, one per line\n"
@@ -142,6 +158,16 @@ CliOptions parseCli(int argc, char** argv) {
       opt.msgScale = std::stod(next("--msg-scale"));
     } else if (arg == "--out") {
       opt.outFile = next("--out");
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opt.telemetry = true;
+      opt.telemetryDir = arg.substr(std::string("--telemetry=").size());
+      if (opt.telemetryDir.empty()) {
+        throw std::invalid_argument("--telemetry= wants a directory");
+      }
+    } else if (arg == "--trace-out") {
+      opt.traceOut = next("--trace-out");
     } else if (arg == "--no-contention") {
       opt.contention = false;
     } else if (arg == "--print-campaign") {
@@ -173,7 +199,37 @@ CliOptions parseCli(int argc, char** argv) {
     throw std::invalid_argument(
         "give exactly one of --builtin NAME or a campaign file (or '-')");
   }
+  if (opt.telemetry && opt.telemetryDir.empty() && opt.outFile.empty()) {
+    throw std::invalid_argument(
+        "--telemetry without a DIR needs --out FILE (the manifest is "
+        "written next to it); use --telemetry=DIR otherwise");
+  }
   return opt;
+}
+
+/// Write-then-rename (an error mid-write must not leave a truncated file
+/// under the requested name), shared by every CLI output artifact.
+void writeFileAtomic(const std::string& path,
+                     const std::function<void(std::ostream&)>& fill) {
+  const std::string tmpFile = path + ".tmp";
+  try {
+    std::ofstream out(tmpFile, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::invalid_argument("cannot write: " + tmpFile);
+    }
+    fill(out);
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write failed: " + tmpFile);
+    }
+    out.close();
+    if (std::rename(tmpFile.c_str(), path.c_str()) != 0) {
+      throw std::runtime_error("cannot rename " + tmpFile + " to " + path);
+    }
+  } catch (...) {
+    std::remove(tmpFile.c_str());  // Every failure path: no .tmp litter.
+    throw;
+  }
 }
 
 }  // namespace
@@ -235,43 +291,76 @@ int main(int argc, char** argv) {
     engine::RunnerOptions ropt;
     ropt.threads = cli.threads;
     ropt.collectContention = cli.contention;
+    // Telemetry floors: --trace-out needs the event log, --telemetry the
+    // summary series; a spec's own telemetry= key can only raise a job
+    // further, never below the floor.
+    if (!cli.traceOut.empty()) {
+      ropt.telemetry = engine::TelemetryLevel::kTrace;
+    } else if (cli.telemetry) {
+      ropt.telemetry = engine::TelemetryLevel::kSummary;
+    }
+    // One progress line per completed job, rate-limited so huge sweeps of
+    // tiny jobs don't flood the terminal; failures and the final job always
+    // print.  Suppressed when stderr is piped (logs stay clean) or --quiet.
     std::size_t done = 0;
-    if (!cli.quiet) {
-      ropt.onJobDone = [&](const engine::JobResult& job) {
+    const bool progress = !cli.quiet && isatty(fileno(stderr)) != 0;
+    if (progress) {
+      auto lastPrint = std::chrono::steady_clock::time_point{};
+      ropt.onJobDone = [&, lastPrint](const engine::JobResult& job) mutable {
         ++done;
-        std::cerr << "\r[" << done << "/" << specs.size() << "] job "
-                  << job.jobIndex << (job.ok ? "" : " FAILED") << std::flush;
+        const auto now = std::chrono::steady_clock::now();
+        const bool due =
+            now - lastPrint >= std::chrono::milliseconds(100) || !job.ok ||
+            done == specs.size();
+        if (!due) return;
+        lastPrint = now;
+        std::cerr << "[" << done << "/" << specs.size() << "] "
+                  << job.spec.toLine() << (job.ok ? " ... " : " FAILED ... ")
+                  << job.wallNs / 1000000 << " ms\n";
       };
     }
     engine::Runner runner(ropt);
     const engine::CampaignResults results = runner.run(specs);
-    if (!cli.quiet) std::cerr << "\n";
 
     if (cli.outFile.empty()) {
       results.writeCsv(std::cout);
     } else {
-      // Write-then-rename: an error (or a crash) mid-write must not leave
-      // a truncated CSV behind under the requested name.
-      const std::string tmpFile = cli.outFile + ".tmp";
-      try {
-        std::ofstream out(tmpFile, std::ios::binary | std::ios::trunc);
-        if (!out) {
-          throw std::invalid_argument("cannot write: " + tmpFile);
+      writeFileAtomic(cli.outFile,
+                      [&](std::ostream& os) { results.writeCsv(os); });
+    }
+
+    if (cli.telemetry) {
+      std::string manifestPath = cli.outFile + ".manifest.json";
+      if (!cli.telemetryDir.empty()) {
+        std::filesystem::create_directories(cli.telemetryDir);
+        manifestPath = cli.telemetryDir + "/manifest.json";
+        for (const engine::JobResult& job : results.jobs) {
+          if (!job.telemetry) continue;
+          const std::string seriesPath = cli.telemetryDir + "/job" +
+                                         std::to_string(job.jobIndex) +
+                                         ".timeseries.csv";
+          writeFileAtomic(seriesPath, [&](std::ostream& os) {
+            analysis::writeTimeSeriesCsv(os, job.telemetry->series());
+          });
         }
-        results.writeCsv(out);
-        out.flush();
-        if (!out) {
-          throw std::runtime_error("write failed: " + tmpFile);
-        }
-        out.close();
-        if (std::rename(tmpFile.c_str(), cli.outFile.c_str()) != 0) {
-          throw std::runtime_error("cannot rename " + tmpFile + " to " +
-                                   cli.outFile);
-        }
-      } catch (...) {
-        std::remove(tmpFile.c_str());  // Every failure path: no .tmp litter.
-        throw;
       }
+      writeFileAtomic(manifestPath, [&](std::ostream& os) {
+        engine::writeManifest(os, results);
+      });
+    }
+
+    if (!cli.traceOut.empty()) {
+      writeFileAtomic(cli.traceOut, [&](std::ostream& os) {
+        obs::ChromeTraceWriter writer(os);
+        for (const engine::JobResult& job : results.jobs) {
+          if (!job.telemetry) continue;
+          obs::ChromeTraceOptions topt;
+          topt.pid = job.jobIndex + 1;
+          topt.processName = job.spec.toLine();
+          writer.addProcess(*job.telemetry, topt);
+        }
+        writer.finish();
+      });
     }
 
     std::size_t failed = 0;

@@ -1,0 +1,35 @@
+#include "analysis/timeseries.hpp"
+
+#include <locale>
+
+#include "obs/json_util.hpp"
+
+namespace analysis {
+
+void writeTimeSeriesCsv(std::ostream& os, const obs::SummarySeries& series) {
+  // Same locale discipline as the campaign CSV writer: grouping locales
+  // must not reformat integers mid-stream.
+  const std::locale prev = os.imbue(std::locale::classic());
+  struct RestoreLocale {
+    std::ostream& os;
+    const std::locale& loc;
+    ~RestoreLocale() { os.imbue(loc); }
+  } restore{os, prev};
+  os << "t_ns,inflight,queued_segments,max_queue_depth,max_queue_port,"
+        "blocked_inputs";
+  for (const std::string& label : series.groupLabels) {
+    os << ",util_" << label;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << series.t[i] << ',' << series.inFlight[i] << ','
+       << series.queuedSegments[i] << ',' << series.maxQueueDepth[i] << ','
+       << series.maxQueuePort[i] << ',' << series.blockedInputs[i];
+    for (std::size_t grp = 0; grp < series.numGroups(); ++grp) {
+      os << ',' << obs::formatJsonDouble(series.utilAt(i, grp));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace analysis

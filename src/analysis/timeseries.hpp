@@ -1,0 +1,21 @@
+// timeseries.hpp — Compact CSV export of a telemetry summary series.
+//
+// One row per sample, one utilization column per link class:
+//
+//   t_ns,inflight,queued_segments,max_queue_depth,max_queue_port,
+//       blocked_inputs,util_hosts>L1,util_L1>hosts,...          (one line)
+//
+// Deterministic byte-for-byte (to_chars only, no locale); plots straight
+// into pandas/gnuplot.  examples/load_latency and campaign_cli
+// --telemetry=DIR emit these next to their result CSVs.
+#pragma once
+
+#include <ostream>
+
+#include "obs/recorder.hpp"
+
+namespace analysis {
+
+void writeTimeSeriesCsv(std::ostream& os, const obs::SummarySeries& series);
+
+}  // namespace analysis

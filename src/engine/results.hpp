@@ -9,11 +9,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/spec.hpp"
 #include "sim/network.hpp"
+
+namespace obs {
+class Recorder;
+}
 
 namespace engine {
 
@@ -56,6 +61,14 @@ struct JobResult {
   sim::TimeNs latencyP50Ns = 0;
   sim::TimeNs latencyP99Ns = 0;
   sim::TimeNs latencyMaxNs = 0;
+
+  /// Host wall-clock spent executing this job (manifests and the CLI
+  /// progress line; never a CSV column — it is not deterministic).
+  std::uint64_t wallNs = 0;
+
+  /// The recorder that observed this job, when its effective telemetry
+  /// level was > off (summary series, event log, digest); null otherwise.
+  std::shared_ptr<const obs::Recorder> telemetry;
 };
 
 /// Aggregate cache behaviour of one campaign run (see CampaignCache).

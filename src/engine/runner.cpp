@@ -173,6 +173,17 @@ CacheStats CampaignCache::stats() const {
 
 namespace {
 
+/// The recorder for a job, or null when its effective level is off.  The
+/// event log is only kept at kTrace — summary campaigns stay lean.
+std::shared_ptr<obs::Recorder> makeRecorder(const ExperimentSpec& spec,
+                                            const RunnerOptions& opt) {
+  const TelemetryLevel level = std::max(spec.telemetry, opt.telemetry);
+  if (level == TelemetryLevel::kOff) return nullptr;
+  obs::RecorderConfig cfg = opt.recorder;
+  cfg.recordEvents = level == TelemetryLevel::kTrace;
+  return std::make_shared<obs::Recorder>(cfg);
+}
+
 /// The open-loop (source=) job path: no trace, no crossbar reference — the
 /// streaming source runs through trace::runOpenLoop and the measurement
 /// window's operating point fills the load–latency columns.
@@ -209,8 +220,11 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
   ol.measureNs = opt.openLoopMeasureNs;
   ol.spray = sprayCfg;
   ol.compiled = compiled.get();
+  const std::shared_ptr<obs::Recorder> recorder = makeRecorder(spec, opt);
+  ol.probe = recorder.get();
   const trace::OpenLoopResult r =
       trace::runOpenLoop(*topo, *router, *source, ol, opt.sim);
+  result.telemetry = recorder;
 
   result.makespanNs = r.lastDeliveryNs;
   result.net = r.stats;
@@ -234,6 +248,7 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
 
 JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                  CampaignCache& cache, const RunnerOptions& opt) {
+  const auto jobStart = std::chrono::steady_clock::now();
   JobResult result;
   result.jobIndex = jobIndex;
   result.spec = spec;
@@ -241,6 +256,10 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
     if (!spec.source.empty()) {
       runOpenLoopJob(spec, cache, opt, result);
       result.ok = true;
+      result.wallNs = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - jobStart)
+              .count());
       return result;
     }
     const patterns::PhasedPattern app = makeWorkload(spec);
@@ -273,6 +292,9 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
     }
 
     sim::Network net(*topo, opt.sim);
+    const std::shared_ptr<obs::Recorder> recorder = makeRecorder(spec, opt);
+    if (recorder) net.setProbe(recorder.get());
+    result.telemetry = recorder;
     const trace::Trace t = trace::traceFromPhases(app);
     const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
     trace::Replayer replayer(net, t, mapping, *router, sprayCfg,
@@ -311,6 +333,10 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
   } catch (...) {
     result.error = "unknown error";
   }
+  result.wallNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - jobStart)
+          .count());
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "core/compiled_routes.hpp"
 #include "engine/results.hpp"
 #include "engine/spec.hpp"
+#include "obs/recorder.hpp"
 #include "routing/router.hpp"
 #include "sim/config.hpp"
 #include "xgft/topology.hpp"
@@ -127,6 +128,17 @@ struct RunnerOptions {
   /// Optional progress callback, invoked serially (under a lock) as jobs
   /// finish, in completion order.
   std::function<void(const JobResult&)> onJobDone;
+
+  /// Campaign-wide telemetry floor: every job runs at
+  /// max(spec.telemetry, this).  A job with effective level > off gets its
+  /// own obs::Recorder (returned via JobResult::telemetry); observation
+  /// never changes simulated results, so CSVs stay byte-identical across
+  /// levels (tests/engine/manifest_test.cpp pins this).
+  TelemetryLevel telemetry = TelemetryLevel::kOff;
+
+  /// Recorder shape for jobs whose effective level is > off
+  /// (recordEvents is overridden per job: on iff the level is kTrace).
+  obs::RecorderConfig recorder;
 };
 
 /// Executes one spec against a caller-provided cache.  Never throws: any

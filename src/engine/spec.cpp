@@ -167,12 +167,14 @@ ExperimentSpec specFromAssignments(
       if (spec.msgScale <= 0.0) fail("msg_scale must be > 0");
     } else if (key == "seed") {
       spec.seed = requireU64(value, key);
+    } else if (key == "telemetry") {
+      spec.telemetry = parseTelemetryLevel(value);
     } else {
       // Mirror the registries' uniform unknown-name diagnostic so every
       // bad token in a campaign file reads the same way.
       fail("unknown campaign key '" + key +
            "' (known: topo, m1, m2, w2, pattern, source, load, routing, "
-           "msg_scale, seed)");
+           "msg_scale, seed, telemetry)");
     }
   }
   if (haveTopo && haveFamily) {
@@ -190,6 +192,23 @@ ExperimentSpec specFromAssignments(
 }
 
 }  // namespace
+
+TelemetryLevel parseTelemetryLevel(const std::string& value) {
+  if (value == "off") return TelemetryLevel::kOff;
+  if (value == "summary") return TelemetryLevel::kSummary;
+  if (value == "trace") return TelemetryLevel::kTrace;
+  fail("unknown telemetry level '" + value +
+       "' (known: off, summary, trace)");
+}
+
+std::string_view telemetryLevelName(TelemetryLevel level) {
+  switch (level) {
+    case TelemetryLevel::kOff: return "off";
+    case TelemetryLevel::kSummary: return "summary";
+    case TelemetryLevel::kTrace: return "trace";
+  }
+  return "off";
+}
 
 std::string formatShortest(double v) {
   char buf[64];
@@ -221,6 +240,10 @@ std::string ExperimentSpec::toLine() const {
   }
   os << " routing=" << routing << " msg_scale=" << formatShortest(msgScale)
      << " seed=" << seed;
+  // Rendered only when set, so pre-telemetry lines round-trip byte-exactly.
+  if (telemetry != TelemetryLevel::kOff) {
+    os << " telemetry=" << telemetryLevelName(telemetry);
+  }
   return os.str();
 }
 

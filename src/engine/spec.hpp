@@ -21,6 +21,8 @@
 //   msg_scale=0.125               multiplies every message size (open-loop
 //                                 messages are 4096 B * msg_scale)
 //   seed=1..40                    integer ranges sweep inclusively
+//   telemetry=summary             observation depth (off/summary/trace);
+//                                 never changes simulated results
 //
 // Scheme, pattern and topology names resolve through the core:: registries
 // (core/scenario.hpp) — the spec layer stores validated canonical names and
@@ -44,6 +46,20 @@
 
 namespace engine {
 
+/// Per-job observation depth (spec key `telemetry=off|summary|trace`).
+/// RunnerOptions::telemetry sets a campaign-wide floor; the effective
+/// level of a job is the max of the two.  Telemetry never changes
+/// simulation results — only whether an obs::Recorder watches the run.
+enum class TelemetryLevel : std::uint8_t {
+  kOff = 0,      ///< No recorder attached (the default; zero overhead).
+  kSummary = 1,  ///< Sampled time series + manifest digest.
+  kTrace = 2,    ///< kSummary plus the per-event log for Chrome traces.
+};
+
+/// Parses "off"/"summary"/"trace"; throws std::invalid_argument otherwise.
+[[nodiscard]] TelemetryLevel parseTelemetryLevel(const std::string& value);
+[[nodiscard]] std::string_view telemetryLevelName(TelemetryLevel level);
+
 /// One simulation job: the parse-level form of a core::Scenario (the
 /// engine-wide sim::SimConfig is supplied by RunnerOptions at run time).
 struct ExperimentSpec {
@@ -58,6 +74,12 @@ struct ExperimentSpec {
   /// host as a fraction of the link rate.
   std::string source;
   double load = 0.5;
+
+  /// Observation depth for this job (`telemetry=` key).  Not part of the
+  /// measured configuration: it is excluded from the CSV columns, and
+  /// toLine() renders it only when != kOff so existing campaign files and
+  /// golden CSVs are untouched.
+  TelemetryLevel telemetry = TelemetryLevel::kOff;
 
   friend bool operator==(const ExperimentSpec&,
                          const ExperimentSpec&) = default;

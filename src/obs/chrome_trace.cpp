@@ -1,0 +1,184 @@
+#include "obs/chrome_trace.hpp"
+
+#include <unordered_set>
+
+#include "obs/json_util.hpp"
+
+namespace obs {
+
+namespace {
+
+std::string messageSpanName(std::uint32_t msg, const MessageMeta& meta) {
+  // The async "b"/"e" pair must agree on cat+id+name, so both ends build
+  // the name from the same recorded metadata.
+  std::string name = "msg ";
+  name += std::to_string(msg);
+  name += ' ';
+  name += std::to_string(meta.src);
+  name += '>';
+  name += std::to_string(meta.dst);
+  name += " (";
+  name += std::to_string(meta.bytes);
+  name += " B)";
+  return name;
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[";
+}
+
+void ChromeTraceWriter::emit(const std::string& json) {
+  if (!first_) os_ << ',';
+  os_ << '\n' << json;
+  first_ = false;
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  os_ << "\n]}\n";
+  finished_ = true;
+}
+
+AddedProcess ChromeTraceWriter::addProcess(const Recorder& rec,
+                                           const ChromeTraceOptions& opt) {
+  AddedProcess out;
+  const std::string pid = std::to_string(opt.pid);
+
+  {
+    std::string ev = "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    ev += pid;
+    ev += ",\"args\":{\"name\":\"";
+    jsonEscapeTo(ev, opt.processName);
+    ev += "\"}}";
+    emit(ev);
+  }
+
+  const SummarySeries& series = rec.series();
+  std::unordered_set<std::uint32_t> tracks;
+  std::unordered_set<std::uint32_t> openSpans;
+  for (const TraceEvent& e : rec.events()) {
+    switch (e.kind) {
+      case EventKind::kWireBusy: {
+        if (tracks.find(e.a) == tracks.end()) {
+          if (tracks.size() >= opt.maxPortTracks) {
+            ++out.wireSlicesDropped;
+            continue;
+          }
+          tracks.insert(e.a);
+          ++out.portTracks;
+          std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":";
+          meta += pid;
+          meta += ",\"tid\":";
+          meta += std::to_string(e.a);
+          meta += ",\"args\":{\"name\":\"port ";
+          meta += std::to_string(e.a);
+          const std::uint32_t grp = rec.portGroup(e.a);
+          if (grp < series.groupLabels.size()) {
+            meta += " (";
+            jsonEscapeTo(meta, series.groupLabels[grp]);
+            meta += ')';
+          }
+          meta += "\"}}";
+          emit(meta);
+        }
+        std::string ev = "{\"name\":\"wire\",\"cat\":\"wire\",\"ph\":\"X\","
+                         "\"pid\":";
+        ev += pid;
+        ev += ",\"tid\":";
+        ev += std::to_string(e.a);
+        ev += ",\"ts\":";
+        ev += microsFixed3(e.t);
+        ev += ",\"dur\":";
+        ev += microsFixed3(e.durNs);
+        ev += ",\"args\":{\"msg\":";
+        ev += std::to_string(e.b);
+        ev += "}}";
+        emit(ev);
+        ++out.wireSlices;
+        break;
+      }
+      case EventKind::kRelease:
+      case EventKind::kDeliver: {
+        const bool begin = e.kind == EventKind::kRelease;
+        if (begin) {
+          openSpans.insert(e.a);
+        } else {
+          // A delivery whose release fell outside the (capped) log would
+          // produce an unmatched "e"; skip it.
+          if (openSpans.erase(e.a) == 0) continue;
+          ++out.messageSpans;
+        }
+        std::string ev = "{\"name\":\"";
+        jsonEscapeTo(ev, messageSpanName(e.a, rec.messageMeta(e.a)));
+        ev += "\",\"cat\":\"msg\",\"ph\":\"";
+        ev += begin ? 'b' : 'e';
+        ev += "\",\"id\":";
+        ev += std::to_string(e.a);
+        ev += ",\"pid\":";
+        ev += pid;
+        ev += ",\"tid\":0,\"ts\":";
+        ev += microsFixed3(e.t);
+        ev += "}";
+        emit(ev);
+        break;
+      }
+      case EventKind::kBlocked:
+      case EventKind::kWake: {
+        std::string ev = "{\"name\":\"";
+        if (e.kind == EventKind::kBlocked) {
+          ev += "blocked by port ";
+          ev += std::to_string(e.b);
+        } else {
+          ev += "woken";
+        }
+        ev += "\",\"cat\":\"block\",\"ph\":\"i\",\"s\":\"t\",\"pid\":";
+        ev += pid;
+        ev += ",\"tid\":";
+        ev += std::to_string(e.a);
+        ev += ",\"ts\":";
+        ev += microsFixed3(e.t);
+        ev += "}";
+        emit(ev);
+        break;
+      }
+    }
+  }
+
+  // Counter tracks from the summary series.
+  auto counter = [&](const char* name, std::size_t row,
+                     const std::string& value) {
+    std::string ev = "{\"name\":\"";
+    ev += name;
+    ev += "\",\"ph\":\"C\",\"pid\":";
+    ev += pid;
+    ev += ",\"ts\":";
+    ev += microsFixed3(series.t[row]);
+    ev += ",\"args\":{\"value\":";
+    ev += value;
+    ev += "}}";
+    emit(ev);
+  };
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    counter("inflight msgs", i, std::to_string(series.inFlight[i]));
+    counter("queued segments", i, std::to_string(series.queuedSegments[i]));
+    counter("blocked inputs", i, std::to_string(series.blockedInputs[i]));
+    for (std::size_t grp = 0; grp < series.numGroups(); ++grp) {
+      const std::string name = "util " + series.groupLabels[grp];
+      counter(name.c_str(), i, formatJsonDouble(series.utilAt(i, grp)));
+    }
+    ++out.counterSamples;
+  }
+  return out;
+}
+
+AddedProcess writeChromeTrace(std::ostream& os, const Recorder& rec,
+                              const ChromeTraceOptions& opt) {
+  ChromeTraceWriter writer(os);
+  const AddedProcess out = writer.addProcess(rec, opt);
+  writer.finish();
+  return out;
+}
+
+}  // namespace obs

@@ -1,0 +1,83 @@
+// chrome_trace.hpp — Chrome trace-event JSON export of a Recorder.
+//
+// Emits the JSON-object form `{"traceEvents":[...]}` of the trace-event
+// format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing
+// (DESIGN.md §9 has the recipe).  Per process (= one simulated job):
+//
+//  * one "X" complete-event track per transmitting port (wire busy
+//    slices, tid = global port id, thread_name "port N (class)") — capped
+//    at ChromeTraceOptions::maxPortTracks first-seen ports;
+//  * async "b"/"e" spans per message lifetime (release -> delivery),
+//    id = message id, labelled with endpoints and size;
+//  * instant events for blocked/woken inputs on the affected port track;
+//  * "C" counter tracks from the summary series: in-flight messages,
+//    buffered segments, blocked inputs, and one utilization counter per
+//    link class.
+//
+// Timestamps are microseconds (the format's unit) at full nanosecond
+// resolution (fixed-3).  Output is deterministic: a byte-identical
+// Recorder produces a byte-identical trace.
+//
+// Multiple jobs can share one file: construct a single ChromeTraceWriter
+// and call addProcess once per job with distinct pids (campaign_cli
+// --trace-out does this), then finish().
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace obs {
+
+struct ChromeTraceOptions {
+  /// Trace-event process id; one per simulated job in a combined file.
+  std::uint32_t pid = 1;
+
+  /// Shown as the process name in the UI (e.g. the job's spec line).
+  std::string processName = "sim";
+
+  /// Wire-slice tracks are emitted for at most this many distinct ports
+  /// (first transmission order); slices on later ports are dropped and
+  /// counted in AddedProcess::wireSlicesDropped.
+  std::size_t maxPortTracks = 64;
+};
+
+/// What addProcess actually emitted (drop accounting is explicit — a
+/// capped trace should not read as a complete one).
+struct AddedProcess {
+  std::size_t portTracks = 0;
+  std::size_t wireSlices = 0;
+  std::size_t wireSlicesDropped = 0;  ///< On ports beyond maxPortTracks.
+  std::size_t messageSpans = 0;       ///< Completed b/e pairs.
+  std::size_t counterSamples = 0;
+};
+
+class ChromeTraceWriter {
+ public:
+  /// Writes the opening `{"traceEvents":[`.  The stream must outlive the
+  /// writer; call finish() before using the file.
+  explicit ChromeTraceWriter(std::ostream& os);
+
+  /// Emits one process's tracks from @p rec (which must have been
+  /// recording events — see RecorderConfig::recordEvents — for the span
+  /// and slice tracks; counter tracks need only the summary series).
+  AddedProcess addProcess(const Recorder& rec, const ChromeTraceOptions& opt);
+
+  /// Closes the JSON (`]}` + newline).  Idempotent.
+  void finish();
+
+ private:
+  void emit(const std::string& json);  ///< One event object, comma-managed.
+
+  std::ostream& os_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+/// One-call convenience: a single-process trace file.
+AddedProcess writeChromeTrace(std::ostream& os, const Recorder& rec,
+                              const ChromeTraceOptions& opt = {});
+
+}  // namespace obs

@@ -1,0 +1,67 @@
+// json_util.hpp — Deterministic JSON scalar rendering shared by the
+// telemetry exporters (obs::ChromeTraceWriter, engine::manifest).
+//
+// Everything goes through std::to_chars: locale-independent, shortest
+// round-trip doubles, identical bytes on every platform — the exporters'
+// outputs are byte-compared in tests and across --threads values.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace obs {
+
+/// Appends @p s to @p out with JSON string escaping (quotes, backslash,
+/// control characters; UTF-8 passes through).
+inline void jsonEscapeTo(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] inline std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  jsonEscapeTo(out, s);
+  return out;
+}
+
+/// Nanoseconds rendered as fixed-point microseconds ("12.345") — the
+/// trace-event `ts`/`dur` unit, at full simulator resolution.
+[[nodiscard]] inline std::string microsFixed3(std::uint64_t ns) {
+  char buf[32];
+  char* p = std::to_chars(buf, buf + sizeof(buf), ns / 1000).ptr;
+  *p++ = '.';
+  const std::uint64_t frac = ns % 1000;
+  *p++ = static_cast<char>('0' + frac / 100);
+  *p++ = static_cast<char>('0' + (frac / 10) % 10);
+  *p++ = static_cast<char>('0' + frac % 10);
+  return std::string(buf, p);
+}
+
+/// Shortest round-trip double (to_chars general form; "0" for -0.0 noise
+/// is not normalized — callers feed computed values straight through).
+[[nodiscard]] inline std::string formatJsonDouble(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace obs

@@ -1,0 +1,251 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/network.hpp"
+
+namespace obs {
+
+Recorder::Recorder(RecorderConfig cfg) : cfg_(cfg) {
+  if (cfg_.samplePeriodNs > 0 && cfg_.maxSamples < 2) {
+    throw std::invalid_argument(
+        "Recorder: maxSamples must be >= 2 when sampling is enabled");
+  }
+  periodNs_ = cfg_.samplePeriodNs;
+}
+
+void Recorder::onAttach(const sim::Network& net) {
+  const xgft::Topology& topo = net.topology();
+  const std::uint32_t numPorts = net.numGlobalPorts();
+  portGroup_.assign(numPorts, 0);
+  groupWires_.clear();
+  series_.groupLabels.clear();
+
+  // Link classes: one utilization column per (owning level, direction).
+  // Gports are laid out hosts first, then switches level by level, so a
+  // first-encounter walk assigns group indices deterministically.
+  // groupKey packs (level, isUp); kNoGroup marks a class not yet seen.
+  constexpr std::uint32_t kNoGroup = 0xffffffffu;
+  std::vector<std::uint32_t> keyToGroup(2 * (topo.height() + 1), kNoGroup);
+  auto levelLabel = [](std::uint32_t level) {
+    return level == 0 ? std::string("hosts") : "L" + std::to_string(level);
+  };
+  for (std::uint32_t g = 0; g < numPorts; ++g) {
+    const auto& owner = net.portOwnerOf(g);
+    // Hosts only point up; switch ports below m(level) point down.
+    const bool up =
+        owner.level == 0 || owner.localPort >= topo.params().m(owner.level);
+    const std::uint32_t key = owner.level * 2 + (up ? 1 : 0);
+    if (keyToGroup[key] == kNoGroup) {
+      keyToGroup[key] = static_cast<std::uint32_t>(groupWires_.size());
+      groupWires_.push_back(0);
+      const std::uint32_t to = up ? owner.level + 1 : owner.level - 1;
+      series_.groupLabels.push_back(levelLabel(owner.level) + ">" +
+                                    levelLabel(to));
+    }
+    portGroup_[g] = keyToGroup[key];
+    ++groupWires_[portGroup_[g]];
+  }
+  groupBusyScratch_.assign(groupWires_.size(), 0.0);
+
+  // Utilization is computed from busy-time deltas, so a mid-run attach
+  // starts a fresh window at the current instant.
+  prevBusyNs_.resize(numPorts);
+  for (std::uint32_t g = 0; g < numPorts; ++g) {
+    prevBusyNs_[g] = net.wireBusyNs(g);
+  }
+  lastSampleT_ = net.now();
+}
+
+void Recorder::record(EventKind kind, sim::TimeNs t, std::uint32_t a,
+                      std::uint32_t b, sim::TimeNs durNs) {
+  if (events_.size() >= cfg_.maxEvents) {
+    ++eventsDropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{t, durNs, a, b, kind});
+}
+
+void Recorder::onMessageReleased(std::uint32_t msg, xgft::NodeIndex src,
+                                 xgft::NodeIndex dst, std::uint64_t bytes,
+                                 sim::TimeNs t) {
+  ++messagesReleased_;
+  ++inFlight_;
+  peakInFlight_ = std::max(peakInFlight_, inFlight_);
+  if (cfg_.recordEvents) {
+    if (msgMeta_.size() <= msg) msgMeta_.resize(msg + 1);
+    msgMeta_[msg] = MessageMeta{src, dst, bytes};
+    record(EventKind::kRelease, t, msg);
+  }
+}
+
+void Recorder::onMessageDelivered(std::uint32_t msg, sim::TimeNs t) {
+  ++messagesDelivered_;
+  assert(inFlight_ > 0);
+  --inFlight_;
+  if (cfg_.recordEvents) record(EventKind::kDeliver, t, msg);
+}
+
+void Recorder::onSegmentEnqueued(std::uint32_t gport, bool /*input*/,
+                                 std::uint32_t depth, sim::TimeNs /*t*/) {
+  ++queuedSegments_;
+  peakQueuedSegments_ = std::max(peakQueuedSegments_, queuedSegments_);
+  if (depth > peakQueueDepth_) {
+    peakQueueDepth_ = depth;
+    peakQueuePort_ = gport;
+  }
+}
+
+void Recorder::onSegmentDequeued(std::uint32_t /*gport*/, bool /*input*/,
+                                 std::uint32_t /*depth*/, sim::TimeNs /*t*/) {
+  assert(queuedSegments_ > 0);
+  --queuedSegments_;
+}
+
+void Recorder::onWireBusy(std::uint32_t gport, std::uint32_t msg,
+                          sim::TimeNs t, sim::TimeNs serNs) {
+  if (cfg_.recordEvents) record(EventKind::kWireBusy, t, gport, msg, serNs);
+}
+
+void Recorder::onWireIdle(std::uint32_t /*gport*/, sim::TimeNs /*t*/) {}
+
+void Recorder::onInputBlocked(std::uint32_t gInPort, std::uint32_t gOutPort,
+                              sim::TimeNs t) {
+  ++blockedInputs_;
+  peakBlockedInputs_ = std::max(peakBlockedInputs_, blockedInputs_);
+  if (cfg_.recordEvents) record(EventKind::kBlocked, t, gInPort, gOutPort);
+}
+
+void Recorder::onInputWoken(std::uint32_t gInPort, sim::TimeNs t) {
+  assert(blockedInputs_ > 0);
+  --blockedInputs_;
+  if (cfg_.recordEvents) record(EventKind::kWake, t, gInPort);
+}
+
+void Recorder::onSample(const sim::Network& net, sim::TimeNs t) {
+  const sim::TimeNs dt = t - lastSampleT_;
+  if (dt == 0) return;
+  lastSampleT_ = t;
+
+  // One flat scan: per-class busy deltas and the instantaneous deepest
+  // buffer.  Busy time is credited in full when a serialization starts, so
+  // a window's delta can exceed dt; clamp to keep utilization in [0, 1].
+  std::fill(groupBusyScratch_.begin(), groupBusyScratch_.end(), 0.0);
+  std::uint32_t maxDepth = 0;
+  std::uint32_t maxDepthPort = 0;
+  const std::uint32_t numPorts = net.numGlobalPorts();
+  for (std::uint32_t g = 0; g < numPorts; ++g) {
+    const sim::TimeNs busy = net.wireBusyNs(g);
+    groupBusyScratch_[portGroup_[g]] +=
+        static_cast<double>(busy - prevBusyNs_[g]);
+    prevBusyNs_[g] = busy;
+    const std::uint32_t depth =
+        std::max(net.inputQueueDepth(g), net.outputQueueDepth(g));
+    if (depth > maxDepth) {
+      maxDepth = depth;
+      maxDepthPort = g;
+    }
+  }
+
+  series_.t.push_back(t);
+  series_.inFlight.push_back(inFlight_);
+  series_.queuedSegments.push_back(queuedSegments_);
+  series_.maxQueueDepth.push_back(maxDepth);
+  series_.maxQueuePort.push_back(maxDepthPort);
+  series_.blockedInputs.push_back(blockedInputs_);
+  const double span = static_cast<double>(dt);
+  for (std::size_t grp = 0; grp < groupBusyScratch_.size(); ++grp) {
+    const double wires = static_cast<double>(groupWires_[grp]);
+    const double util =
+        std::min(1.0, groupBusyScratch_[grp] / (wires * span));
+    series_.util.push_back(util);
+    if (util > peakGroupUtil_) {
+      peakGroupUtil_ = util;
+      peakGroupIndex_ = static_cast<std::uint32_t>(grp);
+    }
+  }
+
+  if (series_.size() >= cfg_.maxSamples) downsampleSeries();
+}
+
+void Recorder::downsampleSeries() {
+  // Halve in place: pairwise max for gauges (keep the aliasing-safe
+  // envelope), mean for utilization, the pair's first timestamp.  Doubling
+  // the period keeps future samples aligned with the coarsened grid.
+  const std::size_t n = series_.size();
+  const std::size_t pairs = n / 2;
+  const std::size_t groups = series_.numGroups();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const std::size_t j = 2 * i;
+    const std::size_t k = j + 1;
+    series_.t[i] = series_.t[j];
+    series_.inFlight[i] = std::max(series_.inFlight[j], series_.inFlight[k]);
+    series_.queuedSegments[i] =
+        std::max(series_.queuedSegments[j], series_.queuedSegments[k]);
+    const bool secondDeeper =
+        series_.maxQueueDepth[k] > series_.maxQueueDepth[j];
+    series_.maxQueueDepth[i] =
+        secondDeeper ? series_.maxQueueDepth[k] : series_.maxQueueDepth[j];
+    series_.maxQueuePort[i] =
+        secondDeeper ? series_.maxQueuePort[k] : series_.maxQueuePort[j];
+    series_.blockedInputs[i] =
+        std::max(series_.blockedInputs[j], series_.blockedInputs[k]);
+    for (std::size_t grp = 0; grp < groups; ++grp) {
+      series_.util[i * groups + grp] =
+          0.5 * (series_.util[j * groups + grp] +
+                 series_.util[k * groups + grp]);
+    }
+  }
+  std::size_t kept = pairs;
+  if ((n & 1) != 0) {
+    // Odd tail: carry the last row over unmerged.
+    const std::size_t last = n - 1;
+    series_.t[kept] = series_.t[last];
+    series_.inFlight[kept] = series_.inFlight[last];
+    series_.queuedSegments[kept] = series_.queuedSegments[last];
+    series_.maxQueueDepth[kept] = series_.maxQueueDepth[last];
+    series_.maxQueuePort[kept] = series_.maxQueuePort[last];
+    series_.blockedInputs[kept] = series_.blockedInputs[last];
+    for (std::size_t grp = 0; grp < groups; ++grp) {
+      series_.util[kept * groups + grp] = series_.util[last * groups + grp];
+    }
+    ++kept;
+  }
+  series_.t.resize(kept);
+  series_.inFlight.resize(kept);
+  series_.queuedSegments.resize(kept);
+  series_.maxQueueDepth.resize(kept);
+  series_.maxQueuePort.resize(kept);
+  series_.blockedInputs.resize(kept);
+  series_.util.resize(kept * groups);
+  periodNs_ *= 2;
+}
+
+MessageMeta Recorder::messageMeta(std::uint32_t msg) const {
+  if (msg >= msgMeta_.size()) return MessageMeta{};
+  return msgMeta_[msg];
+}
+
+RecorderSummary Recorder::summary() const {
+  RecorderSummary s;
+  s.samples = series_.size();
+  s.effectivePeriodNs = periodNs_;
+  s.eventsRecorded = events_.size();
+  s.eventsDropped = eventsDropped_;
+  s.messagesReleased = messagesReleased_;
+  s.messagesDelivered = messagesDelivered_;
+  s.peakInFlight = peakInFlight_;
+  s.peakQueuedSegments = peakQueuedSegments_;
+  s.peakQueueDepth = peakQueueDepth_;
+  s.peakQueuePort = peakQueuePort_;
+  s.peakBlockedInputs = peakBlockedInputs_;
+  s.peakGroupUtil = peakGroupUtil_;
+  if (peakGroupIndex_ < series_.groupLabels.size()) {
+    s.peakGroupLabel = series_.groupLabels[peakGroupIndex_];
+  }
+  return s;
+}
+
+}  // namespace obs

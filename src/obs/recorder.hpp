@@ -1,0 +1,192 @@
+// recorder.hpp — The standard sim::Probe: bounded time-series + event log.
+//
+// The Recorder turns the event core's hook stream into three artifacts
+// (DESIGN.md §9):
+//
+//  * SummarySeries — periodic sim-time snapshots (in-flight messages,
+//    buffered segments, deepest queue, blocked inputs, per-link-class
+//    utilization from wireBusyNs deltas) in struct-of-arrays storage.
+//    Memory is bounded: when the series hits RecorderConfig::maxSamples it
+//    is halved in place (pairwise max for gauges, mean for utilization)
+//    and the sampling period doubles — the Network re-queries
+//    samplePeriodNs() after every tick, so cadence follows automatically.
+//    A run of any length ends with maxSamples/2..maxSamples points.
+//
+//  * Event log — optional (RecorderConfig::recordEvents) per-event
+//    records (message release/delivery, wire busy spans, blocked/wake)
+//    for Chrome-trace export, capped at maxEvents; overflow increments
+//    eventsDropped instead of growing.
+//
+//  * RecorderSummary — scalar digest (peaks, counts, drop accounting)
+//    for the engine's run manifests.
+//
+// Exact peaks (deepest queue, most in-flight) are tracked hook-side, so
+// they are not subject to sampling aliasing.  A Recorder observes one
+// Network at a time and is not thread-safe; engine jobs each own one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/probe.hpp"
+
+namespace obs {
+
+struct RecorderConfig {
+  /// Initial sampling cadence in simulated ns (0 disables the series).
+  sim::TimeNs samplePeriodNs = 2048;
+
+  /// Series capacity; on overflow the series halves and the period
+  /// doubles.  Must be >= 2 when sampling is enabled.
+  std::size_t maxSamples = 4096;
+
+  /// Record per-event trace records (release/deliver/wire/block)?  Off by
+  /// default: summary sampling alone is cheap enough for whole campaigns.
+  bool recordEvents = false;
+
+  /// Event-log capacity; overflow counts eventsDropped.
+  std::size_t maxEvents = std::size_t{1} << 18;
+};
+
+/// Struct-of-arrays time series; rows share an index, utilization is
+/// row-major `size() x numGroups()`.
+struct SummarySeries {
+  std::vector<sim::TimeNs> t;
+  std::vector<std::uint32_t> inFlight;        ///< Released, not delivered.
+  std::vector<std::uint64_t> queuedSegments;  ///< Segments in switch buffers.
+  std::vector<std::uint32_t> maxQueueDepth;   ///< Deepest buffer this instant.
+  std::vector<std::uint32_t> maxQueuePort;    ///< ... and the gport holding it.
+  std::vector<std::uint32_t> blockedInputs;   ///< Inputs parked in wait lists.
+  std::vector<double> util;  ///< Row-major per-group utilization in [0, 1].
+
+  /// Link classes, e.g. "hosts>L1", "L1>hosts", "L1>L2" — one utilization
+  /// column per class (all same-class wires averaged).
+  std::vector<std::string> groupLabels;
+
+  [[nodiscard]] std::size_t size() const { return t.size(); }
+  [[nodiscard]] std::size_t numGroups() const { return groupLabels.size(); }
+  [[nodiscard]] double utilAt(std::size_t row, std::size_t group) const {
+    return util[row * numGroups() + group];
+  }
+};
+
+enum class EventKind : std::uint8_t {
+  kRelease,   ///< a = msg.
+  kDeliver,   ///< a = msg.
+  kWireBusy,  ///< a = gport, b = msg, durNs = serialization time.
+  kBlocked,   ///< a = blocked input gport, b = blocking output gport.
+  kWake,      ///< a = woken input gport.
+};
+
+struct TraceEvent {
+  sim::TimeNs t = 0;
+  sim::TimeNs durNs = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  EventKind kind = EventKind::kRelease;
+};
+
+/// Endpoints/size of a released message, for labelling trace spans.
+struct MessageMeta {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Scalar digest for run manifests.  All counts are exact (hook-side);
+/// only the series itself is subject to downsampling.
+struct RecorderSummary {
+  std::size_t samples = 0;
+  sim::TimeNs effectivePeriodNs = 0;  ///< After any downsampling doublings.
+  std::uint64_t eventsRecorded = 0;
+  std::uint64_t eventsDropped = 0;
+  std::uint64_t messagesReleased = 0;
+  std::uint64_t messagesDelivered = 0;
+  std::uint32_t peakInFlight = 0;
+  std::uint64_t peakQueuedSegments = 0;
+  std::uint32_t peakQueueDepth = 0;  ///< == max(NetworkStats in/out marks).
+  std::uint32_t peakQueuePort = 0;   ///< First gport reaching the peak.
+  std::uint32_t peakBlockedInputs = 0;
+  double peakGroupUtil = 0.0;  ///< Highest sampled per-class utilization.
+  std::string peakGroupLabel;
+};
+
+class Recorder : public sim::Probe {
+ public:
+  explicit Recorder(RecorderConfig cfg = {});
+
+  // sim::Probe ---------------------------------------------------------------
+  void onAttach(const sim::Network& net) override;
+  void onMessageReleased(std::uint32_t msg, xgft::NodeIndex src,
+                         xgft::NodeIndex dst, std::uint64_t bytes,
+                         sim::TimeNs t) override;
+  void onMessageDelivered(std::uint32_t msg, sim::TimeNs t) override;
+  void onSegmentEnqueued(std::uint32_t gport, bool input, std::uint32_t depth,
+                         sim::TimeNs t) override;
+  void onSegmentDequeued(std::uint32_t gport, bool input, std::uint32_t depth,
+                         sim::TimeNs t) override;
+  void onWireBusy(std::uint32_t gport, std::uint32_t msg, sim::TimeNs t,
+                  sim::TimeNs serNs) override;
+  void onWireIdle(std::uint32_t gport, sim::TimeNs t) override;
+  void onInputBlocked(std::uint32_t gInPort, std::uint32_t gOutPort,
+                      sim::TimeNs t) override;
+  void onInputWoken(std::uint32_t gInPort, sim::TimeNs t) override;
+  [[nodiscard]] sim::TimeNs samplePeriodNs() const override {
+    return periodNs_;
+  }
+  void onSample(const sim::Network& net, sim::TimeNs t) override;
+
+  // Results ------------------------------------------------------------------
+  [[nodiscard]] const SummarySeries& series() const { return series_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  /// Meta of a released message (zeroed MessageMeta for unknown ids).
+  [[nodiscard]] MessageMeta messageMeta(std::uint32_t msg) const;
+  /// Link-class index of a gport (series().groupLabels order); valid after
+  /// onAttach.
+  [[nodiscard]] std::uint32_t portGroup(std::uint32_t gport) const {
+    return gport < portGroup_.size() ? portGroup_[gport] : 0;
+  }
+  [[nodiscard]] RecorderSummary summary() const;
+  [[nodiscard]] const RecorderConfig& config() const { return cfg_; }
+
+ private:
+  void record(EventKind kind, sim::TimeNs t, std::uint32_t a,
+              std::uint32_t b = 0, sim::TimeNs durNs = 0);
+  void downsampleSeries();
+
+  RecorderConfig cfg_;
+  sim::TimeNs periodNs_ = 0;
+
+  // Live gauges + exact peaks, maintained by the hooks.
+  std::uint32_t inFlight_ = 0;
+  std::uint64_t queuedSegments_ = 0;
+  std::uint32_t blockedInputs_ = 0;
+  std::uint64_t messagesReleased_ = 0;
+  std::uint64_t messagesDelivered_ = 0;
+  std::uint32_t peakInFlight_ = 0;
+  std::uint64_t peakQueuedSegments_ = 0;
+  std::uint32_t peakQueueDepth_ = 0;
+  std::uint32_t peakQueuePort_ = 0;
+  std::uint32_t peakBlockedInputs_ = 0;
+
+  // Sampling state.
+  SummarySeries series_;
+  std::vector<std::uint32_t> portGroup_;    ///< Link class per gport.
+  std::vector<std::uint32_t> groupWires_;   ///< Wire count per class.
+  std::vector<sim::TimeNs> prevBusyNs_;     ///< wireBusyNs at the last sample.
+  std::vector<double> groupBusyScratch_;    ///< Reused per-sample accumulator.
+  sim::TimeNs lastSampleT_ = 0;
+  double peakGroupUtil_ = 0.0;
+  std::uint32_t peakGroupIndex_ = 0;
+
+  // Event log.
+  std::vector<TraceEvent> events_;
+  std::vector<MessageMeta> msgMeta_;  ///< Indexed by (dense) MsgId.
+  std::uint64_t eventsDropped_ = 0;
+};
+
+}  // namespace obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/probe.hpp"
 #include "xgft/rng.hpp"
 #include <stdexcept>
 #include <string>
@@ -250,6 +251,19 @@ void Network::scheduleCallback(TimeNs t, std::function<void()> fn) {
   schedule(t, Kind::kCallback, slot);
 }
 
+void Network::setProbe(Probe* probe) {
+  probe_ = probe;
+  if (probe_ == nullptr) return;
+  probe_->onAttach(*this);
+  if (probe_->samplePeriodNs() > 0 && !samplePending_) scheduleSample();
+}
+
+void Network::scheduleSample() {
+  const TimeNs period = probe_->samplePeriodNs();
+  schedule(now_ + period, Kind::kSample, 0);
+  samplePending_ = true;
+}
+
 void Network::run(TimeNs until) {
   EventRecord ev;
   while (queue_.popUntil(until, ev)) {
@@ -305,12 +319,31 @@ void Network::handle(const EventRecord& ev) {
       fn();
       break;
     }
+    case Kind::kSample: {
+      samplePending_ = false;
+      if (probe_ != nullptr) {
+        probe_->onSample(*this, now_);
+        // Reschedule only while other events remain: the sampler can never
+        // keep an otherwise drained queue alive, so termination and the
+        // stranded-traffic check are unaffected.
+        if (probe_->samplePeriodNs() > 0 && !queue_.empty()) scheduleSample();
+      }
+      // Sampling must not perturb measured results: pre-compensate the ++
+      // the run() loop applies after handle(), so eventsProcessed never
+      // counts probe ticks (unsigned wrap on the first-ever event is
+      // well-defined and immediately undone).
+      --stats_.eventsProcessed;
+      break;
+    }
   }
 }
 
 void Network::handleRelease(MsgId msg) {
   Message& m = messages_[msg];
   m.released = true;
+  if (probe_ != nullptr) {
+    probe_->onMessageReleased(msg, m.src, m.dst, m.bytes, now_);
+  }
   if (m.src == m.dst) {
     // Local delivery: never enters the network (Sec. III self-flows).
     m.delivered = true;
@@ -318,6 +351,7 @@ void Network::handleRelease(MsgId msg) {
     ++stats_.messagesDelivered;
     stats_.lastDeliveryNs = std::max(stats_.lastDeliveryNs, now_);
     if (sink_ != nullptr) sink_->onMessageDelivered(msg, now_);
+    if (probe_ != nullptr) probe_->onMessageDelivered(msg, now_);
     return;
   }
   const std::uint32_t hostPort = routes_.path(m.route0)[0];
@@ -395,6 +429,9 @@ void Network::startTransmission(std::uint32_t gOutPort, std::uint32_t seg) {
                          ? serFullNs_
                          : cfg_.serializationNs(payload);
   port.busyNs += ser;
+  if (probe_ != nullptr) {
+    probe_->onWireBusy(gOutPort, segments_[seg].msg, now_, ser);
+  }
   schedule(now_ + ser, Kind::kWireFree, gOutPort);
   schedule(now_ + ser + cfg_.linkLatencyNs, Kind::kWireArrive, port.peer,
            seg);
@@ -410,6 +447,7 @@ void Network::outputDispatch(std::uint32_t gOutPort) {
 
 void Network::handleWireFree(std::uint32_t gOutPort) {
   ports_[gOutPort].wireBusy = false;
+  if (probe_ != nullptr) probe_->onWireIdle(gOutPort, now_);
   outputDispatch(gOutPort);
 }
 
@@ -418,6 +456,9 @@ void Network::tryTransmitSwitch(std::uint32_t gOutPort) {
   if (port.wireBusy || port.credits == 0 || port.outHead == kNil) return;
   const std::uint32_t seg = segPopFront(port.outHead, port.outTail);
   --port.outCount;
+  if (probe_ != nullptr) {
+    probe_->onSegmentDequeued(gOutPort, /*input=*/false, port.outCount, now_);
+  }
   startTransmission(gOutPort, seg);
   serveWaitingInputs(gOutPort);
 }
@@ -437,6 +478,9 @@ void Network::handleWireArrive(std::uint32_t gInPort, std::uint32_t seg) {
   ++port.inCount;
   stats_.maxInputQueueDepth =
       std::max(stats_.maxInputQueueDepth, port.inCount);
+  if (probe_ != nullptr) {
+    probe_->onSegmentEnqueued(gInPort, /*input=*/true, port.inCount, now_);
+  }
   tryAdvanceInput(gInPort);
 }
 
@@ -445,6 +489,8 @@ void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
   freeSegment(seg);
   returnCredit(ports_[gInPort].peer);
   ++stats_.segmentsDelivered;
+  // In-flight invariant (see the NetworkStats contract).
+  assert(stats_.segmentsDelivered <= stats_.segmentsInjected);
   Message& m = messages_[msgId];
   ++m.deliveredSegments;
   if (m.deliveredSegments == m.numSegments) {
@@ -453,6 +499,7 @@ void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
     ++stats_.messagesDelivered;
     stats_.lastDeliveryNs = std::max(stats_.lastDeliveryNs, now_);
     if (sink_ != nullptr) sink_->onMessageDelivered(msgId, now_);
+    if (probe_ != nullptr) probe_->onMessageDelivered(msgId, now_);
   }
 }
 
@@ -501,6 +548,7 @@ void Network::advanceInputTo(std::uint32_t gInPort, std::uint32_t seg,
     }
     outPort.waitTail = gInPort;
     port.queuedWaiting = true;
+    if (probe_ != nullptr) probe_->onInputBlocked(gInPort, out, now_);
   }
 }
 
@@ -518,6 +566,10 @@ void Network::handleTransfer(std::uint32_t gInPort, std::uint32_t seg) {
   ++outPort.outCount;
   stats_.maxOutputQueueDepth =
       std::max(stats_.maxOutputQueueDepth, outPort.outCount);
+  if (probe_ != nullptr) {
+    probe_->onSegmentDequeued(gInPort, /*input=*/true, port.inCount, now_);
+    probe_->onSegmentEnqueued(out, /*input=*/false, outPort.outCount, now_);
+  }
   port.transferring = false;
   returnCredit(port.peer);
   tryAdvanceInput(gInPort);
@@ -595,6 +647,7 @@ void Network::serveWaitingInputs(std::uint32_t gOutPort) {
     outPort.waitHead = waitLink_[gInPort];
     if (outPort.waitHead == kNil) outPort.waitTail = kNil;
     ports_[gInPort].queuedWaiting = false;
+    if (probe_ != nullptr) probe_->onInputWoken(gInPort, now_);
     wakeInput(gInPort);
   }
 }

@@ -55,6 +55,8 @@ namespace sim {
 using MsgId = std::uint32_t;
 using Bytes = std::uint64_t;
 
+class Probe;  // probe.hpp — observation hooks; sim never includes obs/.
+
 /// How a multipath message distributes its segments over its routes.
 /// Per-segment spraying is the packet-granular randomized routing of
 /// Greenberg & Leiserson [16], provided as an extension (DESIGN.md):
@@ -73,6 +75,26 @@ class TrafficSink {
 };
 
 /// Aggregate counters exposed after (or during) a run.
+///
+/// Validity contract (pinned by tests/sim/stats_test.cpp): every field is
+/// meaningful at any Network::run(until) boundary, not only after a full
+/// drain, and every field is monotone non-decreasing across resumed runs.
+/// Mid-run they describe the prefix of the simulation processed so far:
+///
+///  * segmentsInjected / segmentsDelivered — cumulative counts; mid-run
+///    `delivered <= injected` always holds and the difference is the number
+///    of segments currently inside the network (in-flight invariant).
+///    After a clean full drain the two are equal.
+///  * messagesDelivered — cumulative completions, including src == dst
+///    local deliveries (which never touch segment counters).
+///  * eventsProcessed — calendar events handled.  Telemetry sampling events
+///    (Probe) are explicitly excluded, so the count is identical with and
+///    without a probe attached; it feeds the campaign CSV `events` column.
+///  * lastDeliveryNs — time of the latest completion so far; only after the
+///    queue drains is it the makespan.
+///  * maxOutputQueueDepth / maxInputQueueDepth — high-water marks over the
+///    prefix, not current occupancy (Network::outputQueueDepth /
+///    inputQueueDepth expose instantaneous depths).
 struct NetworkStats {
   std::uint64_t segmentsInjected = 0;
   std::uint64_t segmentsDelivered = 0;
@@ -92,6 +114,15 @@ class Network {
 
   /// Registers the completion listener (optional).
   void setSink(TrafficSink* sink) { sink_ = sink; }
+
+  /// Attaches an observation probe (optional; nullptr detaches).  Hooks
+  /// fire synchronously from the event core; if the probe samples
+  /// (samplePeriodNs() > 0) a dedicated calendar event drives periodic
+  /// onSample calls.  Observation is guaranteed non-perturbing: makespan,
+  /// NetworkStats (including eventsProcessed) and per-wire busy times are
+  /// identical with and without a probe.  The probe must outlive the runs
+  /// it observes.
+  void setProbe(Probe* probe);
 
   /// Registers a message and its minimal up/down route; the message starts
   /// injecting only after release().  s == d messages are legal and complete
@@ -191,6 +222,25 @@ class Network {
     return static_cast<std::uint32_t>(peer_.size());
   }
 
+  /// Reverse port lookup: which node owns a global port.
+  struct PortOwner {
+    std::uint32_t level = 0;
+    xgft::NodeIndex node = 0;
+    std::uint32_t localPort = 0;
+  };
+  [[nodiscard]] const PortOwner& portOwnerOf(std::uint32_t gport) const {
+    return portOwner_[gport];
+  }
+
+  /// Instantaneous buffer occupancies (segments) — probe/report queries;
+  /// NetworkStats keeps the high-water marks.
+  [[nodiscard]] std::uint32_t inputQueueDepth(std::uint32_t gport) const {
+    return ports_[gport].inCount;
+  }
+  [[nodiscard]] std::uint32_t outputQueueDepth(std::uint32_t gport) const {
+    return ports_[gport].outCount;
+  }
+
  private:
   /// Intrusive-list terminator for segment/message/port links.
   static constexpr std::uint32_t kNil = 0xffffffffu;
@@ -201,6 +251,7 @@ class Network {
     kWireFree,
     kTransfer,
     kCallback,
+    kSample,  ///< Probe sampling tick — excluded from eventsProcessed.
   };
 
   /// One in-flight segment in the contiguous slot pool.  `next` threads the
@@ -237,13 +288,6 @@ class Network {
     bool adaptive = false;
   };
 
-  /// Reverse port lookup: which node owns a global port.
-  struct PortOwner {
-    std::uint32_t level = 0;
-    xgft::NodeIndex node = 0;
-    std::uint32_t localPort = 0;
-  };
-
   /// Flat per-port state: all queues are intrusive head/tail links into the
   /// segment pool (inQ/outQ), the port array itself (waiting inputs) or the
   /// message table (host-adapter round robin).  Exactly one cache line per
@@ -277,6 +321,8 @@ class Network {
     queue_.push(t, static_cast<std::uint8_t>(kind), a, seg);
   }
   void handle(const EventRecord& ev);
+  /// (Re)schedules the probe's next sampling tick at now_ + period.
+  void scheduleSample();
 
   void handleRelease(MsgId msg);
   void handleWireArrive(std::uint32_t gInPort, std::uint32_t seg);
@@ -359,6 +405,8 @@ class Network {
   SimConfig cfg_;
   TimeNs serFullNs_ = 0;  ///< serializationNs(segmentBytes), precomputed.
   TrafficSink* sink_ = nullptr;
+  Probe* probe_ = nullptr;     ///< Cached enabled flag: null == disabled.
+  bool samplePending_ = false; ///< A kSample event sits in the queue.
 
   std::vector<std::uint64_t> portBase_;  ///< Per global node id.
   std::vector<std::uint32_t> peer_;      ///< Peer gport per gport.

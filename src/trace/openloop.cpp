@@ -22,6 +22,7 @@ OpenLoopResult runOpenLoop(const xgft::Topology& topo,
     throw std::invalid_argument("runOpenLoop: empty measurement window");
   }
   sim::Network net(topo, cfg);
+  if (opt.probe != nullptr) net.setProbe(opt.probe);
   RouteSetResolver resolver(net, router, opt.spray, opt.compiled);
   // Ranks map to hosts identically (no hostOf), so the resolver's options
   // serve as-is.

@@ -41,6 +41,10 @@ struct OpenLoopOptions {
   /// Latency histogram shape (see analysis::LatencyHistogram).
   std::uint64_t histBucketNs = 512;
   std::size_t histBuckets = std::size_t{1} << 16;
+
+  /// Optional observation probe, attached to the run's Network before any
+  /// traffic (sim/probe.hpp; non-perturbing).  Must outlive the call.
+  sim::Probe* probe = nullptr;
 };
 
 struct OpenLoopResult {

@@ -178,5 +178,66 @@ TEST(ContentionSplit, SeparatesEndpointFromNetwork) {
   EXPECT_LE(split.networkBound, 1.0 + 1e-9);
 }
 
+TEST(ContentionSplit, EmptyPatternIsAllZeros) {
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  const ContentionSplit split =
+      contentionSplit(topo, patterns::Pattern(16), *router);
+  EXPECT_EQ(split.maxFanOut, 0u);
+  EXPECT_EQ(split.maxFanIn, 0u);
+  EXPECT_DOUBLE_EQ(split.endpointBound, 0.0);
+  EXPECT_DOUBLE_EQ(split.networkBound, 0.0);
+}
+
+TEST(ContentionSplit, SelfFlowsContributeNothing) {
+  // Local delivery never leaves the host: no endpoint contention (the fan
+  // counts exclude self-flows) and no routed demand.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::Pattern p(16);
+  p.add(0, 0, 4096);
+  p.add(7, 7, 4096);
+  const ContentionSplit split = contentionSplit(topo, p, *router);
+  EXPECT_EQ(split.maxFanOut, 0u);
+  EXPECT_EQ(split.maxFanIn, 0u);
+  EXPECT_DOUBLE_EQ(split.endpointBound, 0.0);
+  EXPECT_DOUBLE_EQ(split.networkBound, 0.0);
+}
+
+TEST(ContentionSplit, HotspotSeparatesEndpointFromRoutingCollapse) {
+  // 15 -> 1 fan-in: the endpoint bound is the full 15, but the *network*
+  // bound is routed demand, where down-channels divide by fan-in — the
+  // hot down-link carries 15 x (1/15) = 1.  What remains is the genuine
+  // routing contention: every up-weight is 1 (fan-out 1), and D-mod-k
+  // sends the 4 sources of each remote L1 switch up the same link toward
+  // the single destination, so the network bound is exactly 4.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::Pattern hot(16);
+  for (patterns::Rank r = 1; r < 16; ++r) hot.add(r, 0, 1024);
+  const ContentionSplit split = contentionSplit(topo, hot, *router);
+  EXPECT_EQ(split.maxFanOut, 1u);
+  EXPECT_EQ(split.maxFanIn, 15u);
+  EXPECT_DOUBLE_EQ(split.endpointBound, 15.0);
+  EXPECT_DOUBLE_EQ(split.networkBound, 4.0);
+}
+
+TEST(ContentionSplit, ScatterDividesUpDemandByFanOut) {
+  // One source scattering to every other host: endpoint bound 15 at the
+  // source, up-weights 1/15 (the injection link sums to exactly 1), and
+  // down-weights 1 (every destination has fan-in 1).  D-mod-k splits each
+  // remote group's 4 destinations across the w2 = 2 roots, so the busiest
+  // down-channel carries 2 unit-weight flows: network bound exactly 2.
+  const Topology topo(xgft::xgft2(4, 4, 2));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  patterns::Pattern scatter(16);
+  for (patterns::Rank r = 1; r < 16; ++r) scatter.add(0, r, 1024);
+  const ContentionSplit split = contentionSplit(topo, scatter, *router);
+  EXPECT_EQ(split.maxFanOut, 15u);
+  EXPECT_EQ(split.maxFanIn, 1u);
+  EXPECT_DOUBLE_EQ(split.endpointBound, 15.0);
+  EXPECT_DOUBLE_EQ(split.networkBound, 2.0);
+}
+
 }  // namespace
 }  // namespace analysis

@@ -46,5 +46,48 @@ TEST(Table, NumFormatting) {
   EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
 }
 
+TEST(Table, NumEdgeCases) {
+  EXPECT_EQ(Table::num(1e6, 0), "1000000");  // Fixed, never scientific.
+  EXPECT_EQ(Table::num(0.0, 2), "0.00");
+  EXPECT_EQ(Table::num(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(Table::num(-0.0001, 2), "-0.00");  // Sign survives rounding.
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table t({"col", "other"});
+  std::ostringstream aligned;
+  t.print(aligned);
+  EXPECT_EQ(aligned.str(), "col  other  \n");
+  std::ostringstream csv;
+  t.printCsv(csv);
+  EXPECT_EQ(csv.str(), "col,other\n");
+  EXPECT_EQ(t.numRows(), 0u);
+}
+
+TEST(Table, RowWiderThanHeaderSetsTheColumnWidth) {
+  Table t({"x"});
+  t.addRow({"wide-cell-content"});
+  t.addRow({"y"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream in(os.str());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // Every line is padded to the widest cell plus the 2-space gutter.
+  EXPECT_EQ(header.size(), row1.size());
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(row1.size(), std::string("wide-cell-content").size() + 2);
+}
+
+TEST(Table, CsvKeepsEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.addRow({"", "mid", ""});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n,mid,\n");
+}
+
 }  // namespace
 }  // namespace analysis

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
 """Diff a fresh micro_sim run against the committed BENCH_sim.json baseline.
 
-Usage: bench_diff.py BENCH_sim.json BENCH_sim_raw.json [>> $GITHUB_STEP_SUMMARY]
+Usage: bench_diff.py [--fail-regressed] BENCH_sim.json BENCH_sim_raw.json
+       [>> $GITHUB_STEP_SUMMARY]
 
 The committed baseline stores curated `after_*` numbers per benchmark
 (items/s for event-counting benches, wall-clock ms/us otherwise).  The raw
 file is Google Benchmark's --benchmark_out JSON.  The script renders a
 markdown comparison table to stdout and emits a GitHub `::warning::`
 annotation for every benchmark that regressed by more than REGRESSION_PCT.
-It always exits 0: the job summary is the report, CI does not gate on
-noisy single-run numbers.
+
+Benchmarks present in only one of the two files are reported explicitly:
+baseline-only ones as "gone" (deleted or renamed — update the baseline),
+raw-only ones as "new" (not yet curated into the baseline).  Neither state
+is an error and neither regresses.
+
+By default the script always exits 0: the job summary is the report, CI
+does not gate on noisy single-run numbers.  With --fail-regressed it exits
+1 when any benchmark regressed beyond the threshold — the opt-in gate the
+telemetry-overhead CI step uses.
 """
 
 import json
@@ -34,23 +43,37 @@ def to_unit(value_ns_like, time_unit, target):
     return ns / {"us": 1e3, "ms": 1e6}[target]
 
 
+def fresh_cell(fresh):
+    """Best-effort rendering of a raw result with no baseline to compare."""
+    if "items_per_second" in fresh:
+        return f"{float(fresh['items_per_second']) / 1e6:.2f} M/s"
+    ms = to_unit(float(fresh["real_time"]), fresh.get("time_unit", "ns"),
+                 "ms")
+    return f"{ms:.2f} ms" if ms >= 1.0 else f"{ms * 1e3:.2f} us"
+
+
 def main():
-    if len(sys.argv) != 3:
+    args = sys.argv[1:]
+    fail_regressed = "--fail-regressed" in args
+    args = [a for a in args if a != "--fail-regressed"]
+    if len(args) != 2:
         sys.stderr.write(__doc__)
         return 2
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         baseline = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(args[1]) as f:
         raw = raw_by_name(json.load(f))
 
     rows = []
     warnings = []
-    missing = []
+    gone = []
+    baseline_names = set()
     for bench in baseline.get("benchmarks", []):
         name = bench["name"]
+        baseline_names.add(name)
         fresh = raw.get(name)
         if fresh is None:
-            missing.append(name)
+            gone.append(name)
             continue
         if "after_items_per_second" in bench:
             base = float(bench["after_items_per_second"])
@@ -74,6 +97,7 @@ def main():
             warnings.append(
                 f"{name}: {abs(delta_pct):.1f}% slower than the committed "
                 f"BENCH_sim.json baseline")
+    new_benches = [name for name in raw if name not in baseline_names]
 
     print("## micro_sim vs committed BENCH_sim.json baseline\n")
     print(f"Regression threshold: {REGRESSION_PCT:.0f}% "
@@ -83,8 +107,16 @@ def main():
     for name, base, new, delta in rows:
         flag = " ⚠️" if delta < -REGRESSION_PCT else ""
         print(f"| {name} | {base} | {new} | {delta:+.1f}%{flag} |")
-    if missing:
-        print(f"\nNot in this run (skipped): {', '.join(missing)}")
+    for name in new_benches:
+        print(f"| {name} | *new* | {fresh_cell(raw[name])} | — |")
+    for name in gone:
+        print(f"| {name} | *gone* (not in this run) | — | — |")
+    if new_benches:
+        print(f"\n{len(new_benches)} new benchmark(s) not in the baseline "
+              "yet — curate them into BENCH_sim.json when stable.")
+    if gone:
+        print(f"\n{len(gone)} baseline benchmark(s) gone from this run — "
+              "deleted or renamed; update BENCH_sim.json.")
     if warnings:
         print(f"\n**{len(warnings)} benchmark(s) regressed > "
               f"{REGRESSION_PCT:.0f}%.**")
@@ -94,6 +126,8 @@ def main():
     # GitHub annotations surface in the job log and the PR checks UI.
     for w in warnings:
         sys.stderr.write(f"::warning title=bench regression::{w}\n")
+    if fail_regressed and warnings:
+        return 1
     return 0
 
 
