@@ -33,6 +33,7 @@
 #include "engine/manifest.hpp"
 #include "engine/runner.hpp"
 #include "engine/spec.hpp"
+#include "fault/plan.hpp"
 #include "obs/chrome_trace.hpp"
 
 namespace {
@@ -41,7 +42,7 @@ struct CliOptions {
   std::string campaignFile;
   std::string builtin;
   std::string outFile;
-  std::string list;           // One of: schemes, patterns, sources,
+  std::string list;           // One of: schemes, patterns, sources, faults,
                               // topologies, campaigns ("" = no listing).
   std::uint32_t threads = 0;  // 0 = hardware concurrency.
   std::uint32_t seeds = 10;
@@ -85,6 +86,7 @@ void usage(std::ostream& os) {
         "  --list-patterns   registered workload patterns\n"
         "  --list-sources    registered open-loop traffic sources "
         "(source=/load= keys)\n"
+        "  --list-faults     registered fault-plan models (faults= key)\n"
         "  --list-topologies registered topology presets\n"
         "  --list-campaigns  registered builtin campaigns\n"
         "  --quiet           no progress on stderr\n";
@@ -117,6 +119,12 @@ int listRegistry(const std::string& what) {
                  "and load=):\n";
     for (const std::string& name : core::sourceRegistry().names()) {
       const core::SourceInfo& info = core::sourceRegistry().at(name);
+      row(name, info.usage, info.summary);
+    }
+  } else if (what == "faults") {
+    std::cout << "registered fault-plan models (use with faults=):\n";
+    for (const std::string& name : fault::planRegistry().names()) {
+      const fault::PlanInfo& info = fault::planRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "topologies") {
@@ -178,6 +186,8 @@ CliOptions parseCli(int argc, char** argv) {
       opt.list = "patterns";
     } else if (arg == "--list-sources") {
       opt.list = "sources";
+    } else if (arg == "--list-faults") {
+      opt.list = "faults";
     } else if (arg == "--list-topologies") {
       opt.list = "topologies";
     } else if (arg == "--list-campaigns") {

@@ -1,0 +1,60 @@
+#include "analysis/degradation.hpp"
+
+namespace analysis {
+
+std::vector<DegradationCurve> degradationCurves(
+    std::span<const DegradationPoint> points) {
+  std::vector<DegradationCurve> curves;
+  // Sums are accumulated in place and divided once at the end; linear
+  // scans keep first-appearance order without auxiliary index maps
+  // (curve/cell counts are tiny — schemes x plans).
+  for (const DegradationPoint& p : points) {
+    DegradationCurve* curve = nullptr;
+    for (DegradationCurve& c : curves) {
+      if (c.scheme == p.scheme) {
+        curve = &c;
+        break;
+      }
+    }
+    if (curve == nullptr) {
+      curves.push_back(DegradationCurve{p.scheme, {}});
+      curve = &curves.back();
+    }
+    DegradationCell* cell = nullptr;
+    for (DegradationCell& c : curve->cells) {
+      if (c.faults == p.faults) {
+        cell = &c;
+        break;
+      }
+    }
+    if (cell == nullptr) {
+      curve->cells.push_back(DegradationCell{p.faults, 0, 0.0, 0.0, 0.0});
+      cell = &curve->cells.back();
+    }
+    ++cell->jobs;
+    cell->acceptedLoad += p.acceptedLoad;
+    cell->latencyP99Ns += static_cast<double>(p.latencyP99Ns);
+    cell->messagesDropped += static_cast<double>(p.messagesDropped);
+  }
+  for (DegradationCurve& curve : curves) {
+    for (DegradationCell& cell : curve.cells) {
+      const double n = static_cast<double>(cell.jobs);
+      cell.acceptedLoad /= n;
+      cell.latencyP99Ns /= n;
+      cell.messagesDropped /= n;
+    }
+  }
+  return curves;
+}
+
+bool acceptedLoadMonotone(const DegradationCurve& curve, double tolerance) {
+  for (std::size_t i = 1; i < curve.cells.size(); ++i) {
+    if (curve.cells[i].acceptedLoad >
+        curve.cells[i - 1].acceptedLoad + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace analysis

@@ -1,0 +1,62 @@
+// degradation.hpp — Resilience curves: operating points vs failure rate.
+//
+// The faultsweep campaign runs one open-loop operating point per (scheme,
+// fault plan) cell; this layer folds those job results into per-scheme
+// degradation curves — accepted throughput and tail latency as the failure
+// plan worsens — the fault-subsystem analogue of the load–latency sweep.
+// Points aggregate by (scheme, faults) cell (means over seed repeats), and
+// each curve lists its cells in first-appearance order, which campaign
+// files write from healthy to most degraded.
+//
+// The layer is engine-agnostic on purpose (analysis never includes
+// engine/): callers flatten their job results into DegradationPoints.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace analysis {
+
+/// One job's contribution: the operating point it measured and the fault
+/// plan it ran under ("none" for the healthy baseline).
+struct DegradationPoint {
+  std::string scheme;
+  std::string faults;
+  double acceptedLoad = 0.0;
+  sim::TimeNs latencyP99Ns = 0;
+  std::uint64_t messagesDropped = 0;
+};
+
+/// One (scheme, faults) cell after aggregation: means over the seed
+/// repeats that share the cell.
+struct DegradationCell {
+  std::string faults;
+  std::uint64_t jobs = 0;
+  double acceptedLoad = 0.0;   ///< Mean over the cell's jobs.
+  double latencyP99Ns = 0.0;   ///< Mean over the cell's jobs.
+  double messagesDropped = 0.0;
+};
+
+/// One scheme's degradation curve, cells in first-appearance order.
+struct DegradationCurve {
+  std::string scheme;
+  std::vector<DegradationCell> cells;
+};
+
+/// Folds points into per-scheme curves.  Schemes and cells both keep the
+/// order they first appear in @p points, so output follows campaign file
+/// order deterministically.
+[[nodiscard]] std::vector<DegradationCurve> degradationCurves(
+    std::span<const DegradationPoint> points);
+
+/// True when the curve's accepted throughput never rises as the plan
+/// worsens (cell order), within @p tolerance of absolute load — the
+/// monotone-degradation property the faultsweep campaign pins.
+[[nodiscard]] bool acceptedLoadMonotone(const DegradationCurve& curve,
+                                        double tolerance = 0.0);
+
+}  // namespace analysis

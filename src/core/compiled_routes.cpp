@@ -31,6 +31,12 @@ std::uint64_t CompiledRoutes::tableBytes(const xgft::Topology& topo) {
 
 std::shared_ptr<const CompiledRoutes> CompiledRoutes::compile(
     std::shared_ptr<const routing::Router> router, std::uint32_t threads) {
+  return compileWith(std::move(router), RouteOverride{}, threads);
+}
+
+std::shared_ptr<const CompiledRoutes> CompiledRoutes::compileWith(
+    std::shared_ptr<const routing::Router> router,
+    const RouteOverride& routeFor, std::uint32_t threads) {
   if (!router) {
     throw std::invalid_argument("CompiledRoutes::compile: null router");
   }
@@ -43,7 +49,8 @@ std::shared_ptr<const CompiledRoutes> CompiledRoutes::compile(
 
   // Each worker fills disjoint source rows, so no synchronization is needed
   // and the table contents are thread-count independent (routers are
-  // required to be deterministic and immutable after construction).
+  // required to be deterministic and immutable after construction; a
+  // routeFor override must uphold the same).
   const auto fillRows = [&](std::size_t sBegin, std::size_t sEnd) {
     for (std::size_t s = sBegin; s < sEnd; ++s) {
       for (std::size_t d = 0; d < n; ++d) {
@@ -52,8 +59,20 @@ std::shared_ptr<const CompiledRoutes> CompiledRoutes::compile(
           table->lens_[pair] = 0;
           continue;
         }
-        const xgft::Route route = r.route(static_cast<xgft::NodeIndex>(s),
-                                          static_cast<xgft::NodeIndex>(d));
+        xgft::Route route;
+        if (routeFor) {
+          std::optional<xgft::Route> chosen =
+              routeFor(static_cast<xgft::NodeIndex>(s),
+                       static_cast<xgft::NodeIndex>(d));
+          if (!chosen.has_value()) {
+            table->lens_[pair] = 0;  // Unroutable (upPorts() empty span).
+            continue;
+          }
+          route = std::move(*chosen);
+        } else {
+          route = r.route(static_cast<xgft::NodeIndex>(s),
+                          static_cast<xgft::NodeIndex>(d));
+        }
         std::string error;
         if (!xgft::validateRoute(topo, static_cast<xgft::NodeIndex>(s),
                                  static_cast<xgft::NodeIndex>(d), route,

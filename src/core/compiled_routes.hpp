@@ -26,7 +26,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "routing/router.hpp"
@@ -46,17 +48,40 @@ class CompiledRoutes {
   [[nodiscard]] static std::shared_ptr<const CompiledRoutes> compile(
       std::shared_ptr<const routing::Router> router, std::uint32_t threads = 1);
 
+  /// Per-pair override: the route to store for (s, d), or std::nullopt to
+  /// mark the pair unroutable (upPorts() returns an empty span and
+  /// unroutable() is true).  Called concurrently from the compile workers,
+  /// so it must be thread-safe; s != d always.
+  using RouteOverride = std::function<std::optional<xgft::Route>(
+      xgft::NodeIndex, xgft::NodeIndex)>;
+
+  /// compile() with @p routeFor supplying each pair's route instead of the
+  /// router's own — the degraded-topology recompilation path
+  /// (fault::compileDegraded).  Returned routes are validated exactly like
+  /// compile(); nullopt pairs are recorded unroutable instead of throwing.
+  [[nodiscard]] static std::shared_ptr<const CompiledRoutes> compileWith(
+      std::shared_ptr<const routing::Router> router,
+      const RouteOverride& routeFor, std::uint32_t threads = 1);
+
   /// Table size in bytes for a topology, before building — callers bound
   /// memory with this (the engine falls back to virtual routing above its
   /// limit).
   [[nodiscard]] static std::uint64_t tableBytes(const xgft::Topology& topo);
 
   /// The ascending port choices for (s, d); length == ncaLevel(s, d), empty
-  /// when s == d.  Valid for the handle's lifetime.
+  /// when s == d — and also empty for pairs a compileWith override marked
+  /// unroutable.  Valid for the handle's lifetime.
   [[nodiscard]] std::span<const std::uint32_t> upPorts(
       xgft::NodeIndex s, xgft::NodeIndex d) const {
     const std::size_t pair = static_cast<std::size_t>(s) * numHosts_ + d;
     return {ports_.data() + pair * stride_, lens_[pair]};
+  }
+
+  /// True iff a compileWith override declared (s, d) unreachable.  A valid
+  /// route for s != d always has length ncaLevel(s, d) >= 1, so a zero
+  /// length is unambiguous.
+  [[nodiscard]] bool unroutable(xgft::NodeIndex s, xgft::NodeIndex d) const {
+    return s != d && lens_[static_cast<std::size_t>(s) * numHosts_ + d] == 0;
   }
 
   /// Materializes the xgft::Route for (s, d) — for analysis-style callers.

@@ -89,6 +89,30 @@ void registerBuiltinCampaigns(core::Registry<CampaignInfo>& registry) {
   {
     CampaignInfo info;
     info.summary =
+        "accepted throughput / p99 latency vs link-failure rate "
+        "(paper-slim tree)";
+    info.text = [](const CampaignOptions& opt) {
+      // Resilience curves: the loadsweep methodology at one moderate
+      // operating point, swept over the fraction of failed fabric links.
+      // Static table schemes only (adaptive/spray honour faults through
+      // the per-segment policy, not table recompilation).  Accepted
+      // throughput must degrade monotonically with the failure rate —
+      // tests/engine/faultsweep_test.cpp pins that and byte-identity
+      // across --threads.
+      std::ostringstream os;
+      const std::string scale = " msg_scale=" + formatShortest(opt.msgScale);
+      os << "# faultsweep: accepted throughput + latency vs failure rate\n"
+         << "topo=paper-slim source=poisson:uniform load=0.45" << scale
+         << " routing={d-mod-k,Random}"
+         << " faults={none,links:5,links:10,links:20,links:30} seed=1\n";
+      return os.str();
+    };
+    registry.add("faultsweep", std::move(info));
+  }
+
+  {
+    CampaignInfo info;
+    info.summary =
         "small cross-scheme determinism probe (golden-CSV regression)";
     info.text = [](const CampaignOptions& opt) {
       // Every route mode (table, adaptive, spray) over two slimmings of a

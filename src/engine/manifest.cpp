@@ -106,6 +106,15 @@ void writeJob(JsonLines& json, const JobResult& job,
     json.u64("latency_p99_ns", job.latencyP99Ns);
     json.close("}");
   }
+  if (!job.spec.faults.empty()) {
+    json.openKeyed("faults", "{");
+    json.str("plan", job.spec.faults);
+    json.u64("segments_rerouted", job.net.segmentsRerouted);
+    json.u64("segments_stranded", job.net.segmentsStranded);
+    json.u64("messages_dropped", job.net.messagesDropped);
+    json.u64("link_down_ns", job.net.linkDownNs);
+    json.close("}");
+  }
   if (job.telemetry) {
     const obs::RecorderSummary t = job.telemetry->summary();
     json.openKeyed("telemetry", "{");
@@ -144,10 +153,13 @@ std::string manifestToJson(const CampaignResults& results,
               return a->jobIndex < b->jobIndex;
             });
 
+  // Faulted campaigns bump the schema (per-job "faults" blocks, degraded
+  // cache counters); healthy campaigns emit v1 byte-for-byte.
+  const bool faulted = results.hasFaultJobs();
   std::string out;
   JsonLines json(out);
   json.open("{");
-  json.str("schema", "xgft-manifest-v1");
+  json.str("schema", faulted ? "xgft-manifest-v2" : "xgft-manifest-v1");
   json.openKeyed("campaign", "{");
   json.u64("jobs", results.jobs.size());
   if (opt.includeHost) {
@@ -163,6 +175,10 @@ std::string manifestToJson(const CampaignResults& results,
   json.u64("table_misses", results.cache.tableMisses);
   json.u64("reference_hits", results.cache.referenceHits);
   json.u64("reference_misses", results.cache.referenceMisses);
+  if (faulted) {
+    json.u64("degraded_hits", results.cache.degradedHits);
+    json.u64("degraded_misses", results.cache.degradedMisses);
+  }
   json.close("}");
   json.close("}");
   json.openKeyed("jobs", "[");

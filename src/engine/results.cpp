@@ -65,9 +65,16 @@ constexpr const char* kOpenLoopColumns[] = {
     "lat_max_ns",
 };
 
+/// The failure columns appended when any job carries a fault plan, in the
+/// same conditional-group style as the open-loop columns.
+constexpr const char* kFaultColumns[] = {
+    "faults",           "segments_rerouted", "segments_stranded",
+    "messages_dropped", "link_down_ns",
+};
+
 }  // namespace
 
-std::string CampaignResults::csvHeader(bool openLoop) {
+std::string CampaignResults::csvHeader(bool openLoop, bool faulted) {
   std::string header =
       "job,topo,pattern,routing,msg_scale,seed,status,"
       "makespan_ns,slowdown,messages,segments,events,"
@@ -80,12 +87,25 @@ std::string CampaignResults::csvHeader(bool openLoop) {
       header += column;
     }
   }
+  if (faulted) {
+    for (const char* column : kFaultColumns) {
+      header += ',';
+      header += column;
+    }
+  }
   return header;
 }
 
 bool CampaignResults::hasOpenLoopJobs() const {
   for (const JobResult& job : jobs) {
     if (job.openLoop || !job.spec.source.empty()) return true;
+  }
+  return false;
+}
+
+bool CampaignResults::hasFaultJobs() const {
+  for (const JobResult& job : jobs) {
+    if (!job.spec.faults.empty()) return true;
   }
   return false;
 }
@@ -108,7 +128,8 @@ void CampaignResults::writeCsv(std::ostream& os) const {
               return a->jobIndex < b->jobIndex;
             });
   const bool openLoop = hasOpenLoopJobs();
-  os << csvHeader(openLoop) << '\n';
+  const bool faulted = hasFaultJobs();
+  os << csvHeader(openLoop, faulted) << '\n';
   for (const JobResult* job : ordered) {
     const ExperimentSpec& s = job->spec;
     // Open-loop rows leave the (inert) pattern cell empty; their workload
@@ -139,6 +160,13 @@ void CampaignResults::writeCsv(std::ostream& os) const {
           os << ',';
         }
       }
+    }
+    if (faulted) {
+      // Healthy rows report the baseline explicitly (faults=none, zero
+      // counters) — these are measurements, not absent cells.
+      os << ',' << csvEscape(s.faults.empty() ? "none" : s.faults) << ','
+         << job->net.segmentsRerouted << ',' << job->net.segmentsStranded
+         << ',' << job->net.messagesDropped << ',' << job->net.linkDownNs;
     }
     os << '\n';
   }

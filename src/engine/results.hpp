@@ -81,6 +81,8 @@ struct CacheStats {
   std::uint64_t tableMisses = 0;
   std::uint64_t referenceHits = 0;
   std::uint64_t referenceMisses = 0;
+  std::uint64_t degradedHits = 0;  ///< Degraded (fault) forwarding tables.
+  std::uint64_t degradedMisses = 0;
 };
 
 /// The outcome of a whole campaign.
@@ -98,14 +100,21 @@ struct CampaignResults {
   [[nodiscard]] const JobResult* find(const ExperimentSpec& spec) const;
 
   /// The CSV column header (no trailing newline).  @p openLoop appends the
-  /// load–latency columns; campaigns without open-loop jobs emit exactly
-  /// the historical header so existing golden CSVs stay byte-identical.
-  [[nodiscard]] static std::string csvHeader(bool openLoop);
+  /// load–latency columns and @p faulted the failure columns; campaigns
+  /// without open-loop or faulted jobs emit exactly the historical header
+  /// so existing golden CSVs stay byte-identical.
+  [[nodiscard]] static std::string csvHeader(bool openLoop,
+                                             bool faulted = false);
   [[nodiscard]] static std::string csvHeader() { return csvHeader(false); }
 
   /// True when any job is an open-loop (source=) run — writeCsv then emits
   /// the extended columns for every row.
   [[nodiscard]] bool hasOpenLoopJobs() const;
+
+  /// True when any job carries a fault plan (spec.faults non-empty) —
+  /// writeCsv then emits the failure columns for every row (healthy rows
+  /// report faults=none and zero counters).
+  [[nodiscard]] bool hasFaultJobs() const;
 
   /// One deterministic CSV row per job, sorted by job index.  Fields that
   /// may contain commas or quotes (topology, error) are double-quoted with

@@ -9,6 +9,7 @@
 
 #include "analysis/contention.hpp"
 #include "core/scenario.hpp"
+#include "fault/inject.hpp"
 #include "patterns/source.hpp"
 #include "trace/harness.hpp"
 #include "trace/mapping.hpp"
@@ -132,6 +133,25 @@ std::shared_ptr<const core::CompiledRoutes> CampaignCache::compiledRoutes(
   });
 }
 
+std::shared_ptr<const core::CompiledRoutes> CampaignCache::degradedRoutes(
+    const ExperimentSpec& spec,
+    const std::shared_ptr<const routing::Router>& router,
+    const fault::FaultPlan& plan, fault::UnreachablePolicy policy,
+    std::uint32_t threads) {
+  std::ostringstream key;
+  key << routerKey(spec, router->topology()) << "|faults=" << plan.spec
+      << "|unreachable="
+      << (policy == fault::UnreachablePolicy::kThrow ? "throw" : "drop");
+  if (fault::planRegistry().at(core::splitSpec(plan.spec).name).seeded) {
+    key << "|fseed=" << deriveSeed(spec.seed, "fault");
+  }
+  return degraded_.get(key.str(), [&] {
+    const std::vector<xgft::LinkId> failed = plan.failedAt(0);
+    const fault::DegradedTopology view(router->topology(), failed);
+    return fault::compileDegraded(router, view, policy, threads).table;
+  });
+}
+
 sim::TimeNs CampaignCache::crossbarMakespan(const ExperimentSpec& spec,
                                             const patterns::PhasedPattern& app,
                                             const sim::SimConfig& cfg) {
@@ -168,6 +188,11 @@ CacheStats CampaignCache::stats() const {
     s.referenceHits = references_.hits;
     s.referenceMisses = references_.misses;
   }
+  {
+    std::lock_guard<std::mutex> lock(degraded_.mu);
+    s.degradedHits = degraded_.hits;
+    s.degradedMisses = degraded_.misses;
+  }
   return s;
 }
 
@@ -203,11 +228,36 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
   const patterns::PhasedPattern noApp;
   const std::shared_ptr<const routing::Router> router =
       cache.router(spec, topo, noApp);
+
+  // Fault plans route through recompiled tables, so a faulted job needs the
+  // compiled path even when the campaign opted out of it.
+  fault::FaultPlan plan;
+  if (!spec.faults.empty()) {
+    (void)fault::requireDegradable(spec.routing);
+    plan = fault::makeFaultPlan(spec.faults, *topo,
+                                deriveSeed(spec.seed, "fault"));
+    if (core::CompiledRoutes::tableBytes(*topo) > opt.maxCompiledTableBytes) {
+      throw std::invalid_argument(
+          "fault plans need compiled forwarding tables, but this topology's "
+          "table exceeds maxCompiledTableBytes");
+    }
+  }
+
   std::shared_ptr<const core::CompiledRoutes> compiled;
-  if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes &&
+  if (scheme.mode == core::RouteMode::kTable &&
+      (opt.compileRoutes || !plan.empty()) &&
       core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
     compiled = cache.compiledRoutes(spec, router,
                                     std::max(1u, opt.compileThreads));
+  }
+  // The t = 0 degraded table replaces the healthy one for static failures;
+  // timed-only plans start healthy and swap tables at their transitions.
+  std::shared_ptr<const core::CompiledRoutes> degradedTable;
+  if (!plan.empty() && !plan.failedAt(0).empty()) {
+    degradedTable =
+        cache.degradedRoutes(spec, router, plan,
+                             fault::UnreachablePolicy::kDrop,
+                             std::max(1u, opt.compileThreads));
   }
 
   const sim::TimeNs stopNs = opt.openLoopWarmupNs + opt.openLoopMeasureNs;
@@ -219,9 +269,22 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
   ol.warmupNs = opt.openLoopWarmupNs;
   ol.measureNs = opt.openLoopMeasureNs;
   ol.spray = sprayCfg;
-  ol.compiled = compiled.get();
+  ol.compiled = degradedTable ? degradedTable.get() : compiled.get();
   const std::shared_ptr<obs::Recorder> recorder = makeRecorder(spec, opt);
   ol.probe = recorder.get();
+  // Owns every table recompiled at the plan's transition instants; must
+  // outlive the run (the resolver holds raw pointers into it).
+  std::shared_ptr<void> faultState;
+  if (!plan.empty()) {
+    ol.prepare = [&](sim::Network& net, trace::RouteSetResolver& resolver) {
+      fault::InstallOptions io;
+      io.policy = sim::FaultPolicy::kReroute;
+      io.unreachable = fault::UnreachablePolicy::kDrop;
+      io.compileThreads = std::max(1u, opt.compileThreads);
+      io.applyStatic = false;  // The t = 0 table is already ol.compiled.
+      faultState = fault::installFaultPlan(net, plan, router, &resolver, io);
+    };
+  }
   const trace::OpenLoopResult r =
       trace::runOpenLoop(*topo, *router, *source, ol, opt.sim);
   result.telemetry = recorder;
@@ -291,14 +354,46 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                                       std::max(1u, opt.compileThreads));
     }
 
+    // Closed-loop fault path: static plans only.  The degraded table is
+    // compiled under kThrow (a partitioned pair would stall the phase
+    // barrier forever, so it must fail loudly at compile time), and the
+    // dead links still get their calendar events so linkDownNs accounts —
+    // no traffic touches them, every recompiled route avoids the failures.
+    fault::FaultPlan plan;
+    std::shared_ptr<const core::CompiledRoutes> degradedTable;
+    if (!spec.faults.empty()) {
+      (void)fault::requireDegradable(spec.routing);
+      plan = fault::makeFaultPlan(spec.faults, *topo,
+                                  deriveSeed(spec.seed, "fault"));
+      if (plan.hasTimed()) {
+        throw std::invalid_argument(
+            "timed fault plans need an open-loop job (source=): closed-loop "
+            "phase replay cannot drop messages without stalling its barrier");
+      }
+      if (core::CompiledRoutes::tableBytes(*topo) >
+          opt.maxCompiledTableBytes) {
+        throw std::invalid_argument(
+            "fault plans need compiled forwarding tables, but this "
+            "topology's table exceeds maxCompiledTableBytes");
+      }
+      if (!plan.empty()) {
+        degradedTable =
+            cache.degradedRoutes(spec, router,
+                                 plan, fault::UnreachablePolicy::kThrow,
+                                 std::max(1u, opt.compileThreads));
+      }
+    }
+
     sim::Network net(*topo, opt.sim);
+    if (!plan.empty()) plan.scheduleOn(net);
     const std::shared_ptr<obs::Recorder> recorder = makeRecorder(spec, opt);
     if (recorder) net.setProbe(recorder.get());
     result.telemetry = recorder;
     const trace::Trace t = trace::traceFromPhases(app);
     const trace::Mapping mapping = trace::Mapping::sequential(app.numRanks);
-    trace::Replayer replayer(net, t, mapping, *router, sprayCfg,
-                             compiled.get());
+    trace::Replayer replayer(
+        net, t, mapping, *router, sprayCfg,
+        degradedTable ? degradedTable.get() : compiled.get());
     result.makespanNs = replayer.run();
     result.net = net.stats();
 
@@ -313,7 +408,10 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
                           : static_cast<double>(result.makespanNs) /
                                 static_cast<double>(reference);
 
-    if (opt.collectContention && scheme.mode == core::RouteMode::kTable) {
+    // Contention/census columns describe the healthy router's routes, which
+    // a faulted job does not use — leave them at their defaults there.
+    if (opt.collectContention && scheme.mode == core::RouteMode::kTable &&
+        spec.faults.empty()) {
       const patterns::Pattern flat = app.flattened();
       const analysis::LoadSummary loads =
           analysis::computeLoads(*topo, flat, *router);

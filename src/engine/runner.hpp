@@ -28,6 +28,7 @@
 #include "core/compiled_routes.hpp"
 #include "engine/results.hpp"
 #include "engine/spec.hpp"
+#include "fault/degraded.hpp"
 #include "obs/recorder.hpp"
 #include "routing/router.hpp"
 #include "sim/config.hpp"
@@ -63,6 +64,20 @@ class CampaignCache {
       const std::shared_ptr<const routing::Router>& router,
       std::uint32_t threads);
 
+  /// The degraded forwarding table for @p router under @p plan's t = 0
+  /// failed-link set (fault::compileDegraded).  Keyed by the router key
+  /// plus the canonical plan spec, the unreachable policy and — only for
+  /// seeded failure models — the derived fault seed, so a load sweep at a
+  /// fixed failure rate compiles each degraded table once.  The healthy
+  /// memo (compiledRoutes) never sees fault keys: `faults=none` campaigns
+  /// hit exactly the same cache entries as before the fault subsystem
+  /// existed.
+  [[nodiscard]] std::shared_ptr<const core::CompiledRoutes> degradedRoutes(
+      const ExperimentSpec& spec,
+      const std::shared_ptr<const routing::Router>& router,
+      const fault::FaultPlan& plan, fault::UnreachablePolicy policy,
+      std::uint32_t threads);
+
   /// Makespan of @p app on the ideal Full-Crossbar under @p cfg.  Keyed on
   /// (pattern, msg_scale, sim config) — and the derived pattern seed only
   /// when the workload itself is seeded — so seed sweeps of a fixed
@@ -89,6 +104,7 @@ class CampaignCache {
   Memo<std::shared_ptr<const xgft::Topology>> topologies_;
   Memo<std::shared_ptr<const routing::Router>> routers_;
   Memo<std::shared_ptr<const core::CompiledRoutes>> tables_;
+  Memo<std::shared_ptr<const core::CompiledRoutes>> degraded_;
   Memo<sim::TimeNs> references_;
 };
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/plan.hpp"
+
 namespace engine {
 
 namespace {
@@ -78,6 +80,11 @@ std::vector<std::pair<std::string, std::string>> tokenize(
       i = end == std::string::npos ? n : end;
     }
     if (value.empty()) fail("empty value for key '" + key + "'");
+    for (const auto& [seen, unused] : tokens) {
+      // Last-wins would silently ignore the earlier assignment — a typo'd
+      // sweep line must fail loudly instead.
+      if (seen == key) fail("duplicate key '" + key + "'");
+    }
     tokens.emplace_back(std::move(key), std::move(value));
   }
   return tokens;
@@ -167,6 +174,18 @@ ExperimentSpec specFromAssignments(
       if (spec.msgScale <= 0.0) fail("msg_scale must be > 0");
     } else if (key == "seed") {
       spec.seed = requireU64(value, key);
+    } else if (key == "faults") {
+      if (value == "none") {
+        spec.faults.clear();  // faults=none == absent key, byte for byte.
+      } else {
+        // Validate and canonicalize the model name now, like pattern=.
+        const core::SpecName name = core::splitSpec(value);
+        (void)fault::planRegistry().at(name.name);
+        spec.faults =
+            core::joinSpec(fault::planRegistry().canonical(name.name),
+                           name.args)
+                .full;
+      }
     } else if (key == "telemetry") {
       spec.telemetry = parseTelemetryLevel(value);
     } else {
@@ -174,7 +193,7 @@ ExperimentSpec specFromAssignments(
       // bad token in a campaign file reads the same way.
       fail("unknown campaign key '" + key +
            "' (known: topo, m1, m2, w2, pattern, source, load, routing, "
-           "msg_scale, seed, telemetry)");
+           "msg_scale, seed, faults, telemetry)");
     }
   }
   if (haveTopo && haveFamily) {
@@ -240,7 +259,9 @@ std::string ExperimentSpec::toLine() const {
   }
   os << " routing=" << routing << " msg_scale=" << formatShortest(msgScale)
      << " seed=" << seed;
-  // Rendered only when set, so pre-telemetry lines round-trip byte-exactly.
+  // faults= and telemetry= render only when set, so healthy pre-fault
+  // lines round-trip byte-exactly.
+  if (!faults.empty()) os << " faults=" << faults;
   if (telemetry != TelemetryLevel::kOff) {
     os << " telemetry=" << telemetryLevelName(telemetry);
   }

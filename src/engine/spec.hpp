@@ -21,6 +21,8 @@
 //   msg_scale=0.125               multiplies every message size (open-loop
 //                                 messages are 4096 B * msg_scale)
 //   seed=1..40                    integer ranges sweep inclusively
+//   faults=links:10               failure plan (--list-faults); "none" is
+//                                 the healthy baseline and the default
 //   telemetry=summary             observation depth (off/summary/trace);
 //                                 never changes simulated results
 //
@@ -74,6 +76,13 @@ struct ExperimentSpec {
   /// host as a fraction of the link rate.
   std::string source;
   double load = 0.5;
+
+  /// Failure plan for this job (`faults=` key; fault::planRegistry()
+  /// spec).  Empty means healthy: the spec value "none" normalizes to ""
+  /// so `faults=none` and an absent key are the same configuration —
+  /// byte-identical CSVs and manifests.  Seeded plans draw from
+  /// deriveSeed(seed, "fault").
+  std::string faults;
 
   /// Observation depth for this job (`telemetry=` key).  Not part of the
   /// measured configuration: it is excluded from the CSV columns, and

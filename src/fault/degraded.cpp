@@ -1,0 +1,105 @@
+#include "fault/degraded.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace fault {
+
+DegradedTopology::DegradedTopology(const xgft::Topology& topo,
+                                   std::span<const xgft::LinkId> failedLinks)
+    : topo_(&topo), failed_(topo.numLinks(), 0) {
+  for (const xgft::LinkId link : failedLinks) {
+    if (link >= topo.numLinks()) {
+      throw std::invalid_argument(
+          "DegradedTopology: link " + std::to_string(link) +
+          " out of range (topology has " + std::to_string(topo.numLinks()) +
+          " links)");
+    }
+    if (failed_[link] == 0) {
+      failed_[link] = 1;
+      ++numFailed_;
+    }
+  }
+}
+
+bool DegradedTopology::routeBlocked(xgft::NodeIndex s, xgft::NodeIndex d,
+                                    const xgft::Route& r) const {
+  if (numFailed_ == 0) return false;
+  for (const xgft::Channel& ch : xgft::channelsOf(*topo_, s, d, r)) {
+    if (failed_[ch.link] != 0) return true;
+  }
+  return false;
+}
+
+DegradedRoutes compileDegraded(std::shared_ptr<const routing::Router> router,
+                               const DegradedTopology& degraded,
+                               UnreachablePolicy policy,
+                               std::uint32_t threads) {
+  if (!router) {
+    throw std::invalid_argument("compileDegraded: null router");
+  }
+  const xgft::Topology& topo = router->topology();
+  if (&topo != &degraded.base()) {
+    throw std::invalid_argument(
+        "compileDegraded: router and degraded view disagree on the topology");
+  }
+
+  DegradedRoutes out;
+  std::mutex unreachableMu;
+  const routing::Router& r = *router;
+
+  // Per-pair rule: keep the scheme's own route when it survives, otherwise
+  // take the first clean minimal alternative in NCA-enumeration order
+  // (deterministic, scheme-independent, and identical for any thread
+  // count).  No alternative -> unreachable.
+  const auto routeFor =
+      [&](xgft::NodeIndex s,
+          xgft::NodeIndex d) -> std::optional<xgft::Route> {
+    xgft::Route route = r.route(s, d);
+    if (!degraded.routeBlocked(s, d, route)) return route;
+    const xgft::Count ncas = topo.numNcas(s, d);
+    for (xgft::Count c = 0; c < ncas; ++c) {
+      xgft::Route alt = xgft::routeViaNca(topo, s, d, c);
+      if (!degraded.routeBlocked(s, d, alt)) return alt;
+    }
+    if (policy == UnreachablePolicy::kThrow) {
+      throw std::invalid_argument(
+          "compileDegraded(" + r.name() + "): pair " + std::to_string(s) +
+          " -> " + std::to_string(d) +
+          " is unreachable on the degraded topology (" +
+          std::to_string(degraded.numFailed()) + " links failed)");
+    }
+    std::lock_guard<std::mutex> lock(unreachableMu);
+    out.unreachable.emplace_back(s, d);
+    return std::nullopt;
+  };
+
+  out.table = core::CompiledRoutes::compileWith(std::move(router), routeFor,
+                                                threads);
+  std::sort(out.unreachable.begin(), out.unreachable.end());
+  return out;
+}
+
+const core::SchemeInfo& requireDegradable(const std::string& routing) {
+  const core::SchemeInfo& info = core::schemeRegistry().at(routing);
+  if (info.mode != core::RouteMode::kTable) {
+    std::string degradable;
+    for (const std::string& name : core::schemeRegistry().names()) {
+      if (core::schemeRegistry().at(name).mode == core::RouteMode::kTable) {
+        if (!degradable.empty()) degradable += ", ";
+        degradable += name;
+      }
+    }
+    throw std::invalid_argument(
+        "routing scheme '" + routing +
+        "' cannot run on a degraded topology: per-segment port selection "
+        "(adaptive/spray) honours faults via the fault policy, not table "
+        "recompilation (degradable: " +
+        degradable + ")");
+  }
+  return info;
+}
+
+}  // namespace fault

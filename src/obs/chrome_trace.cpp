@@ -143,6 +143,20 @@ AddedProcess ChromeTraceWriter::addProcess(const Recorder& rec,
         emit(ev);
         break;
       }
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp: {
+        // Process-scoped instants: a fault transition affects every track.
+        std::string ev = "{\"name\":\"";
+        ev += e.kind == EventKind::kLinkDown ? "link down " : "link up ";
+        ev += std::to_string(e.a);
+        ev += "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"pid\":";
+        ev += pid;
+        ev += ",\"tid\":0,\"ts\":";
+        ev += microsFixed3(e.t);
+        ev += "}";
+        emit(ev);
+        break;
+      }
     }
   }
 

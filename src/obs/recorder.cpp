@@ -124,6 +124,18 @@ void Recorder::onInputWoken(std::uint32_t gInPort, sim::TimeNs t) {
   if (cfg_.recordEvents) record(EventKind::kWake, t, gInPort);
 }
 
+void Recorder::onLinkDown(xgft::LinkId link, sim::TimeNs t) {
+  if (cfg_.recordEvents) {
+    record(EventKind::kLinkDown, t, static_cast<std::uint32_t>(link));
+  }
+}
+
+void Recorder::onLinkUp(xgft::LinkId link, sim::TimeNs t) {
+  if (cfg_.recordEvents) {
+    record(EventKind::kLinkUp, t, static_cast<std::uint32_t>(link));
+  }
+}
+
 void Recorder::onSample(const sim::Network& net, sim::TimeNs t) {
   const sim::TimeNs dt = t - lastSampleT_;
   if (dt == 0) return;

@@ -78,6 +78,8 @@ enum class EventKind : std::uint8_t {
   kWireBusy,  ///< a = gport, b = msg, durNs = serialization time.
   kBlocked,   ///< a = blocked input gport, b = blocking output gport.
   kWake,      ///< a = woken input gport.
+  kLinkDown,  ///< a = failed link id (fault injection).
+  kLinkUp,    ///< a = restored link id.
 };
 
 struct TraceEvent {
@@ -133,6 +135,8 @@ class Recorder : public sim::Probe {
   void onInputBlocked(std::uint32_t gInPort, std::uint32_t gOutPort,
                       sim::TimeNs t) override;
   void onInputWoken(std::uint32_t gInPort, sim::TimeNs t) override;
+  void onLinkDown(xgft::LinkId link, sim::TimeNs t) override;
+  void onLinkUp(xgft::LinkId link, sim::TimeNs t) override;
   [[nodiscard]] sim::TimeNs samplePeriodNs() const override {
     return periodNs_;
   }

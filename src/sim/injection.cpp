@@ -1,6 +1,7 @@
 #include "sim/injection.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace sim {
 
@@ -22,8 +23,24 @@ void InjectionProcess::inject(const patterns::SourceMessage& m) {
   if (opt_.adaptive) {
     id = net_->addMessageAdaptive(src, dst, m.bytes);
   } else {
-    id = net_->addMessageSet(src, dst, m.bytes, opt_.routeSet(src, dst),
-                             opt_.policy, opt_.spraySeed);
+    const RouteSetId set = opt_.routeSet(src, dst);
+    if (set == RouteStore::kUnroutable) {
+      // The degraded forwarding table has no path for this pair: refuse the
+      // message before it exists.  No MsgId is allocated, so the dense
+      // token/latency vectors stay aligned, and closed-loop callers (which
+      // would deadlock awaiting the delivery) must opt in via onDrop.
+      if (!opt_.onDrop) {
+        throw std::runtime_error(
+            "InjectionProcess: pair " + std::to_string(src) + " -> " +
+            std::to_string(dst) +
+            " is unroutable and no onDrop handler is installed");
+      }
+      net_->noteMessageDropped();
+      opt_.onDrop(m.token, m.bytes, src, dst);
+      return;
+    }
+    id = net_->addMessageSet(src, dst, m.bytes, set, opt_.policy,
+                             opt_.spraySeed);
   }
   if (id != tokenOf_.size()) {
     // Delivery lookup is a dense vector; a foreign addMessage* call in

@@ -48,7 +48,18 @@ struct InjectionOptions {
 
   /// Interned route set for a (src, dst) host pair; required unless
   /// adaptive.  Called once per injected message (resolvers memoize).
+  /// May return RouteStore::kUnroutable for a pair the active (degraded)
+  /// forwarding table cannot reach — the message is then refused, not
+  /// enqueued.
   std::function<RouteSetId(xgft::NodeIndex, xgft::NodeIndex)> routeSet;
+
+  /// Invoked for every refused message: (source token, bytes, src host,
+  /// dst host).  The refusal is counted in NetworkStats::messagesDropped
+  /// either way, but a closed-loop source would wait forever for the
+  /// message's delivery — so a kUnroutable resolution without an onDrop
+  /// handler throws std::runtime_error instead of hanging.
+  std::function<void(std::uint64_t, Bytes, xgft::NodeIndex, xgft::NodeIndex)>
+      onDrop;
 };
 
 class InjectionProcess final : public TrafficSink {

@@ -251,6 +251,47 @@ void Network::scheduleCallback(TimeNs t, std::function<void()> fn) {
   schedule(t, Kind::kCallback, slot);
 }
 
+std::uint32_t Network::linkChildGport(std::uint32_t link) const {
+  const xgft::LinkInfo li = topo_->linkInfo(link);
+  return static_cast<std::uint32_t>(
+      portBase_[topo_->globalId(li.level, li.child)] +
+      topo_->upPortBase(li.level) + li.parentPort);
+}
+
+void Network::scheduleLinkDown(TimeNs t, xgft::LinkId link) {
+  if (link >= topo_->numLinks()) {
+    throw std::invalid_argument(
+        "scheduleLinkDown: link " + std::to_string(link) +
+        " out of range (topology has " + std::to_string(topo_->numLinks()) +
+        " links)");
+  }
+  if (t < now_) {
+    throw std::invalid_argument("scheduleLinkDown: time in the past");
+  }
+  schedule(t, Kind::kLinkDown, static_cast<std::uint32_t>(link));
+}
+
+void Network::scheduleLinkUp(TimeNs t, xgft::LinkId link) {
+  if (link >= topo_->numLinks()) {
+    throw std::invalid_argument(
+        "scheduleLinkUp: link " + std::to_string(link) +
+        " out of range (topology has " + std::to_string(topo_->numLinks()) +
+        " links)");
+  }
+  if (t < now_) {
+    throw std::invalid_argument("scheduleLinkUp: time in the past");
+  }
+  schedule(t, Kind::kLinkUp, static_cast<std::uint32_t>(link));
+}
+
+bool Network::linkIsDown(xgft::LinkId link) const {
+  if (link >= topo_->numLinks()) {
+    throw std::invalid_argument("linkIsDown: link " + std::to_string(link) +
+                                " out of range");
+  }
+  return ports_[linkChildGport(static_cast<std::uint32_t>(link))].down;
+}
+
 void Network::setProbe(Probe* probe) {
   probe_ = probe;
   if (probe_ == nullptr) return;
@@ -271,10 +312,24 @@ void Network::run(TimeNs until) {
     handle(ev);
     ++stats_.eventsProcessed;
   }
+  // Stats are valid at every run() boundary: fold pending outage time in.
+  if (!downLinks_.empty()) accrueLinkDownTo(now_);
   if (queue_.empty()) {
     std::uint64_t stranded = 0;
-    for (const Message& m : messages_) {
-      if (m.released && !m.delivered) ++stranded;
+    for (Message& m : messages_) {
+      if (m.released && !m.delivered && !m.dropped) {
+        if (faultsSeen_) {
+          // Expected loss on a faulted run: traffic waiting behind a link
+          // that never came back (or whose remaining segments were gated at
+          // a down host port).  Segments still inside the network at drain
+          // are stranded by definition.
+          m.dropped = true;
+          ++stats_.messagesDropped;
+          stats_.segmentsStranded += m.injectedSegments - m.deliveredSegments;
+        } else {
+          ++stranded;
+        }
+      }
     }
     if (stranded > 0) {
       throw std::runtime_error(
@@ -282,6 +337,13 @@ void Network::run(TimeNs until) {
           std::to_string(stranded) +
           " undelivered released message(s) — routing or flow-control bug");
     }
+  }
+}
+
+void Network::accrueLinkDownTo(TimeNs t) {
+  for (DownLink& dl : downLinks_) {
+    stats_.linkDownNs += t - dl.since;
+    dl.since = t;
   }
 }
 
@@ -335,7 +397,166 @@ void Network::handle(const EventRecord& ev) {
       --stats_.eventsProcessed;
       break;
     }
+    case Kind::kLinkDown:
+      handleLinkDown(ev.a);
+      break;
+    case Kind::kLinkUp:
+      handleLinkUp(ev.a);
+      break;
   }
+}
+
+void Network::handleLinkDown(std::uint32_t link) {
+  const std::uint32_t childG = linkChildGport(link);
+  const std::uint32_t parentG = ports_[childG].peer;
+  if (ports_[childG].down) return;  // Already failed: transition no-op.
+  faultsSeen_ = true;
+  ports_[childG].down = true;
+  ports_[parentG].down = true;
+  downLinks_.push_back(DownLink{link, now_});
+  if (probe_ != nullptr) probe_->onLinkDown(link, now_);
+  if (faultPolicy_ != FaultPolicy::kWait) {
+    // Eagerly resolve everything queued at or parked on the dead outputs;
+    // under kWait it all simply waits for a restore.
+    processDeadOutput(childG);
+    processDeadOutput(parentG);
+    flushDeadWaiters(childG);
+    flushDeadWaiters(parentG);
+  }
+}
+
+void Network::handleLinkUp(std::uint32_t link) {
+  const std::uint32_t childG = linkChildGport(link);
+  const std::uint32_t parentG = ports_[childG].peer;
+  if (!ports_[childG].down) return;  // Already up: transition no-op.
+  for (std::size_t i = 0; i < downLinks_.size(); ++i) {
+    if (downLinks_[i].link == link) {
+      stats_.linkDownNs += now_ - downLinks_[i].since;
+      downLinks_[i] = downLinks_.back();
+      downLinks_.pop_back();
+      break;
+    }
+  }
+  ports_[childG].down = false;
+  ports_[parentG].down = false;
+  if (probe_ != nullptr) probe_->onLinkUp(link, now_);
+  // Restart both directions: queued output segments transmit again and
+  // parked inputs are served as slots free up.
+  outputDispatch(childG);
+  outputDispatch(parentG);
+  serveWaitingInputs(childG);
+  serveWaitingInputs(parentG);
+}
+
+void Network::dropMessage(MsgId msg) {
+  Message& m = messages_[msg];
+  if (m.dropped) return;
+  m.dropped = true;
+  ++stats_.messagesDropped;
+}
+
+std::uint32_t Network::rerouteAlternative(std::uint32_t gOutPort) {
+  const PortOwner& owner = portOwner_[gOutPort];
+  // Host NICs are gated, not rerouted (the NIC port is fixed per message),
+  // and a descending output has a unique minimal continuation.
+  if (owner.level == 0) return kNil;
+  const std::uint32_t upBase = topo_->upPortBase(owner.level);
+  if (owner.localPort < upBase) return kNil;
+  // The dead output ascends, so this switch is not an ancestor of the
+  // destination and *any* live up-port preserves minimality; pick the
+  // least-occupied one like resolveAdaptive does.
+  const std::uint32_t numUp = topo_->params().w(owner.level + 1);
+  const xgft::GlobalNodeId nid = topo_->globalId(owner.level, owner.node);
+  const std::uint32_t start = adaptiveRR_[nid]++ % numUp;
+  std::uint32_t best = kNil;
+  std::uint64_t bestScore = ~std::uint64_t{0};
+  for (std::uint32_t i = 0; i < numUp; ++i) {
+    const std::uint32_t p = (start + i) % numUp;
+    const std::uint32_t gout = globalPort(owner.level, owner.node, upBase + p);
+    const PortState& out = ports_[gout];
+    if (out.down) continue;
+    const std::uint64_t score =
+        (static_cast<std::uint64_t>(out.outCount) + out.reserved) * 2 +
+        (out.wireBusy ? 1 : 0);
+    if (score < bestScore) {
+      bestScore = score;
+      best = gout;
+    }
+  }
+  return best;
+}
+
+void Network::processDeadOutput(std::uint32_t gOutPort) {
+  PortState& port = ports_[gOutPort];
+  while (port.outHead != kNil) {
+    const std::uint32_t seg = segPopFront(port.outHead, port.outTail);
+    --port.outCount;
+    if (probe_ != nullptr) {
+      probe_->onSegmentDequeued(gOutPort, /*input=*/false, port.outCount,
+                                now_);
+    }
+    std::uint32_t alt = kNil;
+    if (faultPolicy_ == FaultPolicy::kReroute) {
+      alt = rerouteAlternative(gOutPort);
+      if (alt != kNil && ports_[alt].outCount + ports_[alt].reserved >=
+                             cfg_.outputBufferSegments) {
+        alt = kNil;  // The escape hatch is full; strand instead.
+      }
+    }
+    if (alt == kNil) {
+      ++stats_.segmentsStranded;
+      if (probe_ != nullptr) {
+        probe_->onSegmentStranded(gOutPort, segments_[seg].msg, now_);
+      }
+      dropMessage(segments_[seg].msg);
+      freeSegment(seg);
+      continue;
+    }
+    segments_[seg].flags |= kSegEscaped;
+    segments_[seg].resolvedOut = alt;
+    ++stats_.segmentsRerouted;
+    PortState& altPort = ports_[alt];
+    segPushBack(altPort.outHead, altPort.outTail, seg);
+    ++altPort.outCount;
+    stats_.maxOutputQueueDepth =
+        std::max(stats_.maxOutputQueueDepth, altPort.outCount);
+    if (probe_ != nullptr) {
+      probe_->onSegmentRerouted(gOutPort, alt, segments_[seg].msg, now_);
+      probe_->onSegmentEnqueued(alt, /*input=*/false, altPort.outCount, now_);
+    }
+    tryTransmitSwitch(alt);
+  }
+}
+
+void Network::flushDeadWaiters(std::uint32_t gOutPort) {
+  PortState& port = ports_[gOutPort];
+  std::uint32_t in = port.waitHead;
+  port.waitHead = kNil;
+  port.waitTail = kNil;
+  while (in != kNil) {
+    const std::uint32_t next = waitLink_[in];
+    ports_[in].queuedWaiting = false;
+    if (probe_ != nullptr) probe_->onInputWoken(in, now_);
+    // The woken input's head still resolves to the dead output, so
+    // advanceInputTo's fault branch strands or reroutes it.
+    wakeInput(in);
+    in = next;
+  }
+}
+
+void Network::strandInputHead(std::uint32_t gInPort) {
+  PortState& port = ports_[gInPort];
+  const std::uint32_t seg = segPopFront(port.inHead, port.inTail);
+  --port.inCount;
+  if (probe_ != nullptr) {
+    probe_->onSegmentDequeued(gInPort, /*input=*/true, port.inCount, now_);
+    probe_->onSegmentStranded(gInPort, segments_[seg].msg, now_);
+  }
+  ++stats_.segmentsStranded;
+  dropMessage(segments_[seg].msg);
+  freeSegment(seg);
+  returnCredit(port.peer);
+  tryAdvanceInput(gInPort);
 }
 
 void Network::handleRelease(MsgId msg) {
@@ -387,6 +608,16 @@ std::uint32_t Network::allocSegment(MsgId msg, RouteId route,
 
 void Network::tryInjectHost(std::uint32_t gOutPort) {
   PortState& port = ports_[gOutPort];
+  if (faultsSeen_) {
+    if (port.down) return;
+    // Skip over messages dropped by a fault: their remaining segments are
+    // never injected.
+    while (port.activeHead != kNil && messages_[port.activeHead].dropped) {
+      const MsgId dead = port.activeHead;
+      port.activeHead = messages_[dead].nextActive;
+      if (port.activeHead == kNil) port.activeTail = kNil;
+    }
+  }
   if (port.wireBusy || port.credits == 0 || port.activeHead == kNil) return;
   const MsgId msgId = port.activeHead;
   Message& m = messages_[msgId];
@@ -453,7 +684,8 @@ void Network::handleWireFree(std::uint32_t gOutPort) {
 
 void Network::tryTransmitSwitch(std::uint32_t gOutPort) {
   PortState& port = ports_[gOutPort];
-  if (port.wireBusy || port.credits == 0 || port.outHead == kNil) return;
+  if (port.wireBusy || port.down || port.credits == 0 || port.outHead == kNil)
+    return;
   const std::uint32_t seg = segPopFront(port.outHead, port.outTail);
   --port.outCount;
   if (probe_ != nullptr) {
@@ -493,7 +725,9 @@ void Network::deliverSegment(std::uint32_t gInPort, std::uint32_t seg) {
   assert(stats_.segmentsDelivered <= stats_.segmentsInjected);
   Message& m = messages_[msgId];
   ++m.deliveredSegments;
-  if (m.deliveredSegments == m.numSegments) {
+  // A dropped message never completes, even if its surviving segments all
+  // arrive (it lost at least one to a fault).
+  if (m.deliveredSegments == m.numSegments && !m.dropped) {
     m.delivered = true;
     m.deliveredAt = now_;
     ++stats_.messagesDelivered;
@@ -508,7 +742,7 @@ void Network::tryAdvanceInput(std::uint32_t gInPort) {
   if (port.transferring || port.inHead == kNil) return;
   const std::uint32_t seg = port.inHead;
   Segment& segment = segments_[seg];
-  const std::uint32_t out = messages_[segment.msg].adaptive
+  const std::uint32_t out = segAdaptive(segment)
                                 ? resolveAdaptive(gInPort, segment)
                                 : pathOf(segment)[segment.hop];
   segment.resolvedOut = out;
@@ -524,7 +758,7 @@ void Network::wakeInput(std::uint32_t gInPort) {
   // transfers pop), so a static route's resolved output is still right.
   // Adaptive segments re-pick against current queue occupancies.
   std::uint32_t out = segment.resolvedOut;
-  if (messages_[segment.msg].adaptive) {
+  if (segAdaptive(segment)) {
     out = resolveAdaptive(gInPort, segment);
     segment.resolvedOut = out;
   }
@@ -534,6 +768,26 @@ void Network::wakeInput(std::uint32_t gInPort) {
 void Network::advanceInputTo(std::uint32_t gInPort, std::uint32_t seg,
                              std::uint32_t out) {
   PortState& port = ports_[gInPort];
+  if (ports_[out].down && faultPolicy_ != FaultPolicy::kWait) {
+    // Under kWait the segment queues behind the dead output like any full
+    // buffer and resumes on restore; otherwise escape or strand it now.
+    if (faultPolicy_ == FaultPolicy::kReroute) {
+      const std::uint32_t alt = rerouteAlternative(out);
+      if (alt != kNil) {
+        Segment& segment = segments_[seg];
+        segment.flags |= kSegEscaped;
+        segment.resolvedOut = alt;
+        ++stats_.segmentsRerouted;
+        if (probe_ != nullptr) {
+          probe_->onSegmentRerouted(out, alt, segment.msg, now_);
+        }
+        advanceInputTo(gInPort, seg, alt);  // alt is live: no recursion loop.
+        return;
+      }
+    }
+    strandInputHead(gInPort);
+    return;
+  }
   PortState& outPort = ports_[out];
   if (outPort.outCount + outPort.reserved < cfg_.outputBufferSegments) {
     ++outPort.reserved;
@@ -574,6 +828,11 @@ void Network::handleTransfer(std::uint32_t gInPort, std::uint32_t seg) {
   returnCredit(port.peer);
   tryAdvanceInput(gInPort);
   tryTransmitSwitch(out);
+  // The output may have failed while this transfer was in flight; do not
+  // let the segment sit in a dead queue under an eager policy.
+  if (outPort.down && faultPolicy_ != FaultPolicy::kWait) {
+    processDeadOutput(out);
+  }
 }
 
 std::uint32_t Network::resolveAdaptive(std::uint32_t gInPort,
@@ -605,9 +864,12 @@ std::uint32_t Network::resolveAdaptive(std::uint32_t gInPort,
     const std::uint32_t p = (start + i) % numUp;
     const std::uint32_t gout = globalPort(level, owner.node, upBase + p);
     const PortState& out = ports_[gout];
-    const std::uint64_t score =
+    std::uint64_t score =
         (static_cast<std::uint64_t>(out.outCount) + out.reserved) * 2 +
         (out.wireBusy ? 1 : 0);
+    // Any live up-port beats every dead one; if all are dead the pick still
+    // resolves and advanceInputTo's fault branch decides what happens.
+    if (out.down) score |= std::uint64_t{1} << 63;
     if (score < bestScore) {
       bestScore = score;
       bestPort = gout;

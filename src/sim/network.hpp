@@ -20,6 +20,9 @@
 // Up/down routes on a tree give an acyclic channel-dependency graph, so the
 // credit protocol cannot deadlock; run() checks full drainage and throws on
 // any stranded segment (a routing-table bug would surface here, not hang).
+// On runs where link faults occurred (scheduleLinkDown) stranded traffic is
+// expected, so the drain check converts it to dropped-message accounting
+// instead of throwing (DESIGN.md §10).
 //
 // Data layout (DESIGN.md §7): the inner loop runs entirely over flat
 // storage — POD events in a calendar queue (event_queue.hpp), segments in a
@@ -67,6 +70,26 @@ enum class SprayPolicy : std::uint8_t {
   kRandom,      ///< Segment i takes a seeded pseudo-random route.
 };
 
+/// What the event core does with traffic that meets a dead link
+/// (scheduleLinkDown).  In every policy an in-flight segment completes its
+/// serialization (kWireFree/kWireArrive events already scheduled proceed)
+/// and only then the port blocks.
+enum class FaultPolicy : std::uint8_t {
+  /// Traffic queues behind the dead port and waits for a scheduleLinkUp;
+  /// if none ever fires, the affected messages are converted to dropped
+  /// when the queue drains (run() never hangs or throws on faulted runs).
+  kWait,
+  /// Segments queued at or routed to the dead port are dropped immediately
+  /// (counted in NetworkStats::segmentsStranded) and their messages marked
+  /// dropped.
+  kStrand,
+  /// Ascending segments escape through the least-occupied live up-port of
+  /// the same switch (counted in segmentsRerouted) and continue minimally
+  /// adaptive from there; descending segments have a unique minimal path,
+  /// so they strand as under kStrand.
+  kReroute,
+};
+
 /// Receives end-to-end message completions (the Dimemas coupling point).
 class TrafficSink {
  public:
@@ -95,6 +118,13 @@ class TrafficSink {
 ///  * maxOutputQueueDepth / maxInputQueueDepth — high-water marks over the
 ///    prefix, not current occupancy (Network::outputQueueDepth /
 ///    inputQueueDepth expose instantaneous depths).
+///  * segmentsRerouted / segmentsStranded / messagesDropped — fault
+///    accounting (scheduleLinkDown + FaultPolicy); all zero on healthy
+///    runs.  A stranded segment never delivers, so the in-flight invariant
+///    weakens to `delivered + stranded <= injected` once faults occur.
+///  * linkDownNs — cumulative down-time summed over links (a link down for
+///    d ns contributes d once, not once per direction), accrued up to the
+///    current run() boundary, so it is monotone across resumes.
 struct NetworkStats {
   std::uint64_t segmentsInjected = 0;
   std::uint64_t segmentsDelivered = 0;
@@ -103,6 +133,10 @@ struct NetworkStats {
   TimeNs lastDeliveryNs = 0;
   std::uint32_t maxOutputQueueDepth = 0;
   std::uint32_t maxInputQueueDepth = 0;
+  std::uint64_t segmentsRerouted = 0;
+  std::uint64_t segmentsStranded = 0;
+  std::uint64_t messagesDropped = 0;
+  TimeNs linkDownNs = 0;
 };
 
 class Network {
@@ -195,9 +229,40 @@ class Network {
   /// Schedules an arbitrary callback (trace compute/barrier hooks).
   void scheduleCallback(TimeNs t, std::function<void()> fn);
 
+  // ---- Link faults (src/fault/ drives these) -------------------------------
+
+  /// How traffic that meets a dead link is handled; may be changed between
+  /// runs (takes effect from the next fault transition processed).
+  void setFaultPolicy(FaultPolicy policy) { faultPolicy_ = policy; }
+  [[nodiscard]] FaultPolicy faultPolicy() const { return faultPolicy_; }
+
+  /// Schedules the bidirectional link @p link to fail at time @p t: any
+  /// segment serializing on either wire completes (and its arrival is
+  /// honoured), then both directions block.  Queued/arriving traffic is
+  /// handled per the FaultPolicy.  Failing an already-down link is a no-op
+  /// at processing time.  Throws std::invalid_argument for an unknown link
+  /// or a time in the past.
+  void scheduleLinkDown(TimeNs t, xgft::LinkId link);
+
+  /// Schedules @p link to come back into service at @p t; queued traffic
+  /// behind it resumes.  Restoring an up link is a no-op.
+  void scheduleLinkUp(TimeNs t, xgft::LinkId link);
+
+  /// Is @p link currently failed?  (Reflects processed events only, not
+  /// scheduled future transitions.)
+  [[nodiscard]] bool linkIsDown(xgft::LinkId link) const;
+
+  /// External drop accounting: a routing layer that refuses a message (an
+  /// unreachable pair on a degraded topology) records it here so
+  /// NetworkStats::messagesDropped covers both in-network strands and
+  /// never-injected refusals.
+  void noteMessageDropped() { ++stats_.messagesDropped; }
+
   /// Processes events until the queue drains (or @p until, if given).
   /// Throws std::runtime_error if released traffic is left stranded once
-  /// the queue is empty.
+  /// the queue is empty — unless link faults occurred this run, in which
+  /// case stuck messages are expected and are converted to dropped/stranded
+  /// counts instead (faulted runs report, never hang or throw).
   void run(TimeNs until = std::numeric_limits<TimeNs>::max());
 
   [[nodiscard]] TimeNs now() const { return now_; }
@@ -245,18 +310,27 @@ class Network {
   /// Intrusive-list terminator for segment/message/port links.
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
+  // The calendar queue packs the kind into 3 bits (event_queue.hpp), so at
+  // most 8 kinds exist; kLinkDown/kLinkUp fill the space exactly.
   enum class Kind : std::uint8_t {
     kRelease,
     kWireArrive,
     kWireFree,
     kTransfer,
     kCallback,
-    kSample,  ///< Probe sampling tick — excluded from eventsProcessed.
+    kSample,    ///< Probe sampling tick — excluded from eventsProcessed.
+    kLinkDown,  ///< a = LinkId (fits: links < ports < 2^32).
+    kLinkUp,    ///< a = LinkId.
   };
 
   /// One in-flight segment in the contiguous slot pool.  `next` threads the
   /// FIFO queue (input or output buffer) the segment currently sits in — a
   /// segment is in at most one queue at a time, so one link suffices.
+  /// Segment::flags bit: the segment escaped a dead output port
+  /// (FaultPolicy::kReroute) and finishes its journey adaptively — its
+  /// interned route no longer describes the remaining hops.
+  static constexpr std::uint32_t kSegEscaped = 1u;
+
   struct Segment {
     MsgId msg = 0;
     RouteId route = 0;          ///< Interned path this segment follows.
@@ -264,6 +338,7 @@ class Network {
     std::uint32_t payloadBytes = 0;
     std::uint32_t resolvedOut = 0;  ///< Output gport chosen at this switch.
     std::uint32_t next = kNil;      ///< Intrusive FIFO link / free-list link.
+    std::uint32_t flags = 0;        ///< kSegEscaped.
   };
 
   /// POD message record; routes live in the interned store (set).  The
@@ -286,6 +361,7 @@ class Network {
     bool released = false;
     bool delivered = false;
     bool adaptive = false;
+    bool dropped = false;  ///< Lost to a fault; will never complete.
   };
 
   /// Flat per-port state: all queues are intrusive head/tail links into the
@@ -312,6 +388,7 @@ class Network {
     bool wireBusy = false;
     bool transferring = false;
     bool queuedWaiting = false;  ///< Already parked in some waiting list.
+    bool down = false;           ///< This port's link is failed (both ends).
     // Accounting.
     TimeNs busyNs = 0;
   };
@@ -328,6 +405,8 @@ class Network {
   void handleWireArrive(std::uint32_t gInPort, std::uint32_t seg);
   void handleWireFree(std::uint32_t gOutPort);
   void handleTransfer(std::uint32_t gInPort, std::uint32_t seg);
+  void handleLinkDown(std::uint32_t link);
+  void handleLinkUp(std::uint32_t link);
 
   void tryInjectHost(std::uint32_t gOutPort);
   void tryTransmitSwitch(std::uint32_t gOutPort);
@@ -345,6 +424,30 @@ class Network {
   void returnCredit(std::uint32_t gOutPort);
   void deliverSegment(std::uint32_t gInPort, std::uint32_t seg);
   void outputDispatch(std::uint32_t gOutPort);
+
+  // ---- fault machinery -----------------------------------------------------
+
+  /// The child-side global port of @p link (its peer is the parent side).
+  [[nodiscard]] std::uint32_t linkChildGport(std::uint32_t link) const;
+  /// Strand-or-escape every segment queued in the dead output @p gOutPort
+  /// (kStrand/kReroute only).
+  void processDeadOutput(std::uint32_t gOutPort);
+  /// Re-runs every input parked on the dead output @p gOutPort so its head
+  /// segment is stranded or rerouted instead of waiting forever.
+  void flushDeadWaiters(std::uint32_t gOutPort);
+  /// Drops the head segment of @p gInPort's input queue (strand path).
+  void strandInputHead(std::uint32_t gInPort);
+  /// Least-occupied live up-port of the switch owning the dead output
+  /// @p gOutPort, or kNil when the output descends (unique minimal path) or
+  /// no live up-port remains.
+  [[nodiscard]] std::uint32_t rerouteAlternative(std::uint32_t gOutPort);
+  void dropMessage(MsgId msg);
+  /// Folds the pending down-time of currently-down links into
+  /// stats_.linkDownNs (called at run() boundaries and on restore).
+  void accrueLinkDownTo(TimeNs t);
+  [[nodiscard]] bool segAdaptive(const Segment& seg) const {
+    return messages_[seg.msg].adaptive || (seg.flags & kSegEscaped) != 0;
+  }
 
   // Intrusive FIFO helpers over the segment pool / message table.
   void segPushBack(std::uint32_t& head, std::uint32_t& tail,
@@ -429,6 +532,16 @@ class Network {
   std::vector<std::uint32_t> freeCallbackSlots_;
   TimeNs now_ = 0;
   NetworkStats stats_;
+
+  /// A currently-down link and when its latest outage started (or the last
+  /// run() boundary that already accrued it).
+  struct DownLink {
+    std::uint32_t link = 0;
+    TimeNs since = 0;
+  };
+  std::vector<DownLink> downLinks_;
+  FaultPolicy faultPolicy_ = FaultPolicy::kWait;
+  bool faultsSeen_ = false;  ///< Any kLinkDown ever processed.
 };
 
 /// Wire utilization over @p spanNs from Network::wireBusyNs: the busy

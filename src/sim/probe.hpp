@@ -73,6 +73,26 @@ class Probe {
   /// slot.
   virtual void onInputWoken(std::uint32_t /*gInPort*/, TimeNs /*t*/) {}
 
+  /// The link @p link went down (scheduleLinkDown fired).  Fires once per
+  /// transition — a kLinkDown for an already-down link is a no-op.
+  virtual void onLinkDown(xgft::LinkId /*link*/, TimeNs /*t*/) {}
+
+  /// The link @p link came back up (scheduleLinkUp fired).
+  virtual void onLinkUp(xgft::LinkId /*link*/, TimeNs /*t*/) {}
+
+  /// A segment queued at/behind the dead output @p gport was dropped under
+  /// FaultPolicy::kStrand (or kReroute with no live alternative); its
+  /// message is marked dropped and will never complete.
+  virtual void onSegmentStranded(std::uint32_t /*gport*/,
+                                 std::uint32_t /*msg*/, TimeNs /*t*/) {}
+
+  /// A segment escaped a dead output under FaultPolicy::kReroute: it moved
+  /// from @p fromGport to the live up-port @p toGport and continues
+  /// adaptively (minimally) from there.
+  virtual void onSegmentRerouted(std::uint32_t /*fromGport*/,
+                                 std::uint32_t /*toGport*/,
+                                 std::uint32_t /*msg*/, TimeNs /*t*/) {}
+
   /// Sampling cadence in simulated ns; 0 disables periodic sampling.
   /// Queried after every sample, so an implementation may stretch its
   /// cadence mid-run (the downsampling recorder does).

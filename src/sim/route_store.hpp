@@ -33,6 +33,12 @@ class RouteStore {
   /// Reserved "no route set" handle (messages delivered locally).
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
+  /// Reserved "pair has no route" handle: a resolver returns this when the
+  /// active forwarding table marks the pair unreachable (degraded-topology
+  /// partitions).  Never produced by interning; injection layers must
+  /// refuse such messages (InjectionOptions::onDrop), not enqueue them.
+  static constexpr std::uint32_t kUnroutable = 0xfffffffeu;
+
   /// Interns one hop-by-hop global-port path; returns the id of the
   /// existing copy when an identical path was interned before.
   [[nodiscard]] RouteId internPath(std::span<const std::uint32_t> gports);

@@ -24,9 +24,17 @@ OpenLoopResult runOpenLoop(const xgft::Topology& topo,
   sim::Network net(topo, cfg);
   if (opt.probe != nullptr) net.setProbe(opt.probe);
   RouteSetResolver resolver(net, router, opt.spray, opt.compiled);
+  if (opt.prepare) opt.prepare(net, resolver);
   // Ranks map to hosts identically (no hostOf), so the resolver's options
-  // serve as-is.
-  sim::InjectionProcess process(net, source, injectionOptions(resolver));
+  // serve as-is.  Under a fault plan, refused (unroutable-pair) messages
+  // are already counted by NetworkStats::messagesDropped; open-loop
+  // sources never await a delivery, so a counting-only handler suffices.
+  sim::InjectionOptions injOpt = injectionOptions(resolver);
+  if (opt.prepare) {
+    injOpt.onDrop = [](std::uint64_t, sim::Bytes, xgft::NodeIndex,
+                       xgft::NodeIndex) {};
+  }
+  sim::InjectionProcess process(net, source, std::move(injOpt));
 
   const sim::TimeNs measureBegin = opt.warmupNs;
   const sim::TimeNs measureEnd = opt.warmupNs + opt.measureNs;

@@ -45,6 +45,13 @@ struct OpenLoopOptions {
   /// Optional observation probe, attached to the run's Network before any
   /// traffic (sim/probe.hpp; non-perturbing).  Must outlive the call.
   sim::Probe* probe = nullptr;
+
+  /// Optional fault-installation hook, called once the network and
+  /// resolver exist and before any traffic: set the fault policy, schedule
+  /// kLinkDown/kLinkUp events, swap in degraded forwarding tables
+  /// (fault::installFaultPlan).  When set, unroutable pairs are refused
+  /// and counted (NetworkStats::messagesDropped) instead of throwing.
+  std::function<void(sim::Network&, RouteSetResolver&)> prepare;
 };
 
 struct OpenLoopResult {

@@ -19,6 +19,27 @@ RouteSetResolver::RouteSetResolver(sim::Network& net,
   }
 }
 
+void RouteSetResolver::setCompiled(const core::CompiledRoutes* compiled) {
+  if (spray_.adaptive || spray_.enabled) {
+    throw std::invalid_argument(
+        "RouteSetResolver::setCompiled: per-segment modes (spray, adaptive) "
+        "do not consult forwarding tables");
+  }
+  if (compiled_ == nullptr) {
+    throw std::invalid_argument(
+        "RouteSetResolver::setCompiled: resolver was not constructed in "
+        "compiled mode");
+  }
+  if (compiled == nullptr ||
+      &compiled->topology() != &net_->topology()) {
+    throw std::invalid_argument(
+        "RouteSetResolver::setCompiled: replacement table is null or built "
+        "for a different topology");
+  }
+  compiled_ = compiled;
+  pairSets_.clear();
+}
+
 sim::InjectionOptions injectionOptions(RouteSetResolver& resolver) {
   const SprayConfig& spray = resolver.spray();
   sim::InjectionOptions opt;
@@ -62,6 +83,10 @@ sim::RouteSetId RouteSetResolver::setFor(xgft::NodeIndex src,
     }
     set = net_->internRoutes(src, dst, routes);
   } else if (compiled_ != nullptr) {
+    if (compiled_->unroutable(src, dst)) {
+      pairSets_.emplace(key, kUnroutable);
+      return kUnroutable;
+    }
     set = net_->internCompiledPath(src, dst, compiled_->upPorts(src, dst));
   } else {
     set = net_->internRoutes(src, dst, {router_->route(src, dst)});

@@ -41,6 +41,13 @@ struct SprayConfig {
 
 class RouteSetResolver {
  public:
+  /// setFor()'s "this pair has no route" sentinel: returned when the active
+  /// compiled table marks (src, dst) unroutable (a degraded-topology
+  /// partition under fault::UnreachablePolicy::kDrop).  Distinct from every
+  /// real RouteSetId and from sim::RouteStore::kNone.  Callers must refuse
+  /// the message (sim::InjectionOptions::onDrop), never enqueue it.
+  static constexpr sim::RouteSetId kUnroutable = sim::RouteStore::kUnroutable;
+
   /// All references must outlive the resolver.  When @p compiled is given
   /// (and no per-segment mode is active) pairs resolve through the compiled
   /// forwarding table; it must be compiled against @p net's topology
@@ -52,9 +59,18 @@ class RouteSetResolver {
                    const core::CompiledRoutes* compiled = nullptr);
 
   /// The interned route set for host pair (src, dst) under the active
-  /// routing mode, built on first use and memoized.
+  /// routing mode, built on first use and memoized — or kUnroutable for a
+  /// pair the compiled table declares unreachable.
   [[nodiscard]] sim::RouteSetId setFor(xgft::NodeIndex src,
                                        xgft::NodeIndex dst);
+
+  /// Swaps in a replacement forwarding table (a mid-run degraded
+  /// recompilation, fault::installFaultPlan) and invalidates every memoized
+  /// pair so later sends re-resolve through it.  Only legal when the
+  /// resolver was constructed in compiled mode; @p compiled must be non-null
+  /// and built against the same topology (throws std::invalid_argument
+  /// otherwise).  The caller keeps @p compiled alive past the resolver.
+  void setCompiled(const core::CompiledRoutes* compiled);
 
   [[nodiscard]] const SprayConfig& spray() const { return spray_; }
 

@@ -1,0 +1,59 @@
+// Unit tests for analysis::degradationCurves: per-(scheme, faults) cell
+// aggregation, first-appearance ordering, and the monotone-degradation
+// predicate the faultsweep campaign pins.
+#include "analysis/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace analysis {
+namespace {
+
+TEST(Degradation, AggregatesCellsBySchemeAndPlanInFirstAppearanceOrder) {
+  const std::vector<DegradationPoint> points = {
+      {"d-mod-k", "none", 0.45, 1000, 0},
+      {"d-mod-k", "links:10", 0.40, 2000, 3},
+      {"Random", "none", 0.44, 1100, 0},
+      {"d-mod-k", "links:10", 0.42, 2400, 5},  // Seed repeat of the cell.
+  };
+  const std::vector<DegradationCurve> curves = degradationCurves(points);
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_EQ(curves[0].scheme, "d-mod-k");
+  EXPECT_EQ(curves[1].scheme, "Random");
+  ASSERT_EQ(curves[0].cells.size(), 2u);
+  EXPECT_EQ(curves[0].cells[0].faults, "none");
+  EXPECT_EQ(curves[0].cells[1].faults, "links:10");
+  // The repeated cell averaged its two jobs.
+  EXPECT_EQ(curves[0].cells[1].jobs, 2u);
+  EXPECT_DOUBLE_EQ(curves[0].cells[1].acceptedLoad, 0.41);
+  EXPECT_DOUBLE_EQ(curves[0].cells[1].latencyP99Ns, 2200.0);
+  EXPECT_DOUBLE_EQ(curves[0].cells[1].messagesDropped, 4.0);
+  EXPECT_EQ(curves[1].cells.size(), 1u);
+}
+
+TEST(Degradation, EmptyInputYieldsNoCurves) {
+  EXPECT_TRUE(degradationCurves({}).empty());
+}
+
+TEST(Degradation, MonotonePredicateHonoursOrderAndTolerance) {
+  DegradationCurve curve;
+  curve.scheme = "d-mod-k";
+  curve.cells = {{"none", 1, 0.45, 0, 0},
+                 {"links:10", 1, 0.40, 0, 0},
+                 {"links:20", 1, 0.30, 0, 0}};
+  EXPECT_TRUE(acceptedLoadMonotone(curve));
+  // A later cell rising above its predecessor breaks monotonicity...
+  curve.cells[2].acceptedLoad = 0.43;
+  EXPECT_FALSE(acceptedLoadMonotone(curve));
+  // ...unless the rise fits inside the tolerance (measurement noise).
+  EXPECT_TRUE(acceptedLoadMonotone(curve, 0.05));
+  // Single-cell and empty curves are trivially monotone.
+  curve.cells.resize(1);
+  EXPECT_TRUE(acceptedLoadMonotone(curve));
+  curve.cells.clear();
+  EXPECT_TRUE(acceptedLoadMonotone(curve));
+}
+
+}  // namespace
+}  // namespace analysis

@@ -1,0 +1,160 @@
+// Engine-level tests of the faults= axis and the faultsweep builtin:
+// byte-identical CSVs across thread counts and repeats, healthy-campaign
+// output untouched by a faults=none key, monotone accepted-throughput
+// degradation with the failure rate, the conditional fault CSV columns,
+// manifest schema gating, and fault-job error shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/degradation.hpp"
+#include "engine/campaigns.hpp"
+#include "engine/manifest.hpp"
+#include "engine/runner.hpp"
+#include "engine/spec.hpp"
+
+namespace engine {
+namespace {
+
+/// Small fast sweep mirroring the faultsweep builtin's shape: one moderate
+/// operating point per (scheme, plan) cell on a 64-host slimmed tree.
+constexpr const char* kSweep =
+    "m1=8 m2=8 w2=4 source=poisson:uniform load=0.45 "
+    "routing={d-mod-k,Random} faults={none,links:10,links:30,links:60} "
+    "seed=1\n";
+
+RunnerOptions fastOptions(std::uint32_t threads) {
+  RunnerOptions opt;
+  opt.threads = threads;
+  opt.openLoopWarmupNs = 100'000;
+  opt.openLoopMeasureNs = 500'000;
+  return opt;
+}
+
+TEST(FaultSweep, BuiltinExpandsTheSchemeByPlanCrossProduct) {
+  const std::vector<ExperimentSpec> specs =
+      parseCampaign(builtinCampaign("faultsweep", CampaignOptions{}));
+  ASSERT_EQ(specs.size(), 2u * 5u);
+  EXPECT_EQ(specs[0].faults, "");  // The healthy baseline cell.
+  EXPECT_EQ(specs[1].faults, "links:5");
+  EXPECT_EQ(specs[4].faults, "links:30");
+  EXPECT_EQ(specs[5].routing, "Random");
+  for (const ExperimentSpec& spec : specs) {
+    EXPECT_EQ(spec.source, "poisson:uniform");
+  }
+}
+
+TEST(FaultSweep, CsvIsThreadCountAndRepeatDeterministic) {
+  const std::vector<ExperimentSpec> specs = parseCampaign(std::string(kSweep));
+  Runner serial(fastOptions(1));
+  Runner parallel(fastOptions(4));
+  const std::string a = serial.run(specs).toCsv();
+  const std::string b = parallel.run(specs).toCsv();
+  const std::string c = parallel.run(specs).toCsv();  // Warm cache repeat.
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(FaultSweep, AcceptedThroughputDegradesMonotonically) {
+  const std::vector<ExperimentSpec> specs = parseCampaign(std::string(kSweep));
+  Runner runner(fastOptions(0));
+  const CampaignResults results = runner.run(specs);
+  std::vector<analysis::DegradationPoint> points;
+  for (const JobResult& job : results.jobs) {
+    ASSERT_TRUE(job.ok) << job.spec.toLine() << ": " << job.error;
+    points.push_back(analysis::DegradationPoint{
+        job.spec.routing, job.spec.faults.empty() ? "none" : job.spec.faults,
+        job.acceptedLoad, job.latencyP99Ns, job.net.messagesDropped});
+  }
+  const auto curves = analysis::degradationCurves(points);
+  ASSERT_EQ(curves.size(), 2u);
+  for (const analysis::DegradationCurve& curve : curves) {
+    SCOPED_TRACE(curve.scheme);
+    ASSERT_EQ(curve.cells.size(), 4u);
+    // Small tolerance: the operating points are measured, not computed.
+    EXPECT_TRUE(analysis::acceptedLoadMonotone(curve, 0.02));
+    // The harshest plan must show real degradation, not noise.
+    EXPECT_LT(curve.cells.back().acceptedLoad,
+              curve.cells.front().acceptedLoad - 0.05);
+  }
+  EXPECT_GT(results.cache.degradedMisses, 0u);
+}
+
+TEST(FaultSweep, FaultsNoneIsByteIdenticalToTheAbsentKey) {
+  // faults=none must leave healthy campaigns untouched: same CSV bytes,
+  // same (v1) manifest schema, no fault columns.
+  const std::string base =
+      "m1=8 m2=8 w2=4 source=poisson:uniform load=0.3 routing=d-mod-k "
+      "seed=1\n";
+  const std::string withNone =
+      "m1=8 m2=8 w2=4 source=poisson:uniform load=0.3 routing=d-mod-k "
+      "faults=none seed=1\n";
+  Runner runner(fastOptions(1));
+  const CampaignResults a = runner.run(parseCampaign(base));
+  const CampaignResults b = runner.run(parseCampaign(withNone));
+  EXPECT_EQ(a.toCsv(), b.toCsv());
+  EXPECT_FALSE(b.hasFaultJobs());
+  EXPECT_EQ(b.toCsv().find("segments_stranded"), std::string::npos);
+  std::ostringstream ma;
+  writeManifest(ma, b);
+  EXPECT_NE(ma.str().find("xgft-manifest-v1"), std::string::npos);
+}
+
+TEST(FaultSweep, FaultColumnsAndManifestBlockAppearOnlyWhenFaulted) {
+  Runner runner(fastOptions(1));
+  const CampaignResults results = runner.run(parseCampaign(std::string(
+      "m1=8 m2=8 w2=4 source=poisson:uniform load=0.3 routing=d-mod-k "
+      "faults={none,links:30} seed=1\n")));
+  ASSERT_EQ(results.jobs.size(), 2u);
+  ASSERT_TRUE(results.jobs[0].ok && results.jobs[1].ok);
+  EXPECT_TRUE(results.hasFaultJobs());
+  const std::string csv = results.toCsv();
+  EXPECT_NE(csv.find("faults"), std::string::npos);
+  EXPECT_NE(csv.find("segments_rerouted"), std::string::npos);
+  EXPECT_NE(csv.find("link_down_ns"), std::string::npos);
+  // Healthy rows in a faulted campaign carry the explicit "none" cell.
+  EXPECT_NE(csv.find(",none,"), std::string::npos);
+  std::ostringstream manifest;
+  writeManifest(manifest, results);
+  EXPECT_NE(manifest.str().find("xgft-manifest-v2"), std::string::npos);
+  EXPECT_NE(manifest.str().find("\"faults\""), std::string::npos);
+}
+
+TEST(FaultSweep, PerSegmentSchemesAreRejectedAsJobErrors) {
+  Runner runner(fastOptions(1));
+  const CampaignResults results = runner.run(parseCampaign(std::string(
+      "m1=8 m2=8 w2=4 source=poisson:uniform load=0.3 routing=adaptive "
+      "faults=links:10 seed=1\n")));
+  ASSERT_EQ(results.jobs.size(), 1u);
+  EXPECT_FALSE(results.jobs[0].ok);
+  EXPECT_NE(results.jobs[0].error.find("degraded"), std::string::npos)
+      << results.jobs[0].error;
+}
+
+TEST(FaultSweep, ClosedLoopJobsRejectTimedPlansButRunStaticOnes) {
+  Runner runner(fastOptions(1));
+  // Timed plans need the open-loop machinery (a lost message would stall
+  // the phase barrier): rejected as a job error, never a hang.
+  const CampaignResults timed = runner.run(parseCampaign(std::string(
+      "pattern=ring:16 m1=4 m2=4 w2=2 routing=d-mod-k faults=timed:5:1000 "
+      "seed=1\n")));
+  ASSERT_EQ(timed.jobs.size(), 1u);
+  EXPECT_FALSE(timed.jobs[0].ok);
+  EXPECT_NE(timed.jobs[0].error.find("open-loop"), std::string::npos)
+      << timed.jobs[0].error;
+  // A static plan replays the workload on the recompiled (kThrow) tables.
+  // w2=4, links:10 -> 3 of 32 fabric links: cannot cover any switch's full
+  // up-port set, so no pair partitions and kThrow compilation succeeds.
+  const CampaignResults statics = runner.run(parseCampaign(std::string(
+      "pattern=ring:16 m1=8 m2=8 w2=4 routing=d-mod-k faults=links:10 "
+      "seed=1\n")));
+  ASSERT_EQ(statics.jobs.size(), 1u);
+  ASSERT_TRUE(statics.jobs[0].ok) << statics.jobs[0].error;
+  EXPECT_GT(statics.jobs[0].makespanNs, 0u);
+  EXPECT_EQ(statics.jobs[0].net.messagesDropped, 0u);
+}
+
+}  // namespace
+}  // namespace engine

@@ -181,6 +181,59 @@ TEST(Spec, FigureSweepExpandsToTheExpectedJobCount) {
   EXPECT_EQ(jobs.size(), 16u * 3u + 16u * 3u * 10u);
 }
 
+TEST(Spec, FaultsKeyParsesCanonicalizesAndRoundTrips) {
+  const ExperimentSpec spec = parseSpecLine(
+      "source=poisson:uniform load=0.3 faults=links:10");
+  EXPECT_EQ(spec.faults, "links:10");
+  EXPECT_EQ(parseSpecLine(spec.toLine()), spec);
+  // faults=none is byte-for-byte the absent key: healthy campaign lines
+  // (and their cache keys) never change spelling.
+  EXPECT_EQ(parseSpecLine("pattern=ring:8 faults=none").faults, "");
+  EXPECT_EQ(parseSpecLine("pattern=ring:8 faults=none").toLine(),
+            parseSpecLine("pattern=ring:8").toLine());
+  EXPECT_EQ(parseSpecLine("pattern=ring:8").toLine().find("faults"),
+            std::string::npos);
+}
+
+TEST(Spec, FaultsKeyRejectsUnknownModelsWithTheRegistryListing) {
+  try {
+    (void)parseSpecLine("pattern=ring:8 faults=meteor:3");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown fault model"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("(registered: "), std::string::npos);
+  }
+}
+
+TEST(Spec, FaultsSweepExpandsLikeAnyAxis) {
+  const auto jobs = expandCampaignLine(
+      "source=poisson:uniform load=0.4 faults={none,links:5,links:10}");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].faults, "");
+  EXPECT_EQ(jobs[1].faults, "links:5");
+  EXPECT_EQ(jobs[2].faults, "links:10");
+}
+
+TEST(Spec, DuplicateKeysFailLoudly) {
+  // Last-wins would silently drop the first assignment of a typo'd sweep
+  // line; the parser must reject it instead.
+  for (const char* line :
+       {"seed=1 seed=2", "pattern=ring:8 pattern=ring:16",
+        "routing=d-mod-k msg_scale=0.5 routing=Random"}) {
+    try {
+      (void)parseSpecLine(line);
+      FAIL() << "expected invalid_argument for " << line;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("duplicate key '"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_THROW(parseSpecLine("seed=1 seed=1"), std::invalid_argument);
+}
+
 TEST(Spec, DeriveSeedIsStable) {
   // Pinned values: campaign outputs (seeded patterns, spray choices) must
   // replay identically across platforms and releases.

@@ -19,12 +19,32 @@ By default the script always exits 0: the job summary is the report, CI
 does not gate on noisy single-run numbers.  With --fail-regressed it exits
 1 when any benchmark regressed beyond the threshold — the opt-in gate the
 telemetry-overhead CI step uses.
+
+A missing or malformed input file is an environment problem, not a perf
+result: the script prints one line to stderr and exits 2 (no traceback),
+so the CI step fails with a readable message.  `bench_diff.py --self-check`
+runs the built-in pytest-style checks of exactly that contract.
 """
 
 import json
 import sys
 
 REGRESSION_PCT = 10.0
+
+
+def load_json(path, role):
+    """Loads a JSON input or fails with a one-line diagnostic (exit 2)."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        sys.stderr.write(
+            f"bench_diff: cannot read {role} file '{path}': {e.strerror}\n")
+        raise SystemExit(2)
+    except json.JSONDecodeError as e:
+        sys.stderr.write(
+            f"bench_diff: {role} file '{path}' is not valid JSON: {e}\n")
+        raise SystemExit(2)
 
 
 def raw_by_name(raw):
@@ -52,17 +72,71 @@ def fresh_cell(fresh):
     return f"{ms:.2f} ms" if ms >= 1.0 else f"{ms * 1e3:.2f} us"
 
 
+def self_check():
+    """Pytest-style checks of the error contract: one stderr line, exit 2,
+    no traceback, for each way an input file can be bad."""
+    import os
+    import subprocess
+    import tempfile
+
+    script = os.path.abspath(__file__)
+    checks = []
+
+    def check(name, argv):
+        proc = subprocess.run([sys.executable, script] + argv,
+                              capture_output=True, text=True)
+        ok = (proc.returncode == 2
+              and proc.stderr.startswith("bench_diff: ")
+              and len(proc.stderr.splitlines()) == 1
+              and "Traceback" not in proc.stderr)
+        checks.append((name, ok, proc.returncode, proc.stderr.strip()))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        good = os.path.join(tmp, "good.json")
+        with open(good, "w") as f:
+            json.dump({"benchmarks": []}, f)
+        bad = os.path.join(tmp, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{not json")
+        missing = os.path.join(tmp, "missing.json")
+        check("missing baseline", [missing, good])
+        check("missing raw", [good, missing])
+        check("malformed baseline", [bad, good])
+        check("malformed raw", [good, bad])
+        unreadable = os.path.join(tmp, "unreadable.json")
+        with open(unreadable, "w") as f:
+            f.write("{}")
+        os.chmod(unreadable, 0)
+        if not os.access(unreadable, os.R_OK):  # Skipped when run as root.
+            check("unreadable baseline", [unreadable, good])
+        # And the happy path still exits 0 with the report on stdout.
+        proc = subprocess.run([sys.executable, script, good, good],
+                              capture_output=True, text=True)
+        checks.append(("two empty inputs pass", proc.returncode == 0
+                       and "micro_sim" in proc.stdout, proc.returncode,
+                       proc.stderr.strip()))
+
+    failed = 0
+    for name, ok, code, err in checks:
+        status = "ok" if ok else "FAILED"
+        print(f"self-check: {name} ... {status}"
+              + ("" if ok else f" (exit={code}, stderr={err!r})"))
+        failed += 0 if ok else 1
+    print(f"self-check: {len(checks) - failed}/{len(checks)} passed")
+    return 1 if failed else 0
+
+
 def main():
     args = sys.argv[1:]
+    if args == ["--self-check"]:
+        return self_check()
     fail_regressed = "--fail-regressed" in args
     args = [a for a in args if a != "--fail-regressed"]
     if len(args) != 2:
         sys.stderr.write(__doc__)
         return 2
-    with open(args[0]) as f:
-        baseline = json.load(f)
-    with open(args[1]) as f:
-        raw = raw_by_name(json.load(f))
+    baseline = load_json(args[0], "baseline")
+    raw = raw_by_name(load_json(args[1], "raw"))
 
     rows = []
     warnings = []
