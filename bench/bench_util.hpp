@@ -52,7 +52,7 @@ struct Options {
                      "--threads N | --csv\n";
         std::exit(0);
       } else {
-        std::cerr << "unknown flag: " << arg << "\n";
+        std::cerr << "unknown flag '" << arg << "' (run --help for the flag list)\n";
         std::exit(2);
       }
     }

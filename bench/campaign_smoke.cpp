@@ -77,14 +77,16 @@ int main(int argc, char** argv) {
     const double serialS = runOnce(specs, 1, &serialCsv);
     const double parallelS = runOnce(specs, threads, &parallelCsv);
     const bool identical = serialCsv == parallelCsv;
-    std::cout.precision(6);
-    std::cout << std::fixed << "{\n"
+    std::cout << "{\n"
               << "  \"name\": \"campaign_smoke\",\n"
               << "  \"jobs\": " << specs.size() << ",\n"
               << "  \"threads\": " << threads << ",\n"
-              << "  \"serial_s\": " << serialS << ",\n"
-              << "  \"parallel_s\": " << parallelS << ",\n"
-              << "  \"speedup\": " << (parallelS > 0 ? serialS / parallelS : 0)
+              << "  \"serial_s\": " << engine::formatFixed(serialS, 6) << ",\n"
+              << "  \"parallel_s\": " << engine::formatFixed(parallelS, 6)
+              << ",\n"
+              << "  \"speedup\": "
+              << engine::formatFixed(
+                     parallelS > 0 ? serialS / parallelS : 0, 6)
               << ",\n"
               << "  \"csv_identical\": " << (identical ? "true" : "false")
               << "\n}\n";

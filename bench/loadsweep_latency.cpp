@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   const bool quick = opt.seeds <= 3;
   std::cout << "== Load-latency sweep: open-loop uniform Poisson on "
                "XGFT(2;16,16;1,{16,10}) ==\n"
-            << "msg-scale=" << opt.msgScale
+            << "msg-scale=" << engine::formatShortest(opt.msgScale)
             << " (message = " << static_cast<int>(4096 * opt.msgScale)
             << " B)\n\n";
 
@@ -67,9 +67,9 @@ int main(int argc, char** argv) {
     const bool slim = job.spec.topo.w(2) != 16;
     std::cout << std::left << std::setw(12)
               << (slim ? "paper-slim" : "paper-full") << std::setw(10)
-              << job.spec.routing << std::right << std::fixed
-              << std::setprecision(3) << std::setw(9) << job.offeredLoad
-              << std::setw(10) << job.acceptedLoad << std::setw(12)
+              << job.spec.routing << std::right << std::setw(9)
+              << engine::formatFixed(job.offeredLoad, 3) << std::setw(10)
+              << engine::formatFixed(job.acceptedLoad, 3) << std::setw(12)
               << job.latencyP50Ns << std::setw(12) << job.latencyP99Ns
               << std::setw(12) << job.latencyMaxNs << "\n";
   }

@@ -198,7 +198,7 @@ CliOptions parseCli(int argc, char** argv) {
       usage(std::cout);
       std::exit(0);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      throw std::invalid_argument("unknown flag: " + arg);
+      throw std::invalid_argument("unknown flag '" + arg + "' (see --help)");
     } else if (opt.campaignFile.empty()) {
       opt.campaignFile = arg;
     } else {

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "engine/spec.hpp"
 #include "fault/inject.hpp"
 #include "fault/plan.hpp"
 #include "obs/chrome_trace.hpp"
@@ -81,7 +82,7 @@ CliOptions parseCli(int argc, char** argv) {
       usage(std::cout);
       std::exit(0);
     } else {
-      throw std::invalid_argument("unknown flag: " + arg);
+      throw std::invalid_argument("unknown flag '" + arg + "' (see --help)");
     }
   }
   return opt;
@@ -186,7 +187,8 @@ int main(int argc, char** argv) {
         cli.faults, topo, core::deriveSeed(cli.seed, "fault"));
     std::cout << "topo " << cli.topo << " (" << topo.numHosts()
               << " hosts), routing " << cli.routing << ", policy "
-              << cli.policy << ", load " << cli.load << ", seed " << cli.seed
+              << cli.policy << ", load " << engine::formatShortest(cli.load)
+              << ", seed " << cli.seed
               << "\n";
     printPlan(plan, topo);
 
@@ -223,11 +225,11 @@ int main(int argc, char** argv) {
         trace::runOpenLoop(topo, *router, source, opt);
     probe.finishNarration();
 
-    std::cout << std::fixed << std::setprecision(3)
-              << "\noperating point:\n"
-              << "  offered load   " << r.offeredLoad << "\n"
-              << "  accepted load  " << r.acceptedLoad << "\n"
-              << std::setprecision(0)
+    std::cout << "\noperating point:\n"
+              << "  offered load   " << engine::formatFixed(r.offeredLoad, 3)
+              << "\n"
+              << "  accepted load  " << engine::formatFixed(r.acceptedLoad, 3)
+              << "\n"
               << "  latency p50    " << r.latency.p50Ns << " ns\n"
               << "  latency p99    " << r.latency.p99Ns << " ns\n"
               << "fault counters:\n"

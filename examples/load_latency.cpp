@@ -27,6 +27,7 @@
 #include <sstream>
 
 #include "analysis/timeseries.hpp"
+#include "engine/spec.hpp"
 #include "obs/recorder.hpp"
 #include "patterns/source.hpp"
 #include "routing/relabel.hpp"
@@ -69,16 +70,17 @@ int main() {
     const trace::OpenLoopResult r =
         trace::runOpenLoop(topo, *router, source, windows);
     const obs::RecorderSummary t = recorder.summary();
-    std::cout << std::fixed << std::setprecision(3) << std::left
-              << std::setw(9) << load << std::right << std::setw(10)
-              << r.acceptedLoad << std::setprecision(0) << std::setw(12)
-              << r.latency.meanNs << std::setw(12) << r.latency.p50Ns
+    std::cout << std::left << std::setw(9) << engine::formatFixed(load, 3)
+              << std::right << std::setw(10)
+              << engine::formatFixed(r.acceptedLoad, 3) << std::setw(12)
+              << engine::formatFixed(r.latency.meanNs, 0) << std::setw(12)
+              << r.latency.p50Ns
               << std::setw(12) << r.latency.p99Ns << std::setw(11)
               << t.peakQueueDepth << "\n";
 
     std::ostringstream name;
-    name << seriesDir << "/load" << std::fixed << std::setprecision(1)
-         << load << ".timeseries.csv";
+    name << seriesDir << "/load" << engine::formatFixed(load, 1)
+         << ".timeseries.csv";
     std::ofstream series(name.str(), std::ios::binary | std::ios::trunc);
     analysis::writeTimeSeriesCsv(series, recorder.series());
   }

@@ -1,13 +1,35 @@
 #include "core/compiled_routes.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
+
 namespace core {
+
+namespace {
+
+/// First exception thrown by any compile worker (annotated so the
+/// thread-safety build proves every access happens under the lock).
+struct FailureSink {
+  Mutex mu;
+  std::exception_ptr first XGFT_GUARDED_BY(mu);
+
+  void capture(std::exception_ptr e) {
+    LockGuard lock(mu);
+    if (!first) first = std::move(e);
+  }
+  void rethrowIfSet() {
+    LockGuard lock(mu);
+    if (first) std::rethrow_exception(first);
+  }
+};
+
+}  // namespace
 
 CompiledRoutes::CompiledRoutes(std::shared_ptr<const routing::Router> router)
     : router_(std::move(router)) {
@@ -97,8 +119,7 @@ std::shared_ptr<const CompiledRoutes> CompiledRoutes::compileWith(
     fillRows(0, n);
   } else {
     std::vector<std::thread> pool;
-    std::exception_ptr failure;
-    std::mutex failureMu;
+    FailureSink failure;
     pool.reserve(threads);
     const std::size_t chunk = (n + threads - 1) / threads;
     for (std::uint32_t w = 0; w < threads; ++w) {
@@ -109,13 +130,12 @@ std::shared_ptr<const CompiledRoutes> CompiledRoutes::compileWith(
         try {
           fillRows(begin, end);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(failureMu);
-          if (!failure) failure = std::current_exception();
+          failure.capture(std::current_exception());
         }
       });
     }
     for (std::thread& t : pool) t.join();
-    if (failure) std::rethrow_exception(failure);
+    failure.rethrowIfSet();
   }
   return table;
 }

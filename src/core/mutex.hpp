@@ -1,0 +1,92 @@
+// mutex.hpp — Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// Thin, zero-overhead shims over std::mutex / std::shared_mutex whose
+// lock/unlock methods carry the capability attributes the analysis needs
+// (the standard-library types are unannotated, so locking them is
+// invisible to -Wthread-safety).  All project code that guards shared
+// state uses these types plus the scoped guards below; std::lock_guard /
+// std::unique_lock on a raw std::mutex would compile but leave the guarded
+// members unprotected as far as the analysis can see, so the determinism
+// linter has no rule for it — the thread-safety build itself fails when a
+// XGFT_GUARDED_BY member is touched without a core guard in scope.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace core {
+
+/// std::mutex with capability annotations.
+class XGFT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() XGFT_ACQUIRE() { mu_.lock(); }
+  void unlock() XGFT_RELEASE() { mu_.unlock(); }
+  bool try_lock() XGFT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations (reader/writer lock).
+class XGFT_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() XGFT_ACQUIRE() { mu_.lock(); }
+  void unlock() XGFT_RELEASE() { mu_.unlock(); }
+  void lock_shared() XGFT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() XGFT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a core::Mutex (std::lock_guard shape).
+class XGFT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) XGFT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() XGFT_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a core::SharedMutex.
+class XGFT_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) XGFT_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() XGFT_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) lock on a core::SharedMutex.
+class XGFT_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) XGFT_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() XGFT_RELEASE() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace core

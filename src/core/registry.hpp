@@ -21,12 +21,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace core {
 
@@ -43,7 +44,7 @@ class Registry {
   /// Registers @p value under @p name.  Throws std::invalid_argument if the
   /// name (or an alias spelled the same) is already taken.
   void add(std::string name, Value value) {
-    std::unique_lock lock(mu_);
+    WriterLock lock(mu_);
     if (spellings_.count(name) != 0) {
       throw std::invalid_argument("duplicate " + kind_ + " registration '" +
                                   name + "'");
@@ -63,7 +64,7 @@ class Registry {
   /// @p canonical name.  Lookups under @p alt resolve to the canonical
   /// entry; names() lists only canonical names.
   void alias(std::string alt, const std::string& canonical) {
-    std::unique_lock lock(mu_);
+    WriterLock lock(mu_);
     if (entries_.count(canonical) == 0) {
       throw std::invalid_argument("alias '" + alt + "' for unregistered " +
                                   kind_ + " '" + canonical + "'");
@@ -78,7 +79,7 @@ class Registry {
   /// The entry registered under @p name (any accepted spelling).  The
   /// returned reference is stable for the registry's lifetime.
   [[nodiscard]] const Value& at(const std::string& name) const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     const auto spelling = spellings_.find(name);
     if (spelling == spellings_.end()) throw unknown(name);
     return entries_.find(spelling->second)->second;
@@ -86,7 +87,7 @@ class Registry {
 
   /// Like at(), but nullptr instead of throwing.
   [[nodiscard]] const Value* find(const std::string& name) const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     const auto spelling = spellings_.find(name);
     if (spelling == spellings_.end()) return nullptr;
     return &entries_.find(spelling->second)->second;
@@ -95,20 +96,20 @@ class Registry {
   /// Resolves @p name to its canonical spelling; throws like at() when
   /// unknown.
   [[nodiscard]] std::string canonical(const std::string& name) const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     const auto spelling = spellings_.find(name);
     if (spelling == spellings_.end()) throw unknown(name);
     return spelling->second;
   }
 
   [[nodiscard]] bool contains(const std::string& name) const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     return spellings_.count(name) != 0;
   }
 
   /// Canonical names in sorted order — registration order never matters.
   [[nodiscard]] std::vector<std::string> names() const {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& [name, value] : entries_) out.push_back(name);
@@ -118,7 +119,10 @@ class Registry {
   [[nodiscard]] const std::string& kind() const { return kind_; }
 
  private:
-  [[nodiscard]] std::invalid_argument unknown(const std::string& name) const {
+  /// Builds the uniform lookup-failure error; needs at least a reader hold
+  /// because it walks entries_ for the "(registered: ...)" suffix.
+  [[nodiscard]] std::invalid_argument unknown(const std::string& name) const
+      XGFT_REQUIRES_SHARED(mu_) {
     std::string msg = "unknown " + kind_ + " '" + name + "' (registered:";
     bool first = true;
     for (const auto& [canon, value] : entries_) {
@@ -130,10 +134,13 @@ class Registry {
     return std::invalid_argument(msg);
   }
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   std::string kind_;
-  std::map<std::string, std::string> spellings_;  ///< Spelling -> canonical.
-  std::map<std::string, Value> entries_;          ///< Canonical -> value.
+  /// Spelling -> canonical.
+  std::map<std::string, std::string> spellings_ XGFT_GUARDED_BY(mu_);
+  /// Canonical -> value.  Nodes are stable, so at()/find() may hand out
+  /// references that outlive the lock (see the class contract above).
+  std::map<std::string, Value> entries_ XGFT_GUARDED_BY(mu_);
 };
 
 /// The one-time-populated process-wide registry instance behind accessors

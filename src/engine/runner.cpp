@@ -73,7 +73,7 @@ T CampaignCache::Memo<T>::get(const std::string& key, Build&& build) {
   std::shared_future<T> future;
   std::shared_ptr<std::promise<T>> promise;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    core::LockGuard lock(mu);
     auto it = entries.find(key);
     if (it != entries.end()) {
       ++hits;
@@ -92,7 +92,7 @@ T CampaignCache::Memo<T>::get(const std::string& key, Build&& build) {
       promise->set_exception(std::current_exception());
       // Don't poison the key: current waiters see this failure, but a later
       // request retries the build (the failure may have been transient).
-      std::lock_guard<std::mutex> lock(mu);
+      core::LockGuard lock(mu);
       entries.erase(key);
     }
   }
@@ -169,27 +169,27 @@ sim::TimeNs CampaignCache::crossbarMakespan(const ExperimentSpec& spec,
 CacheStats CampaignCache::stats() const {
   CacheStats s;
   {
-    std::lock_guard<std::mutex> lock(topologies_.mu);
+    core::LockGuard lock(topologies_.mu);
     s.topologyHits = topologies_.hits;
     s.topologyMisses = topologies_.misses;
   }
   {
-    std::lock_guard<std::mutex> lock(routers_.mu);
+    core::LockGuard lock(routers_.mu);
     s.routerHits = routers_.hits;
     s.routerMisses = routers_.misses;
   }
   {
-    std::lock_guard<std::mutex> lock(tables_.mu);
+    core::LockGuard lock(tables_.mu);
     s.tableHits = tables_.hits;
     s.tableMisses = tables_.misses;
   }
   {
-    std::lock_guard<std::mutex> lock(references_.mu);
+    core::LockGuard lock(references_.mu);
     s.referenceHits = references_.hits;
     s.referenceMisses = references_.misses;
   }
   {
-    std::lock_guard<std::mutex> lock(degraded_.mu);
+    core::LockGuard lock(degraded_.mu);
     s.degradedHits = degraded_.hits;
     s.degradedMisses = degraded_.misses;
   }
@@ -461,11 +461,11 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
   RunnerOptions jobOpt = opt_;
   jobOpt.compileThreads = std::max(1u, poolWidth / threads);
 
-  std::mutex doneMu;  // Serializes onJobDone.
+  core::Mutex doneMu;  // Serializes onJobDone.
   const auto finishJob = [&](std::uint32_t index) {
     JobResult job = runJob(specs[index], index, cache_, jobOpt);
     if (opt_.onJobDone) {
-      std::lock_guard<std::mutex> lock(doneMu);
+      core::LockGuard lock(doneMu);
       opt_.onJobDone(job);
       results.jobs[index] = std::move(job);
     } else {
@@ -481,19 +481,24 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
     // of the most loaded peer when empty.  Jobs never enqueue new jobs, so
     // once every deque is empty a worker can retire.
     struct WorkerQueue {
-      std::mutex mu;
-      std::deque<std::uint32_t> q;
+      core::Mutex mu;
+      std::deque<std::uint32_t> q XGFT_GUARDED_BY(mu);
     };
     std::vector<WorkerQueue> queues(threads);
     for (std::uint32_t i = 0; i < specs.size(); ++i) {
-      queues[i % threads].q.push_back(i);
+      // Single-threaded dealing phase, but the guard keeps the analysis
+      // exact (and it is uncontended, so it costs nothing).
+      WorkerQueue& mine = queues[i % threads];
+      core::LockGuard lock(mine.mu);
+      mine.q.push_back(i);
     }
 
     const auto popOwn = [&](std::uint32_t w, std::uint32_t& out) {
-      std::lock_guard<std::mutex> lock(queues[w].mu);
-      if (queues[w].q.empty()) return false;
-      out = queues[w].q.front();
-      queues[w].q.pop_front();
+      WorkerQueue& own = queues[w];
+      core::LockGuard lock(own.mu);
+      if (own.q.empty()) return false;
+      out = own.q.front();
+      own.q.pop_front();
       return true;
     };
     const auto steal = [&](std::uint32_t thief, std::uint32_t& out) {
@@ -501,17 +506,19 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
       std::size_t best = 0;
       for (std::uint32_t v = 0; v < threads; ++v) {
         if (v == thief) continue;
-        std::lock_guard<std::mutex> lock(queues[v].mu);
-        if (queues[v].q.size() > best) {
-          best = queues[v].q.size();
+        WorkerQueue& peer = queues[v];
+        core::LockGuard lock(peer.mu);
+        if (peer.q.size() > best) {
+          best = peer.q.size();
           victim = v;
         }
       }
       if (victim == threads) return false;
-      std::lock_guard<std::mutex> lock(queues[victim].mu);
-      if (queues[victim].q.empty()) return false;
-      out = queues[victim].q.back();
-      queues[victim].q.pop_back();
+      WorkerQueue& loser = queues[victim];
+      core::LockGuard lock(loser.mu);
+      if (loser.q.empty()) return false;
+      out = loser.q.back();
+      loser.q.pop_back();
       return true;
     };
 

@@ -22,10 +22,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/compiled_routes.hpp"
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "engine/results.hpp"
 #include "engine/spec.hpp"
 #include "fault/degraded.hpp"
@@ -91,10 +92,12 @@ class CampaignCache {
  private:
   template <typename T>
   struct Memo {
-    mutable std::mutex mu;
-    std::map<std::string, std::shared_future<T>> entries;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    mutable core::Mutex mu;
+    /// In-flight and completed builds; only the map is guarded — the
+    /// futures themselves synchronize waiters with the builder.
+    std::map<std::string, std::shared_future<T>> entries XGFT_GUARDED_BY(mu);
+    std::uint64_t hits XGFT_GUARDED_BY(mu) = 0;
+    std::uint64_t misses XGFT_GUARDED_BY(mu) = 0;
 
     /// Returns the value for @p key, invoking @p build at most once.
     template <typename Build>

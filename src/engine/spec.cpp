@@ -236,6 +236,17 @@ std::string formatShortest(double v) {
   return std::string(buf, end);
 }
 
+std::string formatFixed(double v, int precision) {
+  // Fixed notation of a huge double spends one char per integer digit
+  // (~310 for DBL_MAX) before the fraction even starts.
+  char buf[400];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed,
+                    precision);
+  if (ec != std::errc{}) fail("cannot format double");
+  return std::string(buf, end);
+}
+
 core::Scenario ExperimentSpec::scenario(const sim::SimConfig& sim) const {
   core::Scenario sc;
   sc.topo = topo;

@@ -122,6 +122,11 @@ struct ExperimentSpec {
 /// output is byte-stable across platforms and thread counts.
 [[nodiscard]] std::string formatShortest(double v);
 
+/// Fixed-precision decimal rendering of a double via std::to_chars — the
+/// replacement for `os << std::fixed << std::setprecision(p)` in table and
+/// report output, immune to locale and leaked stream state.
+[[nodiscard]] std::string formatFixed(double v, int precision);
+
 /// Derives an independent sub-seed for a named role ("pattern", "spray",
 /// ...) from a job's base seed.  Forwarded from core::deriveSeed; pinned by
 /// tests — a campaign that sweeps seed=1..N gives every (job, role) pair an

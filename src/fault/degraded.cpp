@@ -1,11 +1,38 @@
 #include "fault/degraded.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace fault {
+
+namespace {
+
+/// Unreachable pairs reported by the compile workers.  Guarded: workers
+/// for different source rows may discover unreachable pairs concurrently.
+struct UnreachableSink {
+  core::Mutex mu;
+  std::vector<std::pair<xgft::NodeIndex, xgft::NodeIndex>> pairs
+      XGFT_GUARDED_BY(mu);
+
+  void add(xgft::NodeIndex s, xgft::NodeIndex d) {
+    core::LockGuard lock(mu);
+    pairs.emplace_back(s, d);
+  }
+  [[nodiscard]] std::vector<std::pair<xgft::NodeIndex, xgft::NodeIndex>>
+  takeSorted() {
+    core::LockGuard lock(mu);
+    std::sort(pairs.begin(), pairs.end());
+    return std::move(pairs);
+  }
+};
+
+}  // namespace
 
 DegradedTopology::DegradedTopology(const xgft::Topology& topo,
                                    std::span<const xgft::LinkId> failedLinks)
@@ -47,7 +74,7 @@ DegradedRoutes compileDegraded(std::shared_ptr<const routing::Router> router,
   }
 
   DegradedRoutes out;
-  std::mutex unreachableMu;
+  UnreachableSink unreachable;
   const routing::Router& r = *router;
 
   // Per-pair rule: keep the scheme's own route when it survives, otherwise
@@ -71,14 +98,13 @@ DegradedRoutes compileDegraded(std::shared_ptr<const routing::Router> router,
           " is unreachable on the degraded topology (" +
           std::to_string(degraded.numFailed()) + " links failed)");
     }
-    std::lock_guard<std::mutex> lock(unreachableMu);
-    out.unreachable.emplace_back(s, d);
+    unreachable.add(s, d);
     return std::nullopt;
   };
 
   out.table = core::CompiledRoutes::compileWith(std::move(router), routeFor,
                                                 threads);
-  std::sort(out.unreachable.begin(), out.unreachable.end());
+  out.unreachable = unreachable.takeSorted();
   return out;
 }
 

@@ -30,7 +30,11 @@ void Recorder::onAttach(const sim::Network& net) {
   constexpr std::uint32_t kNoGroup = 0xffffffffu;
   std::vector<std::uint32_t> keyToGroup(2 * (topo.height() + 1), kNoGroup);
   auto levelLabel = [](std::uint32_t level) {
-    return level == 0 ? std::string("hosts") : "L" + std::to_string(level);
+    // Built by append rather than `"L" + std::to_string(...)`: the rvalue
+    // operator+ trips GCC 12's -Wrestrict false positive (PR105651) at -O3.
+    std::string label = level == 0 ? "hosts" : "L";
+    if (level != 0) label += std::to_string(level);
+    return label;
   };
   for (std::uint32_t g = 0; g < numPorts; ++g) {
     const auto& owner = net.portOwnerOf(g);
@@ -76,7 +80,8 @@ void Recorder::onMessageReleased(std::uint32_t msg, xgft::NodeIndex src,
   peakInFlight_ = std::max(peakInFlight_, inFlight_);
   if (cfg_.recordEvents) {
     if (msgMeta_.size() <= msg) msgMeta_.resize(msg + 1);
-    msgMeta_[msg] = MessageMeta{src, dst, bytes};
+    msgMeta_[msg] = MessageMeta{static_cast<std::uint32_t>(src),
+                                static_cast<std::uint32_t>(dst), bytes};
     record(EventKind::kRelease, t, msg);
   }
 }

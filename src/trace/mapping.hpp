@@ -6,6 +6,7 @@
 // consecutive ranks landing in one switch).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>

@@ -7,8 +7,8 @@ namespace analysis {
 namespace {
 
 TEST(Stats, EmptySampleThrows) {
-  EXPECT_THROW(boxStats({}), std::invalid_argument);
-  EXPECT_THROW(quantileSorted({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)boxStats({}), std::invalid_argument);
+  EXPECT_THROW((void)quantileSorted({}, 0.5), std::invalid_argument);
 }
 
 TEST(Stats, SingleValue) {
@@ -44,8 +44,8 @@ TEST(Stats, QuantileEdges) {
   EXPECT_DOUBLE_EQ(quantileSorted(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(quantileSorted(v, 1.0), 3.0);
   EXPECT_DOUBLE_EQ(quantileSorted(v, 0.5), 2.0);
-  EXPECT_THROW(quantileSorted(v, 1.5), std::invalid_argument);
-  EXPECT_THROW(quantileSorted(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantileSorted(v, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)quantileSorted(v, -0.1), std::invalid_argument);
 }
 
 TEST(Stats, MedianUnaffectedByOutliers) {

@@ -165,7 +165,7 @@ TEST(Spec, CampaignSkipsCommentsAndBlankLines) {
 
 TEST(Spec, CampaignErrorsCarryLineNumbers) {
   try {
-    parseCampaign("pattern=ring:8\nbogus=1\n");
+    (void)parseCampaign("pattern=ring:8\nbogus=1\n");
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);

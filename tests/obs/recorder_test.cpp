@@ -91,6 +91,9 @@ TEST(Recorder, HookAccountingBalances) {
       case EventKind::kWireBusy:
         EXPECT_GT(ev.durNs, 0u);
         break;
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
+        break;  // Healthy run: no fault transitions expected.
     }
   }
   EXPECT_EQ(releases, sum.messagesReleased);

@@ -71,7 +71,7 @@ TEST(PatternIo, Validation) {
 
 TEST(PatternIo, ErrorsCarryLineNumbers) {
   try {
-    phasedPatternFromString("# ranks 4\n0 1 100\nbroken\n");
+    (void)phasedPatternFromString("# ranks 4\n0 1 100\nbroken\n");
     FAIL() << "expected throw";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);

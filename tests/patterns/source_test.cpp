@@ -169,7 +169,9 @@ TEST(OpenLoopSource, PermutationIsFixedAndFixedPointFree) {
   for (const SourceMessage& m : drain(src)) {
     EXPECT_NE(m.src, m.dst);
     const auto [it, inserted] = target.emplace(m.src, m.dst);
-    if (!inserted) EXPECT_EQ(it->second, m.dst);  // One target per rank.
+    if (!inserted) {
+      EXPECT_EQ(it->second, m.dst);  // One target per rank.
+    }
   }
   // Injective: a permutation, not just a function.
   std::set<Rank> images;

@@ -220,7 +220,7 @@ TEST(Network, DeliveryTimeBeforeCompletionThrows) {
   Network net(topo, SimConfig{});
   const routing::RouterPtr router = routing::makeDModK(topo);
   const MsgId m = net.addMessage(0, 1, 100, router->route(0, 1));
-  EXPECT_THROW(net.deliveryTime(m), std::logic_error);
+  EXPECT_THROW((void)net.deliveryTime(m), std::logic_error);
   net.release(m, 0);
   net.run();
   EXPECT_GT(net.deliveryTime(m), 0u);

@@ -1,0 +1,21 @@
+// Fixture for tools/lint_determinism.py (never compiled): the deterministic
+// idioms the tree actually uses — sorted containers, to_chars-backed float
+// helpers, quoted lookup errors with a hint — must all pass clean.
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+std::string fixed6(double v);
+
+void dump(std::ofstream& os) {
+  std::map<int, double> cells;
+  for (const auto& [key, value] : cells) {
+    os << key << "," << fixed6(value) << "\n";
+  }
+}
+
+void lookup(const std::string& name) {
+  throw std::invalid_argument("unknown pattern '" + name +
+                              "' (registered: ring, stencil)");
+}

@@ -1,0 +1,4 @@
+// Fixture for tools/lint_determinism.py (never compiled): half of a
+// two-header include cycle; the include-cycle rule must report it.
+#pragma once
+#include "cycle_b.hpp"

@@ -1,0 +1,4 @@
+// Fixture for tools/lint_determinism.py (never compiled): the other half of
+// the two-header include cycle.
+#pragma once
+#include "cycle_a.hpp"

@@ -1,0 +1,9 @@
+// Fixture for tools/lint_determinism.py (never compiled): a lookup error
+// without the uniform `unknown <kind> '<name>' (<hint>)` shape — the
+// error-shape rule must flag it.
+#include <stdexcept>
+#include <string>
+
+void lookup(const std::string& name) {
+  throw std::invalid_argument("unknown pattern: " + name);
+}

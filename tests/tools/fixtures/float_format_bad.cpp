@@ -1,0 +1,9 @@
+// Fixture for tools/lint_determinism.py (never compiled): a raw double fed
+// to `<<` in a file that writes output — locale/precision state decides the
+// bytes, so the float-format rule must flag it.
+#include <fstream>
+
+void dump(std::ofstream& os) {
+  double latencyNs = 1234.5;
+  os << latencyNs << "\n";
+}

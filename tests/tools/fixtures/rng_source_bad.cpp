@@ -1,0 +1,9 @@
+// Fixture for tools/lint_determinism.py (never compiled): std::random_device
+// is wall-entropy and must be flagged by the rng-source rule everywhere
+// outside src/xgft/rng.hpp.
+#include <random>
+
+int entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

@@ -1,0 +1,9 @@
+// Fixture for tools/lint_determinism.py (never compiled): a suppression
+// that names the rule AND gives a reason must silence the finding.
+#include <random>
+
+int entropy() {
+  // NOLINT(determinism-rng-source) -- fixture: reasoned suppression works
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

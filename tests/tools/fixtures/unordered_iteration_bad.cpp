@@ -1,0 +1,12 @@
+// Fixture for tools/lint_determinism.py (never compiled): range-for over an
+// unordered container in a file that writes output — hash order would leak
+// into the CSV, so the unordered-iteration rule must flag it.
+#include <fstream>
+#include <unordered_map>
+
+void dump(std::ofstream& os) {
+  std::unordered_map<int, int> counts;
+  for (const auto& [key, value] : counts) {
+    os << key << "," << value << "\n";
+  }
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/lint_determinism.py.
+
+Each fixture under tests/tools/fixtures/ is a tiny C++ snippet (never
+compiled) that either triggers exactly one linter rule or must pass clean.
+The suite copies every fixture into a throwaway src/ tree — the real
+fixtures directory is exempt from the linter's own tree scan — runs the
+linter CLI on it, and checks the rule set and exit code.
+
+Exit codes follow the tools/ contract: 0 all cases pass, 1 a case failed,
+2 environment error (one stderr line, no stack trace).
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(REPO, "tools", "lint_determinism.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture file(s) -> rules the linter must report (empty set = clean).
+CASES = [
+    (["rng_source_bad.cpp"], {"rng-source"}),
+    (["rng_source_nolint.cpp"], set()),
+    (["unordered_iteration_bad.cpp"], {"unordered-iteration"}),
+    (["float_format_bad.cpp"], {"float-format"}),
+    (["error_shape_bad.cpp"], {"error-shape"}),
+    (["clean.cpp"], set()),
+    (["cycle_a.hpp", "cycle_b.hpp"], {"include-cycle"}),
+]
+
+FINDING_RE = re.compile(r"^\S+:\d+: \[([a-z-]+)\]")
+
+
+def run_case(files, expected):
+    with tempfile.TemporaryDirectory() as tmp:
+        os.mkdir(os.path.join(tmp, "src"))
+        for name in files:
+            shutil.copy(os.path.join(FIXTURES, name),
+                        os.path.join(tmp, "src", name))
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--root", tmp],
+            capture_output=True, text=True, timeout=120, check=False)
+    reported = {m.group(1) for m in
+                (FINDING_RE.match(line) for line in
+                 proc.stdout.splitlines()) if m}
+    want_exit = 1 if expected else 0
+    if proc.returncode != want_exit or reported != expected:
+        print(f"FAIL {'+'.join(files)}: expected rules {sorted(expected)} "
+              f"exit {want_exit}, got rules {sorted(reported)} exit "
+              f"{proc.returncode}\n--- linter output ---\n{proc.stdout}"
+              f"{proc.stderr}", file=sys.stderr)
+        return False
+    print(f"ok   {'+'.join(files)}: {sorted(expected) or 'clean'}")
+    return True
+
+
+def main():
+    if not os.path.isfile(LINTER):
+        print(f"lint_fixtures_test: linter not found at {LINTER}",
+              file=sys.stderr)
+        return 2
+    if not os.path.isdir(FIXTURES):
+        print(f"lint_fixtures_test: fixtures dir not found at {FIXTURES}",
+              file=sys.stderr)
+        return 2
+    ok = all([run_case(files, expected) for files, expected in CASES])
+    if ok:
+        print(f"lint_fixtures_test: {len(CASES)} cases passed")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,7 @@ TEST(TopologyIo, TryParseReturnsValue) {
 
 TEST(TopologyIo, ErrorsCarryPosition) {
   try {
-    parseParams("XGFT(2; 16,16; 1,10");
+    (void)parseParams("XGFT(2; 16,16; 1,10");
     FAIL() << "expected throw";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);

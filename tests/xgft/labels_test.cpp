@@ -45,8 +45,8 @@ TEST(Labels, OutOfRangeInputsThrow) {
   const Params p({4, 4}, {1, 4});
   EXPECT_THROW(labelOf(p, 3, 0), std::out_of_range);
   EXPECT_THROW(labelOf(p, 0, 16), std::out_of_range);
-  EXPECT_THROW(indexOf(p, Label(0, {4, 0})), std::invalid_argument);
-  EXPECT_THROW(indexOf(p, Label(0, {0})), std::invalid_argument);
+  EXPECT_THROW((void)indexOf(p, Label(0, {4, 0})), std::invalid_argument);
+  EXPECT_THROW((void)indexOf(p, Label(0, {0})), std::invalid_argument);
 }
 
 TEST(Labels, LeafDigitMatchesLabelOf) {

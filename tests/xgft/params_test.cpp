@@ -50,7 +50,7 @@ TEST(Params, NodesAtLevelMatchesTableI) {
   EXPECT_EQ(p.nodesAtLevel(0), 256u);
   EXPECT_EQ(p.nodesAtLevel(1), 16u);
   EXPECT_EQ(p.nodesAtLevel(2), 10u);
-  EXPECT_THROW(p.nodesAtLevel(3), std::out_of_range);
+  EXPECT_THROW((void)p.nodesAtLevel(3), std::out_of_range);
 }
 
 TEST(Params, Equation1InnerSwitchCount) {
@@ -69,7 +69,7 @@ TEST(Params, LinkCounts) {
   EXPECT_EQ(p.numUpLinks(0), 256u);        // Host uplinks (w1 = 1 each).
   EXPECT_EQ(p.numUpLinks(1), 16u * 16u);   // 16 switches x 16 parents.
   EXPECT_EQ(p.numLinks(), 256u + 256u);
-  EXPECT_THROW(p.numUpLinks(2), std::out_of_range);
+  EXPECT_THROW((void)p.numUpLinks(2), std::out_of_range);
 }
 
 TEST(Params, UpAndDownLinkCountsAgreeBetweenLevels) {

@@ -45,10 +45,10 @@ TEST(Topology, EveryParentHasExactlyMChildren) {
 
 TEST(Topology, PortRangeChecks) {
   const Topology t(xgft2(4, 4, 2));
-  EXPECT_THROW(t.parentIndex(0, 0, 1), std::out_of_range);  // w1 = 1.
-  EXPECT_THROW(t.parentIndex(2, 0, 0), std::out_of_range);  // Roots.
-  EXPECT_THROW(t.childIndex(0, 0, 0), std::out_of_range);   // Hosts.
-  EXPECT_THROW(t.childIndex(1, 0, 4), std::out_of_range);   // m1 = 4.
+  EXPECT_THROW((void)t.parentIndex(0, 0, 1), std::out_of_range);  // w1 = 1.
+  EXPECT_THROW((void)t.parentIndex(2, 0, 0), std::out_of_range);  // Roots.
+  EXPECT_THROW((void)t.childIndex(0, 0, 0), std::out_of_range);   // Hosts.
+  EXPECT_THROW((void)t.childIndex(1, 0, 4), std::out_of_range);   // m1 = 4.
 }
 
 TEST(Topology, LinkIdsAreDenseAndInvertible) {
@@ -135,7 +135,7 @@ TEST(Topology, GlobalIdsRoundTrip) {
       EXPECT_EQ(addr.index, idx);
     }
   }
-  EXPECT_THROW(t.addrOf(expected), std::out_of_range);
+  EXPECT_THROW((void)t.addrOf(expected), std::out_of_range);
 }
 
 TEST(Topology, NumPortsPerLevel) {

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check_headers.sh — every project header must compile standalone, so any
+# file can include it first without depending on accidental include order.
+#
+#   tools/check_headers.sh [compiler]
+#
+# Compiles each src/ and bench/ header as its own translation unit with
+# -fsyntax-only.  Exit codes follow the tools/ contract: 0 clean, 1 findings,
+# 2 environment error (one stderr line, no stack trace).
+set -u
+
+die() { echo "check_headers: $*" >&2; exit 2; }
+
+cd "$(dirname "$0")/.." || die "cannot cd to the repo root"
+CXX="${1:-${CXX:-c++}}"
+command -v "$CXX" >/dev/null 2>&1 || die "compiler '$CXX' not found on PATH"
+
+mapfile -t HEADERS < <(find src bench -name '*.hpp' | sort)
+[ "${#HEADERS[@]}" -gt 0 ] || die "no headers under src/ or bench/"
+
+bad=0
+for h in "${HEADERS[@]}"; do
+  # Compile a one-line wrapper rather than the header itself: a .hpp as the
+  # main file trips -Wpragma-once-outside-header / "#pragma once in main
+  # file" on both GCC and Clang.
+  if ! echo "#include \"$PWD/$h\"" | "$CXX" -std=c++20 -fsyntax-only \
+       -Wall -Wextra -Werror -Isrc -Ibench -x c++ -; then
+    echo "check_headers: $h is not self-contained" >&2
+    bad=$((bad + 1))
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  echo "check_headers: $bad header(s) failed" >&2
+  exit 1
+fi
+echo "check_headers: ${#HEADERS[@]} headers self-contained"

@@ -1,0 +1,728 @@
+#!/usr/bin/env python3
+"""Project-specific determinism linter.
+
+Usage: lint_determinism.py [--root DIR]
+       lint_determinism.py --self-check
+
+The repo's reproducibility contract — byte-identical campaign CSVs and
+manifests for any --threads value, any repeat, any platform — rests on
+invariants no off-the-shelf tool knows about.  This linter enforces them
+statically (regex/graph level, comments and string bodies stripped before
+matching), as a failing CI gate:
+
+  rng-source           The only randomness is xgft/rng.hpp's SplitMix64
+                       derivations.  `rand()`, `std::random_device`,
+                       `std::mt19937` & friends, or an `xgft::Rng` seeded
+                       from a clock are forbidden outside that module:
+                       platform-dependent or time-seeded bits would break
+                       cross-platform reproduction silently.
+  unordered-iteration  Files that write CSV/JSON/manifest artifacts must
+                       not iterate over `std::unordered_map`/`_set`:
+                       iteration order is implementation-defined, so a
+                       libstdc++/libc++ difference (or a hash-seed change)
+                       would reorder output bytes.  Membership tests are
+                       fine; only iteration is flagged.
+  float-format         Floating-point values reach output bytes only via
+                       the std::to_chars helpers (fixed6, formatShortest,
+                       formatJsonDouble, microsFixed3): `operator<<` on a
+                       double honours stream state and produces different
+                       shortest-form digits across standard libraries.
+  error-shape          Name-lookup failures use the uniform registry
+                       shape: `unknown <kind> '<name>' (registered: ...)`
+                       (or another parenthesized hint).  A bare
+                       "unknown flag: x" denies the user the list of what
+                       would have been accepted.
+  include-cycle        No `#include` cycles among src/ headers — a cycle
+                       makes initialization order (and who-sees-what under
+                       XGFT_THREAD_SAFETY) toolchain-dependent, and breaks
+                       the standalone-header check (tools/check_headers.sh).
+
+Suppressions: append `// NOLINT(determinism-<rule>) -- <reason>` to the
+offending line (or the line above).  The reason is mandatory; a bare
+NOLINT is itself a finding.  Policy in DESIGN.md §11.
+
+Exit codes: 0 clean, 1 findings, 2 usage/environment error (one line on
+stderr, no traceback — same contract as bench_diff.py, checked by
+`--self-check`).
+"""
+
+import os
+import re
+import sys
+
+# --- configuration -----------------------------------------------------------
+
+# Directories scanned relative to the repo root.  tests/ is included for
+# rng-source (a seeded test must stay seeded) but exempt from the output
+# rules: test expectation strings legitimately mention anything.
+CODE_DIRS = ("src", "bench", "examples", "tools")
+TEST_DIRS = ("tests",)
+CPP_EXTENSIONS = (".hpp", ".cpp", ".h", ".cc")
+
+# The one module allowed to define randomness primitives.
+RNG_MODULE = "src/xgft/rng.hpp"
+
+# Linter fixtures deliberately violate the rules.
+FIXTURE_DIR = "tests/tools/fixtures"
+
+# A file is an "output path" when it renders campaign artifacts (CSV rows,
+# manifests, Chrome traces, time-series) whose bytes are compared across
+# runs.  Matching is by content marker, not by a hand-kept file list, so a
+# new exporter is covered the day it is born.
+OUTPUT_MARKERS = (
+    "writeCsv", "toCsv", "writeManifest", "writeChromeTrace",
+    "writeTimeSeriesCsv", "ChromeTraceWriter", "ofstream",
+)
+
+# Formatting helpers that render floats deterministically (std::to_chars
+# under the hood).  `<<` on their result is string streaming, not float
+# streaming.
+FLOAT_HELPERS = (
+    "fixed6", "formatShortest", "formatFixed", "formatJsonDouble",
+    "microsFixed3", "formatSci", "to_chars",
+)
+
+RULES = (
+    "rng-source", "unordered-iteration", "float-format", "error-shape",
+    "include-cycle",
+)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- source mangling ---------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blanks comment bodies and string/char literal contents, preserving
+    line structure, so token rules never fire on prose or data."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated (macro line continuation etc.)
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def strip_comments_only(text):
+    """Blanks comments but leaves string literals intact — the include-graph
+    scanner needs the `#include "path"` operand that the full stripper would
+    blank away."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string
+            if c == "\\" and nxt:
+                out.append(c)
+                out.append(nxt)
+                i += 2
+                continue
+            if c in ('"', "\n"):
+                state = "code"
+            out.append(c)
+        i += 1
+    return "".join(out)
+
+
+NOLINT_RE = re.compile(
+    r"NOLINT\(determinism-([a-z-]+)\)(?:\s*--\s*(\S.*))?")
+
+
+def suppressed(rule, raw_lines, lineno, findings, path):
+    """True when line `lineno` (1-based) or the one above carries a NOLINT
+    for `rule` with a reason.  A reasonless NOLINT is itself reported."""
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(raw_lines):
+            m = NOLINT_RE.search(raw_lines[candidate - 1])
+            if m and m.group(1) == rule:
+                if not m.group(2):
+                    findings.append(Finding(
+                        rule, path, candidate,
+                        "NOLINT without a reason (use `NOLINT(determinism-"
+                        f"{rule}) -- <why this is safe>`)"))
+                    return True  # Suppress the original; the bare NOLINT is
+                    # the finding to fix.
+                return True
+    return False
+
+
+# --- rule: rng-source --------------------------------------------------------
+
+RNG_FORBIDDEN = re.compile(
+    r"\b(random_device|mt19937(?:_64)?|default_random_engine|minstd_rand0?"
+    r"|ranlux\d+(?:_base)?|knuth_b|random_shuffle)\b"
+    r"|\b(s?rand)\s*\(")
+RNG_TIME_SEED = re.compile(  # `Rng name(args)` or `Rng(args)` temporary.
+    r"\bRng\s*\w*\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+TIME_SOURCE = re.compile(r"\b(time\s*\(|::now\s*\(|clock\s*\()")
+
+
+def check_rng_source(path, raw_lines, stripped_lines, findings):
+    if path.replace(os.sep, "/").endswith(RNG_MODULE.rsplit("/", 1)[-1]) \
+            and path.replace(os.sep, "/").endswith(RNG_MODULE):
+        return
+    for lineno, line in enumerate(stripped_lines, 1):
+        m = RNG_FORBIDDEN.search(line)
+        if m:
+            token = m.group(1) or m.group(2)
+            if not suppressed("rng-source", raw_lines, lineno, findings, path):
+                findings.append(Finding(
+                    "rng-source", path, lineno,
+                    f"forbidden randomness source `{token}` — derive bits "
+                    "from xgft/rng.hpp (hashMix/deriveSeed) instead"))
+        m = RNG_TIME_SEED.search(line)
+        if m and TIME_SOURCE.search(m.group(1)):
+            if not suppressed("rng-source", raw_lines, lineno, findings, path):
+                findings.append(Finding(
+                    "rng-source", path, lineno,
+                    "xgft::Rng seeded from a clock — seeds must come from "
+                    "the spec (deriveSeed) so runs reproduce"))
+
+
+# --- rule: unordered-iteration ----------------------------------------------
+
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s*&?\s*"
+    r"(\w+)\s*[;({=]")
+RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*([^)]+)\)")
+LAST_IDENT = re.compile(r"(\w+)\s*$")
+
+
+def is_output_path_file(raw_text):
+    return any(marker in raw_text for marker in OUTPUT_MARKERS)
+
+
+def check_unordered_iteration(path, raw_lines, stripped_lines, findings):
+    text = "\n".join(stripped_lines)
+    names = set(UNORDERED_DECL.findall(text))
+    if not names:
+        return
+    # begin() only: iteration always needs a begin, while a bare end() is
+    # the safe `find(k) != end()` membership idiom.
+    begin_re = re.compile(
+        r"\b(" + "|".join(re.escape(n) for n in names) +
+        r")\s*\.\s*c?r?begin\s*\(")
+    for lineno, line in enumerate(stripped_lines, 1):
+        hit = None
+        m = RANGE_FOR.search(line)
+        if m:
+            ident = LAST_IDENT.search(m.group(1).strip())
+            if ident and ident.group(1) in names:
+                hit = ident.group(1)
+        if hit is None:
+            m = begin_re.search(line)
+            if m:
+                hit = m.group(1)
+        if hit is not None:
+            if not suppressed("unordered-iteration", raw_lines, lineno,
+                              findings, path):
+                findings.append(Finding(
+                    "unordered-iteration", path, lineno,
+                    f"iteration over unordered container `{hit}` in an "
+                    "output-writing file — order is implementation-defined; "
+                    "copy keys into a sorted vector (or use std::map)"))
+
+
+# --- rule: float-format ------------------------------------------------------
+
+DOUBLE_DECL = re.compile(
+    r"\b(?:double|float)\s+(\w+)\s*(?:[;,=)\[]|\s*=)")
+STREAM_OPERAND = re.compile(r"<<\s*([A-Za-z_][\w:]*(?:\s*\(|"
+                            r"(?:\s*(?:\.|->)\s*\w+|\[\w+\])*))")
+FLOAT_LITERAL_STREAM = re.compile(r"<<\s*[0-9]+\.[0-9]")
+MEMBER_CHAIN = re.compile(r"([A-Za-z_]\w*(?:(?:\.|->)\w+|\[\w+\])*)")
+
+
+def harvest_double_names(file_texts):
+    """Identifier names declared with double/float type in the given texts
+    — a conservative over-approximation used to type `<<` operands at
+    regex level.  Callers pass a file's include closure, not the whole
+    tree: the same member name can be double in one struct and integral in
+    another (latencyP99Ns is TimeNs in JobResult, a mean double in
+    analysis::DegradationCell), and only the structs a file can actually
+    see should type its operands."""
+    names = set()
+    for text in file_texts:
+        names.update(DOUBLE_DECL.findall(text))
+    return names
+
+
+def include_closure(root, path, raw_text, cache):
+    """Project headers transitively included by `path` (relative include
+    paths resolved against src/, the project's single include root)."""
+    key = path
+    if key in cache:
+        return cache[key]
+    cache[key] = set()  # Break cycles defensively; rule 5 reports them.
+    closure = set()
+    src = os.path.join(root, "src")
+    for inc in INCLUDE_RE.findall(strip_comments_only(raw_text)):
+        hdr = os.path.join(src, inc)
+        if not os.path.exists(hdr):
+            continue
+        if hdr in closure:
+            continue
+        closure.add(hdr)
+        with open(hdr, encoding="utf-8", errors="replace") as f:
+            closure |= include_closure(root, hdr, f.read(), cache)
+    cache[key] = closure
+    return closure
+
+
+def check_float_format(path, raw_lines, stripped_lines, findings,
+                       double_names):
+    helpers = tuple(h + "(" for h in FLOAT_HELPERS)
+    for lineno, line in enumerate(stripped_lines, 1):
+        if "<<" not in line:
+            continue
+        if FLOAT_LITERAL_STREAM.search(line):
+            if not suppressed("float-format", raw_lines, lineno, findings,
+                              path):
+                findings.append(Finding(
+                    "float-format", path, lineno,
+                    "float literal streamed with `<<` in an output-writing "
+                    "file — render via the to_chars helpers (fixed6 / "
+                    "formatShortest / formatJsonDouble)"))
+            continue
+        for m in STREAM_OPERAND.finditer(line):
+            operand = m.group(1).strip()
+            flat = operand.replace(" ", "")
+            if any(flat.startswith(h) for h in helpers) or \
+                    any("::" + h in flat for h in helpers):
+                continue
+            if flat.endswith("("):  # some other call — not a raw member
+                continue
+            if "::" in flat:  # std::fixed & friends, enum values, statics
+                continue
+            chain = MEMBER_CHAIN.match(flat)
+            if not chain:
+                continue
+            last = re.split(r"\.|->|\[", chain.group(1).replace("]", ""))[-1]
+            if last in double_names:
+                if not suppressed("float-format", raw_lines, lineno,
+                                  findings, path):
+                    findings.append(Finding(
+                        "float-format", path, lineno,
+                        f"double-typed `{operand}` streamed with `<<` in an "
+                        "output-writing file — use fixed6/formatShortest/"
+                        "formatJsonDouble (std::to_chars) instead"))
+                break
+
+
+# --- rule: error-shape -------------------------------------------------------
+
+STRING_LITERAL = re.compile(r'"((?:[^"\\]|\\.)*)"')
+SHAPE_PREFIX = re.compile(r"^unknown [a-z][a-z -]* '$")
+SHAPE_BARE = re.compile(r"^unknown $")
+SHAPE_WRONG = re.compile(r"^unknown [a-z][a-z -]*[:=] ?$")
+HINT_MARKERS = ("(registered:", "(known", "(see ", "(run ", "(degradable:",
+                "(available")
+
+
+def check_error_shape(path, raw_lines, stripped_lines, findings):
+    del stripped_lines
+    for lineno, line in enumerate(raw_lines, 1):
+        for lit in STRING_LITERAL.findall(line):
+            if SHAPE_WRONG.match(lit):
+                if not suppressed("error-shape", raw_lines, lineno, findings,
+                                  path):
+                    findings.append(Finding(
+                        "error-shape", path, lineno,
+                        f'lookup error "{lit}..." — use the uniform shape '
+                        "`unknown <kind> '<name>' (<hint>)` so every bad "
+                        "name gets quoted and the accepted values listed"))
+                continue
+            if SHAPE_PREFIX.match(lit) or SHAPE_BARE.match(lit):
+                # The statement (this line onward until `;`) must carry a
+                # parenthesized hint list.
+                statement = []
+                for look in range(lineno - 1, min(lineno + 7,
+                                                  len(raw_lines))):
+                    statement.append(raw_lines[look])
+                    if ";" in raw_lines[look]:
+                        break
+                joined = "\n".join(statement)
+                if not any(h in joined for h in HINT_MARKERS):
+                    if not suppressed("error-shape", raw_lines, lineno,
+                                      findings, path):
+                        findings.append(Finding(
+                            "error-shape", path, lineno,
+                            f'lookup error "{lit}..." lacks a hint list — '
+                            "append `(registered: ...)`/`(known ...)`/"
+                            "`(see --help)` naming what would be accepted"))
+
+
+# --- rule: include-cycle -----------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+def check_include_cycles(root, findings):
+    """DFS over the project-header include graph under src/."""
+    src = os.path.join(root, "src")
+    graph = {}
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in filenames:
+            if not fn.endswith((".hpp", ".h")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, src).replace(os.sep, "/")
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = strip_comments_only(f.read())
+            deps = []
+            for inc in INCLUDE_RE.findall(text):
+                if os.path.exists(os.path.join(src, inc)):
+                    deps.append(inc)
+            graph[rel] = deps
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    stack_trace = []
+    reported = set()
+
+    def dfs(node):
+        color[node] = GRAY
+        stack_trace.append(node)
+        for dep in graph.get(node, ()):
+            if dep not in graph:
+                continue
+            if color[dep] == GRAY:
+                cycle = stack_trace[stack_trace.index(dep):] + [dep]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    findings.append(Finding(
+                        "include-cycle", os.path.join("src", dep), 1,
+                        "header include cycle: " + " -> ".join(cycle)))
+            elif color[dep] == WHITE:
+                dfs(dep)
+        stack_trace.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+
+# --- driver ------------------------------------------------------------------
+
+def iter_files(root, dirs):
+    for d in dirs:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            if rel_dir.startswith(FIXTURE_DIR):
+                continue
+            for fn in sorted(filenames):
+                if fn.endswith(CPP_EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+def lint_tree(root):
+    findings = []
+    texts = {}
+    for path in list(iter_files(root, CODE_DIRS)) + \
+            list(iter_files(root, TEST_DIRS)):
+        with open(path, encoding="utf-8", errors="replace") as f:
+            texts[path] = f.read()
+
+    closure_cache = {}
+    for path, raw in sorted(texts.items()):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        raw_lines = raw.splitlines()
+        stripped_lines = strip_comments_and_strings(raw).splitlines()
+        in_tests = rel.startswith("tests/")
+
+        if rel != RNG_MODULE:
+            check_rng_source(rel, raw_lines, stripped_lines, findings)
+        if not in_tests:
+            check_error_shape(rel, raw_lines, stripped_lines, findings)
+            if is_output_path_file(raw):
+                check_unordered_iteration(rel, raw_lines, stripped_lines,
+                                          findings)
+                # Type `<<` operands against what this file can see: its
+                # own declarations plus its project-header closure.
+                closure_texts = [strip_comments_and_strings(raw)]
+                for hdr in include_closure(root, path, raw, closure_cache):
+                    with open(hdr, encoding="utf-8",
+                              errors="replace") as f:
+                        closure_texts.append(
+                            strip_comments_and_strings(f.read()))
+                check_float_format(rel, raw_lines, stripped_lines, findings,
+                                   harvest_double_names(closure_texts))
+
+    check_include_cycles(root, findings)
+    return findings
+
+
+def main(argv):
+    if "--self-check" in argv:
+        return self_check()
+    root = "."
+    args = [a for a in argv if a != "--self-check"]
+    it = iter(args)
+    for a in it:
+        if a == "--root":
+            try:
+                root = next(it)
+            except StopIteration:
+                sys.stderr.write("lint_determinism: --root needs a value\n")
+                return 2
+        elif a.startswith("--root="):
+            root = a.split("=", 1)[1]
+        else:
+            sys.stderr.write(f"lint_determinism: unknown argument '{a}' "
+                             "(see --help in the module docstring)\n")
+            return 2
+    if not os.path.isdir(os.path.join(root, "src")):
+        sys.stderr.write(f"lint_determinism: '{root}' has no src/ directory "
+                         "— pass the repo root via --root\n")
+        return 2
+    findings = lint_tree(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s)")
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+# --- self-check --------------------------------------------------------------
+
+def run_rule_on(content, rule, path="src/fake/file.cpp",
+                double_names=frozenset()):
+    raw_lines = content.splitlines()
+    stripped = strip_comments_and_strings(content).splitlines()
+    findings = []
+    if rule == "rng-source":
+        check_rng_source(path, raw_lines, stripped, findings)
+    elif rule == "unordered-iteration":
+        check_unordered_iteration(path, raw_lines, stripped, findings)
+    elif rule == "float-format":
+        check_float_format(path, raw_lines, stripped, findings, double_names)
+    elif rule == "error-shape":
+        check_error_shape(path, raw_lines, stripped, findings)
+    return findings
+
+
+def self_check():
+    """Fixture-free checks of every rule (positive and negative) plus the
+    CLI error contract.  Exit 0 on success, 1 with a diagnostic on any
+    failed expectation."""
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # rng-source
+    expect(run_rule_on("std::mt19937 gen(42);", "rng-source"),
+           "rng-source misses mt19937")
+    expect(run_rule_on("int x = rand();", "rng-source"),
+           "rng-source misses rand()")
+    expect(run_rule_on("xgft::Rng rng(time(nullptr));", "rng-source"),
+           "rng-source misses time-seeded Rng")
+    expect(not run_rule_on("xgft::Rng rng(deriveSeed(seed, \"x\"));",
+                           "rng-source"),
+           "rng-source false positive on deriveSeed")
+    expect(not run_rule_on("// std::mt19937 would not reproduce\n",
+                           "rng-source"),
+           "rng-source fires inside comments")
+    expect(not run_rule_on("int operand = 3; f(operand);", "rng-source"),
+           "rng-source substring-matches 'rand' inside identifiers")
+
+    # NOLINT with reason suppresses; without reason is itself a finding.
+    sup = run_rule_on("int x = rand();  // NOLINT(determinism-rng-source)"
+                      " -- fixture exercising the rule\n", "rng-source")
+    expect(not sup, "NOLINT with reason does not suppress")
+    bare = run_rule_on("int x = rand();  // NOLINT(determinism-rng-source)\n",
+                       "rng-source")
+    expect(len(bare) == 1 and "reason" in bare[0].message,
+           "bare NOLINT not reported")
+
+    # unordered-iteration
+    bad_iter = ("std::unordered_map<int, int> m;\n"
+                "for (const auto& [k, v] : m) use(k, v);\n")
+    expect(run_rule_on(bad_iter, "unordered-iteration"),
+           "unordered-iteration misses range-for")
+    bad_begin = ("std::unordered_set<int> s;\n"
+                 "auto it = s.begin();\n")
+    expect(run_rule_on(bad_begin, "unordered-iteration"),
+           "unordered-iteration misses .begin()")
+    expect(not run_rule_on("std::unordered_set<int> s;\n"
+                           "if (s.find(3) != s.end()) {}\n",
+                           "unordered-iteration"),
+           "unordered-iteration flags the find/end membership idiom")
+    expect(not run_rule_on("std::map<int, int> m;\n"
+                           "for (const auto& [k, v] : m) use(k, v);\n",
+                           "unordered-iteration"),
+           "unordered-iteration flags ordered std::map")
+
+    # float-format
+    expect(run_rule_on("os << job.slowdown;\n", "float-format",
+                       double_names={"slowdown"}),
+           "float-format misses raw double member")
+    expect(not run_rule_on("os << fixed6(job.slowdown);\n", "float-format",
+                           double_names={"slowdown"}),
+           "float-format flags fixed6-wrapped double")
+    expect(run_rule_on("os << 0.5;\n", "float-format"),
+           "float-format misses float literal")
+    expect(not run_rule_on("os << job.makespanNs;\n", "float-format",
+                           double_names={"slowdown"}),
+           "float-format flags integer member")
+
+    # error-shape
+    expect(run_rule_on('throw std::invalid_argument("unknown flag: " + a);\n',
+                       "error-shape"),
+           "error-shape misses colon form")
+    expect(run_rule_on(
+        "throw std::invalid_argument(\"unknown pattern '\" + n + \"'\");\n",
+        "error-shape"),
+        "error-shape misses missing hint list")
+    expect(not run_rule_on(
+        "throw std::invalid_argument(\"unknown pattern '\" + n +\n"
+        "    \"' (registered: \" + list + \")\");\n",
+        "error-shape"),
+        "error-shape flags the uniform shape")
+    expect(not run_rule_on('result.error = "unknown error";\n',
+                           "error-shape"),
+           "error-shape flags the generic fallback message")
+
+    # include-cycle (synthetic tree)
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "src")
+        os.makedirs(os.path.join(src, "a"))
+        with open(os.path.join(src, "a", "x.hpp"), "w") as f:
+            f.write('#include "a/y.hpp"\n')
+        with open(os.path.join(src, "a", "y.hpp"), "w") as f:
+            f.write('#include "a/x.hpp"\n')
+        cyc = []
+        check_include_cycles(tmp, cyc)
+        expect(cyc and cyc[0].rule == "include-cycle",
+               "include-cycle misses a 2-cycle")
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "src")
+        os.makedirs(os.path.join(src, "a"))
+        with open(os.path.join(src, "a", "x.hpp"), "w") as f:
+            f.write('#include "a/y.hpp"\n')
+        with open(os.path.join(src, "a", "y.hpp"), "w") as f:
+            f.write("#pragma once\n")
+        clean = []
+        check_include_cycles(tmp, clean)
+        expect(not clean, "include-cycle false positive on a DAG")
+
+    # CLI error contract: bad root -> one stderr line, exit 2.
+    import subprocess
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--root",
+         "/nonexistent-root"],
+        capture_output=True, text=True)
+    expect(proc.returncode == 2, "bad --root should exit 2")
+    expect(proc.stderr.count("\n") == 1 and "src/" in proc.stderr,
+           "bad --root should print one diagnostic line")
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--bogus-flag"],
+        capture_output=True, text=True)
+    expect(proc.returncode == 2, "unknown flag should exit 2")
+
+    if failures:
+        for f in failures:
+            print(f"self-check FAILED: {f}")
+        return 1
+    print("lint_determinism --self-check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# run_tidy.sh — the curated clang-tidy gate (.clang-tidy at the repo root).
+#
+#   tools/run_tidy.sh [build-dir]
+#
+# Runs clang-tidy over every translation unit in the compilation database
+# (any CMake configure exports compile_commands.json) and fails on the first
+# batch of findings; WarningsAsErrors in .clang-tidy makes every finding an
+# error.  Exit codes follow the tools/ contract: 0 clean, 1 findings,
+# 2 environment error (one stderr line, no stack trace).
+set -u
+
+die() { echo "run_tidy: $*" >&2; exit 2; }
+
+cd "$(dirname "$0")/.." || die "cannot cd to the repo root"
+BUILD_DIR="${1:-build}"
+DB="$BUILD_DIR/compile_commands.json"
+[ -f "$DB" ] || die "no $DB (configure first: cmake -B $BUILD_DIR -S .)"
+
+TIDY=""
+for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+            clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+            clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then TIDY="$cand"; break; fi
+done
+[ -n "$TIDY" ] || die "clang-tidy not found on PATH"
+
+# Lint exactly what the build compiles: the database already excludes
+# skipped benches (missing Google Benchmark) and anything outside the
+# project, so no hand-kept file list can drift out of sync.
+mapfile -t FILES < <(python3 - "$DB" <<'EOF'
+import json
+import os
+import sys
+
+root = os.getcwd()
+seen = []
+for entry in json.load(open(sys.argv[1])):
+    path = os.path.normpath(
+        os.path.join(entry.get("directory", root), entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.split(os.sep)[0] in ("src", "bench", "examples", "tests"):
+        seen.append(rel)
+for rel in sorted(set(seen)):
+    print(rel)
+EOF
+)
+[ "${#FILES[@]}" -gt 0 ] || die "compilation database lists no project sources"
+
+echo "run_tidy: $TIDY over ${#FILES[@]} translation units"
+status=0
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$(nproc)" -n 8 "$TIDY" --quiet -p "$BUILD_DIR" || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy: findings above — fix them or NOLINT(<check>) -- <reason>" >&2
+  exit 1
+fi
+echo "run_tidy: clean"
