@@ -11,6 +11,7 @@
 #include "routing/relabel.hpp"
 #include "sim/event_queue.hpp"
 #include "trace/harness.hpp"
+#include "trace/openloop.hpp"
 #include "trace/replayer.hpp"
 
 namespace {
@@ -132,6 +133,38 @@ void BM_EventCoreChurn(benchmark::State& state) {
   state.SetLabel("items = queue pops");
 }
 BENCHMARK(BM_EventCoreChurn)->Arg(8)->Arg(256)->Arg(4096);
+
+void BM_ParallelRun(benchmark::State& state) {
+  // The sharded event core (sim/shard.hpp) against the serial baseline on
+  // the paper's 160-host fabric near the saturation knee: an open-loop
+  // Poisson uniform stream, the loadsweep campaign's inner loop.  Arg is
+  // sim_threads; 1 is the serial reference path.  Results are pinned
+  // byte-identical across args by tests/engine/parallel_identity_test.cpp,
+  // so this measures pure engine cost.  items = simulator events.
+  const auto simThreads = static_cast<std::uint32_t>(state.range(0));
+  const xgft::Topology topo(xgft::xgft2(16, 16, 10));
+  const routing::RouterPtr router = routing::makeDModK(topo);
+  trace::OpenLoopOptions opt;
+  opt.warmupNs = 50'000;
+  opt.measureNs = 300'000;
+  opt.simThreads = simThreads;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    patterns::OpenLoopConfig cfg;
+    cfg.numRanks = static_cast<patterns::Rank>(topo.numHosts());
+    cfg.load = 0.7;
+    cfg.messageBytes = 4096;
+    cfg.stopNs = opt.warmupNs + opt.measureNs;
+    cfg.seed = 1;
+    patterns::OpenLoopSource src(cfg);
+    const trace::OpenLoopResult r = trace::runOpenLoop(topo, *router, src, opt);
+    events += r.stats.eventsProcessed;
+    benchmark::DoNotOptimize(r.acceptedLoad);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulator events");
+}
+BENCHMARK(BM_ParallelRun)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto k = static_cast<std::uint32_t>(state.range(0));

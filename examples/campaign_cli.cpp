@@ -44,7 +44,8 @@ struct CliOptions {
   std::string outFile;
   std::string list;           // One of: schemes, patterns, sources, faults,
                               // topologies, campaigns ("" = no listing).
-  std::uint32_t threads = 0;  // 0 = hardware concurrency.
+  std::uint32_t threads = 0;     // 0 = hardware concurrency.
+  std::uint32_t simThreads = 0;  // 0 = pool idle share per job.
   std::uint32_t seeds = 10;
   double msgScale = 0.125;
   bool contention = true;
@@ -67,9 +68,21 @@ std::string joinNames(const std::vector<std::string>& names) {
 void usage(std::ostream& os) {
   os << "usage: campaign_cli [options] [campaign-file|-]\n"
         "  --builtin NAME    "
-     << joinNames(engine::campaignRegistry().names())
+     << joinNames(*engine::campaignRegistry().names())
      << "\n"
         "  --threads N       worker threads (default: hardware concurrency)\n"
+        "  --sim-threads N   shard workers inside each job's event core\n"
+        "                    (sim/shard.hpp).  --threads splits the campaign\n"
+        "                    across jobs; --sim-threads splits one job's\n"
+        "                    simulation.  Default: each job gets the pool's\n"
+        "                    idle share (threads / concurrent jobs), so a\n"
+        "                    one-job campaign shards across the whole pool\n"
+        "                    and a saturated pool runs each core serially.\n"
+        "                    A spec's own sim_threads= key overrides this\n"
+        "                    per job.  Results are byte-identical for any\n"
+        "                    value; the engine falls back to the serial core\n"
+        "                    when sharding cannot help (closed-loop jobs,\n"
+        "                    fault plans, telemetry probes, small topos).\n"
         "  --seeds N         seed-sweep width of builtin campaigns "
         "(default 10)\n"
         "  --msg-scale X     message-size scale of builtin campaigns "
@@ -105,38 +118,44 @@ int listRegistry(const std::string& what) {
   };
   if (what == "schemes") {
     std::cout << "registered routing schemes:\n";
-    for (const std::string& name : core::schemeRegistry().names()) {
+    const auto names = core::schemeRegistry().names();
+    for (const std::string& name : *names) {
       row(name, name, core::schemeRegistry().at(name).summary);
     }
   } else if (what == "patterns") {
     std::cout << "registered patterns:\n";
-    for (const std::string& name : core::patternRegistry().names()) {
+    const auto names = core::patternRegistry().names();
+    for (const std::string& name : *names) {
       const core::PatternInfo& info = core::patternRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "sources") {
     std::cout << "registered open-loop traffic sources (use with source= "
                  "and load=):\n";
-    for (const std::string& name : core::sourceRegistry().names()) {
+    const auto names = core::sourceRegistry().names();
+    for (const std::string& name : *names) {
       const core::SourceInfo& info = core::sourceRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "faults") {
     std::cout << "registered fault-plan models (use with faults=):\n";
-    for (const std::string& name : fault::planRegistry().names()) {
+    const auto names = fault::planRegistry().names();
+    for (const std::string& name : *names) {
       const fault::PlanInfo& info = fault::planRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "topologies") {
     std::cout << "registered topology presets (or explicit "
                  "topo=\"XGFT(h; m...; w...)\"):\n";
-    for (const std::string& name : core::topologyRegistry().names()) {
+    const auto names = core::topologyRegistry().names();
+    for (const std::string& name : *names) {
       const core::TopologyInfo& info = core::topologyRegistry().at(name);
       row(name, info.usage, info.summary);
     }
   } else if (what == "campaigns") {
     std::cout << "registered builtin campaigns:\n";
-    for (const std::string& name : engine::campaignRegistry().names()) {
+    const auto names = engine::campaignRegistry().names();
+    for (const std::string& name : *names) {
       row(name, name, engine::campaignRegistry().at(name).summary);
     }
   } else {
@@ -160,6 +179,9 @@ CliOptions parseCli(int argc, char** argv) {
       opt.builtin = next("--builtin");
     } else if (arg == "--threads") {
       opt.threads = static_cast<std::uint32_t>(std::stoul(next("--threads")));
+    } else if (arg == "--sim-threads") {
+      opt.simThreads =
+          static_cast<std::uint32_t>(std::stoul(next("--sim-threads")));
     } else if (arg == "--seeds") {
       opt.seeds = static_cast<std::uint32_t>(std::stoul(next("--seeds")));
     } else if (arg == "--msg-scale") {
@@ -300,6 +322,7 @@ int main(int argc, char** argv) {
 
     engine::RunnerOptions ropt;
     ropt.threads = cli.threads;
+    ropt.simThreads = cli.simThreads;
     ropt.collectContention = cli.contention;
     // Telemetry floors: --trace-out needs the event log, --telemetry the
     // summary series; a spec's own telemetry= key can only raise a job

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -58,6 +59,7 @@ class Registry {
       entries_.erase(entry);
       throw;
     }
+    namesCache_.reset();  // The canonical-name set changed.
   }
 
   /// Registers @p alt as an alternate spelling of the already-registered
@@ -108,12 +110,24 @@ class Registry {
   }
 
   /// Canonical names in sorted order — registration order never matters.
-  [[nodiscard]] std::vector<std::string> names() const {
-    ReaderLock lock(mu_);
-    std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto& [name, value] : entries_) out.push_back(name);
-    return out;
+  /// Returns a shared immutable snapshot, rebuilt only after a
+  /// registration: it sits on the pre-flight and error paths of every CLI
+  /// run, where the per-call copy under the shared lock used to dominate.
+  /// (alias() never invalidates — it adds spellings, not canonical names.)
+  [[nodiscard]] std::shared_ptr<const std::vector<std::string>> names()
+      const {
+    {
+      ReaderLock lock(mu_);
+      if (namesCache_ != nullptr) return namesCache_;
+    }
+    WriterLock lock(mu_);
+    if (namesCache_ == nullptr) {
+      auto out = std::make_shared<std::vector<std::string>>();
+      out->reserve(entries_.size());
+      for (const auto& [name, value] : entries_) out->push_back(name);
+      namesCache_ = std::move(out);
+    }
+    return namesCache_;
   }
 
   [[nodiscard]] const std::string& kind() const { return kind_; }
@@ -141,6 +155,10 @@ class Registry {
   /// Canonical -> value.  Nodes are stable, so at()/find() may hand out
   /// references that outlive the lock (see the class contract above).
   std::map<std::string, Value> entries_ XGFT_GUARDED_BY(mu_);
+  /// Sorted-names snapshot, lazily (re)built by names(); holders keep
+  /// their copy alive through any later registration.
+  mutable std::shared_ptr<const std::vector<std::string>> namesCache_
+      XGFT_GUARDED_BY(mu_);
 };
 
 /// The one-time-populated process-wide registry instance behind accessors

@@ -268,6 +268,10 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
   trace::OpenLoopOptions ol;
   ol.warmupNs = opt.openLoopWarmupNs;
   ol.measureNs = opt.openLoopMeasureNs;
+  // The spec's own sim_threads= wins; otherwise the runner's idle-share
+  // budget applies.  Either way the result bytes cannot depend on it.
+  ol.simThreads =
+      spec.simThreads != 0 ? spec.simThreads : std::max(1u, opt.simThreads);
   ol.spray = sprayCfg;
   ol.compiled = degradedTable ? degradedTable.get() : compiled.get();
   const std::shared_ptr<obs::Recorder> recorder = makeRecorder(spec, opt);
@@ -460,6 +464,12 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
   // blow-up).
   RunnerOptions jobOpt = opt_;
   jobOpt.compileThreads = std::max(1u, poolWidth / threads);
+  // Shard workers get the same idle-share deal: a one-job campaign shards
+  // its event core across the whole pool, a saturated campaign runs each
+  // job's core serially.  An explicit --sim-threads budget wins.
+  if (jobOpt.simThreads == 0) {
+    jobOpt.simThreads = std::max(1u, poolWidth / threads);
+  }
 
   core::Mutex doneMu;  // Serializes onJobDone.
   const auto finishJob = [&](std::uint32_t index) {
@@ -535,6 +545,7 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
 
   results.sortByIndex();
   results.threadsUsed = threads;
+  results.simThreadsUsed = jobOpt.simThreads;
   results.cache = cache_.stats();
   results.wallTimeNs = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

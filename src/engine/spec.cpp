@@ -188,12 +188,16 @@ ExperimentSpec specFromAssignments(
       }
     } else if (key == "telemetry") {
       spec.telemetry = parseTelemetryLevel(value);
+    } else if (key == "sim_threads") {
+      // Host-volatile knob: affects wall-clock only, never results, so it
+      // takes no part in toLine()/CSV/manifest identity.
+      spec.simThreads = requireU32(value, key);
     } else {
       // Mirror the registries' uniform unknown-name diagnostic so every
       // bad token in a campaign file reads the same way.
       fail("unknown campaign key '" + key +
            "' (known: topo, m1, m2, w2, pattern, source, load, routing, "
-           "msg_scale, seed, faults, telemetry)");
+           "msg_scale, seed, faults, telemetry, sim_threads)");
     }
   }
   if (haveTopo && haveFamily) {

@@ -90,8 +90,22 @@ struct ExperimentSpec {
   /// golden CSVs are untouched.
   TelemetryLevel telemetry = TelemetryLevel::kOff;
 
-  friend bool operator==(const ExperimentSpec&,
-                         const ExperimentSpec&) = default;
+  /// Shard workers for this job's event core (`sim_threads=` key).
+  /// Host-volatile, like RunnerOptions::threads: 0 inherits the runner's
+  /// choice, any value yields byte-identical results (sim/shard.hpp), so
+  /// toLine() never renders it and it stays out of CSVs and the manifest
+  /// byte-identity form.
+  std::uint32_t simThreads = 0;
+
+  /// Equality is over the *measured* configuration: simThreads is excluded
+  /// (results are identical across values, toLine() drops it, and result
+  /// lookup by spec must not fork on a wall-clock knob).
+  friend bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
+    return a.topo == b.topo && a.pattern == b.pattern &&
+           a.routing == b.routing && a.msgScale == b.msgScale &&
+           a.seed == b.seed && a.source == b.source && a.load == b.load &&
+           a.faults == b.faults && a.telemetry == b.telemetry;
+  }
 
   /// Canonical one-line key=value rendering; parseSpecLine round-trips it.
   [[nodiscard]] std::string toLine() const;

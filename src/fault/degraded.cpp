@@ -112,7 +112,8 @@ const core::SchemeInfo& requireDegradable(const std::string& routing) {
   const core::SchemeInfo& info = core::schemeRegistry().at(routing);
   if (info.mode != core::RouteMode::kTable) {
     std::string degradable;
-    for (const std::string& name : core::schemeRegistry().names()) {
+    const auto names = core::schemeRegistry().names();
+    for (const std::string& name : *names) {
       if (core::schemeRegistry().at(name).mode == core::RouteMode::kTable) {
         if (!degradable.empty()) degradable += ", ";
         degradable += name;

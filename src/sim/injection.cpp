@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/shard.hpp"
+
 namespace sim {
 
 InjectionProcess::InjectionProcess(Network& net,
@@ -98,7 +100,11 @@ void InjectionProcess::onMessageDelivered(MsgId msg, TimeNs time) {
 
 void InjectionProcess::run(TimeNs until) {
   pump();
-  net_->run(until);
+  if (simThreads_ > 1) {
+    runParallel(*net_, until, simThreads_);
+  } else {
+    net_->run(until);
+  }
 }
 
 }  // namespace sim

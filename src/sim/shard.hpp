@@ -1,0 +1,88 @@
+// shard.hpp — Conservative parallel driver for sim::Network.
+//
+// runParallel() executes the same event stream as Network::run(), but fans
+// the work of each conservative time window out over K shard workers.  The
+// contract is strict: stats, per-message delivery times, per-wire busy
+// times, sink notification order and the event-queue contents at every
+// run(until) boundary are **byte-identical** to the serial engine for any
+// shard count (pinned by tests/sim/parallel_run_test.cpp and the campaign
+// suite in tests/engine/parallel_identity_test.cpp).
+//
+// How (DESIGN.md §12 has the full derivation):
+//
+//  * Window.  Every handler of a parallel-class event (kRelease,
+//    kWireArrive, kWireFree, kTransfer) only schedules further events at
+//    least W = min(switchLatencyNs, serializationNs(0)) ns in the future,
+//    so the events in [T, T+W-1] form a closed set the moment they are
+//    popped — no event executed inside the window can add to it.
+//  * Shards.  Ports partition by owning node (hosts co-located with their
+//    first parent leaf switch); every mutation of a port's state happens
+//    on its owning shard, in global event order.  The one cross-shard
+//    effect — the zero-latency credit return to the upstream port — is
+//    split off and executed by the upstream port's shard at the same
+//    position, so state touches stay disjoint.
+//  * Determinism.  Shards buffer their event-queue pushes instead of
+//    pushing; the coordinator replays them in exact serial push order at
+//    the window barrier, reproducing the queue's insertion-sequence tags
+//    bit for bit.  Sink completions are deferred the same way (legal only
+//    when TrafficSink::deliveriesDeferrable()).
+//
+// Fallback.  planParallelRun() answers whether a parallel run would pay
+// off *and* be exact; when it says no (one thread, probe attached,
+// non-deferrable sink, fault transitions pending, zero lookahead, or a
+// topology too small to cut), runParallel() simply calls Network::run() —
+// the serial path is bit-for-bit untouched.  A fault transition scheduled
+// *mid-run* (from a callback) aborts the window machinery and hands the
+// remaining events back to the serial core, preserving the total order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/config.hpp"
+
+namespace sim {
+
+class Network;
+
+/// Decision record of planParallelRun — exposed so tests (and curious
+/// callers) can check *why* a run stayed serial.
+struct ParallelPlan {
+  bool parallel = false;
+  std::uint32_t shards = 1;  ///< Effective shard count (clamped to leaves).
+  TimeNs windowNs = 0;       ///< Conservative lookahead W, parallel only.
+  const char* fallbackReason = nullptr;  ///< Set iff !parallel.
+};
+
+/// Would runParallel(net, ·, threads) actually shard, and how?  Pure
+/// query; inspects the network's current configuration (probe, sink,
+/// pending faults, topology size) without touching it.
+[[nodiscard]] ParallelPlan planParallelRun(const Network& net,
+                                           std::uint32_t threads);
+
+/// Execution diagnostics of one runParallel call — how much of the event
+/// stream actually ran on shard workers.  Host-side introspection only
+/// (wall-clock shaped, never part of simulated results); tests use it to
+/// prove the sharded handlers were exercised, benches to report batch
+/// shape.
+struct ParallelRunStats {
+  std::uint64_t windows = 0;         ///< Conservative windows processed.
+  std::uint64_t parallelBatches = 0; ///< Batches fanned out to shards.
+  std::uint64_t parallelEvents = 0;  ///< Events executed on shard workers.
+  std::uint64_t inlineEvents = 0;    ///< Small-batch events run inline.
+  std::uint64_t serialEvents = 0;    ///< Callback/sample events.
+  bool fellBack = false;             ///< Whole run took the serial path.
+  bool aborted = false;              ///< Mid-run fault hand-off happened.
+};
+
+/// Drop-in parallel replacement for net.run(until): identical observable
+/// behaviour (byte-identical stats/outputs, same exceptions), up to
+/// @p threads shard workers.  Falls back to the serial engine whenever
+/// planParallelRun says so.  @p runStats, when given, receives execution
+/// diagnostics (including for fallback runs).
+void runParallel(Network& net,
+                 TimeNs until = std::numeric_limits<TimeNs>::max(),
+                 std::uint32_t threads = 1,
+                 ParallelRunStats* runStats = nullptr);
+
+}  // namespace sim

@@ -35,6 +35,7 @@ OpenLoopResult runOpenLoop(const xgft::Topology& topo,
                        xgft::NodeIndex) {};
   }
   sim::InjectionProcess process(net, source, std::move(injOpt));
+  process.setSimThreads(opt.simThreads);
 
   const sim::TimeNs measureBegin = opt.warmupNs;
   const sim::TimeNs measureEnd = opt.warmupNs + opt.measureNs;

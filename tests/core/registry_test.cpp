@@ -58,7 +58,7 @@ TEST(Registry, AliasResolvesToCanonical) {
   EXPECT_EQ(r.canonical("random"), "Random");
   EXPECT_EQ(r.canonical("Random"), "Random");
   // names() lists canonical names only.
-  EXPECT_EQ(r.names(), std::vector<std::string>{"Random"});
+  EXPECT_EQ(*r.names(), std::vector<std::string>{"Random"});
   EXPECT_THROW(r.alias("x", "missing"), std::invalid_argument);
 }
 
@@ -71,8 +71,9 @@ TEST(Registry, RegistrationOrderDoesNotMatter) {
   backward.add("c", 3);
   backward.add("b", 2);
   backward.add("a", 1);
-  EXPECT_EQ(forward.names(), backward.names());
-  for (const std::string& name : forward.names()) {
+  EXPECT_EQ(*forward.names(), *backward.names());
+  const auto names = forward.names();
+  for (const std::string& name : *names) {
     EXPECT_EQ(forward.at(name), backward.at(name));
   }
 }
@@ -103,7 +104,7 @@ TEST(Registry, ConcurrentLookupDuringRegistrationIsSafe) {
   stop.store(true);
   for (std::thread& t : readers) t.join();
   EXPECT_GT(lookups.load(), 0u);
-  EXPECT_EQ(r.names().size(), 501u);
+  EXPECT_EQ(r.names()->size(), 501u);
   // Previously returned references stay valid after growth (map nodes are
   // stable) — spot-check an early entry.
   EXPECT_EQ(r.at("name0"), 0);
@@ -112,7 +113,7 @@ TEST(Registry, ConcurrentLookupDuringRegistrationIsSafe) {
 TEST(Registry, BuiltinRegistriesExposeTheExpectedNames) {
   // The self-registered built-ins: one canonical name per scheme of the
   // paper's evaluation, plus per-segment extensions.
-  const std::vector<std::string> schemes = schemeRegistry().names();
+  const std::vector<std::string> schemes = *schemeRegistry().names();
   for (const char* expected : {"Random", "adaptive", "colored", "d-mod-k",
                                "r-NCA-d", "r-NCA-u", "s-mod-k", "spray"}) {
     EXPECT_TRUE(schemeRegistry().contains(expected)) << expected;

@@ -90,7 +90,8 @@ TEST(Scenario, MakeRouterBuildsEveryTableScheme) {
   sc.pattern = "ring:16";
   const xgft::Topology topo(sc.topo);
   const patterns::PhasedPattern app = sc.makeWorkload();
-  for (const std::string& name : schemeRegistry().names()) {
+  const auto names = schemeRegistry().names();
+  for (const std::string& name : *names) {
     sc.routing = name;
     const routing::RouterPtr router = sc.makeRouter(topo, app);
     ASSERT_NE(router, nullptr) << name;

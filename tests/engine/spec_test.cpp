@@ -22,7 +22,8 @@ TEST(Spec, ToLineParsesBack) {
 }
 
 TEST(Spec, ToLineRoundTripsEveryRegisteredSchemeAndAwkwardScales) {
-  for (const std::string& scheme : core::schemeRegistry().names()) {
+  const auto schemes = core::schemeRegistry().names();
+  for (const std::string& scheme : *schemes) {
     for (const double scale : {1.0, 0.1, 0.03125, 3.14159}) {
       ExperimentSpec spec;
       spec.routing = scheme;

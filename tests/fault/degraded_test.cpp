@@ -106,7 +106,8 @@ TEST(DegradedRouting, EveryTableSchemeCompilesAroundFailures) {
   // exact same unreachable set, and every surviving route must be clean.
   std::vector<std::pair<xgft::NodeIndex, xgft::NodeIndex>> expected;
   bool first = true;
-  for (const std::string& name : core::schemeRegistry().names()) {
+  const auto names = core::schemeRegistry().names();
+  for (const std::string& name : *names) {
     if (core::schemeRegistry().at(name).mode != core::RouteMode::kTable) {
       continue;
     }
@@ -200,7 +201,8 @@ TEST(DegradedRouting, CompileIsDeterministicAcrossThreadCounts) {
 TEST(DegradedRouting, RequireDegradableRejectsPerSegmentSchemes) {
   EXPECT_EQ(fault::requireDegradable("d-mod-k").mode,
             core::RouteMode::kTable);
-  for (const std::string& name : core::schemeRegistry().names()) {
+  const auto names = core::schemeRegistry().names();
+  for (const std::string& name : *names) {
     if (core::schemeRegistry().at(name).mode == core::RouteMode::kTable) {
       continue;
     }
