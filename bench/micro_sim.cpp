@@ -4,7 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include <limits>
+#include <memory>
 
+#include "core/compiled_routes.hpp"
 #include "obs/recorder.hpp"
 #include "patterns/applications.hpp"
 #include "patterns/permutation.hpp"
@@ -175,6 +177,83 @@ void BM_NetworkConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NetworkConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+/// The scale-out-tier topologies of the route-compile benches below.
+/// 0 = xgft3:8:8:8:4:4:2 (512 hosts), 1 = xgft3:16:16:16:1:8:8 (4096).
+xgft::Params xgft3Tier(int tier) {
+  return tier == 0 ? xgft::Params({8, 8, 8}, {4, 4, 2})
+                   : xgft::Params({16, 16, 16}, {1, 8, 8});
+}
+
+void BM_NetworkConstruction3(benchmark::State& state) {
+  const xgft::Topology topo(xgft3Tier(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    sim::Network net(topo, sim::SimConfig{});
+    benchmark::DoNotOptimize(net.numGlobalPorts());
+  }
+  state.SetLabel(topo.params().toString());
+}
+BENCHMARK(BM_NetworkConstruction3)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RouteCompileFlat(benchmark::State& state) {
+  // Eager dense O(H^2) compilation on the 512-host tier (the 4096-host
+  // flat table is 218 MB — past the engine budget, hence the compressed
+  // rows below).  Counters report the resident table footprint.
+  const auto topo = std::make_shared<const xgft::Topology>(xgft3Tier(0));
+  const std::shared_ptr<const routing::Router> router =
+      routing::makeDModK(*topo);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto table =
+        core::CompiledRoutes::compile(router, 1, core::TableLayout::kFlat);
+    bytes = table->forwardingBytes();
+    benchmark::DoNotOptimize(table->upPorts(0, 1).size());
+  }
+  state.counters["flat_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_RouteCompileFlat)->Unit(benchmark::kMillisecond);
+
+void BM_RouteCompileCompressed(benchmark::State& state) {
+  // Full (compileAll) interval-compressed compilation per tier; the
+  // compressed_bytes counter against BM_RouteCompileFlat's flat_bytes (or
+  // the analytic 218 MB at 4096 hosts) is the memory headline.
+  const auto topo = std::make_shared<const xgft::Topology>(
+      xgft3Tier(static_cast<int>(state.range(0))));
+  const std::shared_ptr<const routing::Router> router =
+      routing::makeDModK(*topo);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto table = core::CompiledRoutes::compile(
+        router, 1, core::TableLayout::kCompressed);
+    table->compileAll(1);
+    bytes = table->forwardingBytes();
+    benchmark::DoNotOptimize(table->upPorts(0, 1).size());
+  }
+  state.counters["compressed_bytes"] = static_cast<double>(bytes);
+  state.counters["flat_bytes"] =
+      static_cast<double>(core::CompiledRoutes::tableBytes(*topo));
+  state.SetLabel(topo->params().toString());
+}
+BENCHMARK(BM_RouteCompileCompressed)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RouteCompileLazy(benchmark::State& state) {
+  // What a sweep job actually pays: lookups against one 64-destination
+  // chunk of the 4096-host tier build only that chunk.
+  const auto topo = std::make_shared<const xgft::Topology>(xgft3Tier(1));
+  const std::shared_ptr<const routing::Router> router =
+      routing::makeDModK(*topo);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto table = core::CompiledRoutes::compile(
+        router, 1, core::TableLayout::kCompressed);
+    for (xgft::NodeIndex d = 0; d < core::CompiledRoutes::kChunkCols; ++d) {
+      benchmark::DoNotOptimize(table->upPorts(1, d).size());
+    }
+    bytes = table->forwardingBytes();
+  }
+  state.counters["touched_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_RouteCompileLazy)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

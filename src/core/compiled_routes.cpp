@@ -4,14 +4,16 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
-
-#include "core/mutex.hpp"
-#include "core/thread_annotations.hpp"
 
 namespace core {
 
 namespace {
+
+/// kAuto layout cutover: flat tables up to this footprint keep the exact
+/// historical representation (and its O(1) lookup); larger ones compress.
+constexpr std::uint64_t kAutoCompressBytes = 8ull << 20;
 
 /// First exception thrown by any compile worker (annotated so the
 /// thread-safety build proves every access happens under the lock).
@@ -29,6 +31,37 @@ struct FailureSink {
   }
 };
 
+/// Interval runs and stored port words one guide column would compress to.
+/// Router-only (no override, no validation): used for axis sampling and
+/// footprint estimation, where calling a RouteOverride would double-trigger
+/// its side effects (fault::compileDegraded records unreachable pairs).
+struct ColumnCost {
+  std::uint64_t intervals = 0;
+  std::uint64_t portWords = 0;
+};
+
+ColumnCost scanColumn(const routing::Router& r, bool byDst,
+                      std::uint32_t guide, std::uint32_t numHosts) {
+  ColumnCost cost;
+  xgft::Route prev;
+  bool havePrev = false;
+  for (std::uint32_t pos = 0; pos < numHosts; ++pos) {
+    if (pos == guide) {  // Diagonal: its own zero-length run.
+      ++cost.intervals;
+      havePrev = false;
+      continue;
+    }
+    xgft::Route cur = byDst ? r.route(pos, guide) : r.route(guide, pos);
+    if (!havePrev || cur.up != prev.up) {
+      ++cost.intervals;
+      cost.portWords += cur.up.size();
+      prev = std::move(cur);
+      havePrev = true;
+    }
+  }
+  return cost;
+}
+
 }  // namespace
 
 CompiledRoutes::CompiledRoutes(std::shared_ptr<const routing::Router> router)
@@ -39,8 +72,6 @@ CompiledRoutes::CompiledRoutes(std::shared_ptr<const routing::Router> router)
   if (stride_ > 0xff) {
     throw std::invalid_argument("CompiledRoutes: tree higher than 255 levels");
   }
-  ports_.resize(numHosts_ * numHosts_ * stride_);
-  lens_.resize(numHosts_ * numHosts_);
 }
 
 std::uint64_t CompiledRoutes::tableBytes(const xgft::Topology& topo) {
@@ -51,23 +82,104 @@ std::uint64_t CompiledRoutes::tableBytes(const xgft::Topology& topo) {
                   sizeof(std::uint8_t));
 }
 
+std::uint64_t CompiledRoutes::estimateCompressedBytes(
+    const routing::Router& router) {
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(router.topology().numHosts());
+  if (n == 0) return 0;
+  // Up to 8 evenly spaced guide columns per axis; the cheaper axis' average
+  // per-column bytes extrapolates to all n columns — mirroring the axis
+  // choice compile() makes, so the estimate tracks the real footprint.
+  std::uint64_t best = ~0ull;
+  for (const bool byDst : {true, false}) {
+    std::uint64_t bytes = 0;
+    std::uint64_t sampled = 0;
+    std::uint32_t last = ~0u;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const std::uint32_t guide =
+          n < 2 ? 0
+                : static_cast<std::uint32_t>(
+                      static_cast<std::uint64_t>(i) * (n - 1) / 7);
+      if (guide == last) continue;
+      last = guide;
+      const ColumnCost cost = scanColumn(router, byDst, guide, n);
+      bytes += sizeof(std::uint32_t) + cost.intervals * sizeof(Interval) +
+               cost.portWords * sizeof(std::uint32_t);
+      ++sampled;
+    }
+    best = std::min(best, bytes / sampled * n);
+  }
+  return best;
+}
+
 std::shared_ptr<const CompiledRoutes> CompiledRoutes::compile(
-    std::shared_ptr<const routing::Router> router, std::uint32_t threads) {
-  return compileWith(std::move(router), RouteOverride{}, threads);
+    std::shared_ptr<const routing::Router> router, std::uint32_t threads,
+    TableLayout layout) {
+  return compileWith(std::move(router), RouteOverride{}, threads, layout);
 }
 
 std::shared_ptr<const CompiledRoutes> CompiledRoutes::compileWith(
     std::shared_ptr<const routing::Router> router,
-    const RouteOverride& routeFor, std::uint32_t threads) {
+    const RouteOverride& routeFor, std::uint32_t threads, TableLayout layout) {
   if (!router) {
     throw std::invalid_argument("CompiledRoutes::compile: null router");
   }
-  auto table = std::shared_ptr<CompiledRoutes>(
-      new CompiledRoutes(std::move(router)));
+  const bool compress =
+      layout == TableLayout::kCompressed ||
+      (layout == TableLayout::kAuto &&
+       tableBytes(router->topology()) > kAutoCompressBytes);
+  auto table =
+      std::shared_ptr<CompiledRoutes>(new CompiledRoutes(std::move(router)));
   const routing::Router& r = *table->router_;
   const xgft::Topology& topo = r.topology();
   const std::size_t n = table->numHosts_;
   const std::uint32_t stride = table->stride_;
+
+  if (compress) {
+    table->compressed_ = true;
+    table->numChunks_ = (n + kChunkCols - 1) / kChunkCols;
+    table->chunks_ =
+        std::make_unique<std::atomic<const Chunk*>[]>(table->numChunks_);
+    // Axis by deterministic sampling: three spread guide columns scanned
+    // both ways; fewer total runs wins, a tie keeps kByDst.  Always scans
+    // the healthy router — a degraded table differs from it on few pairs,
+    // and a RouteOverride must not be probed twice for any pair.
+    const std::uint32_t hosts = static_cast<std::uint32_t>(n);
+    std::uint64_t byDstRuns = 0;
+    std::uint64_t bySrcRuns = 0;
+    std::uint32_t last = ~0u;
+    for (const std::uint32_t guide :
+         {0u, hosts / 2, hosts == 0 ? 0u : hosts - 1}) {
+      if (guide == last) continue;
+      last = guide;
+      byDstRuns += scanColumn(r, true, guide, hosts).intervals;
+      bySrcRuns += scanColumn(r, false, guide, hosts).intervals;
+    }
+    table->axis_ = bySrcRuns < byDstRuns ? Axis::kBySrc : Axis::kByDst;
+    if (routeFor) {
+      // Overridden tables never compile lazily: routeFor may reference
+      // caller-stack state (fault::compileDegraded's degraded view), so
+      // every chunk must be built before this call returns.
+      const PairRoute routeOf = [&r, &topo, &routeFor](xgft::NodeIndex s,
+                                                       xgft::NodeIndex d,
+                                                       xgft::Route& route) {
+        std::optional<xgft::Route> chosen = routeFor(s, d);
+        if (!chosen.has_value()) return false;
+        route = std::move(*chosen);
+        std::string error;
+        if (!xgft::validateRoute(topo, s, d, route, &error)) {
+          throw std::invalid_argument("CompiledRoutes(" + r.name() +
+                                      "): " + error);
+        }
+        return true;
+      };
+      table->compileAllWith(routeOf, threads);
+    }
+    return table;
+  }
+
+  table->ports_.resize(n * n * stride);
+  table->lens_.resize(n * n);
 
   // Each worker fills disjoint source rows, so no synchronization is needed
   // and the table contents are thread-count independent (routers are
@@ -138,6 +250,198 @@ std::shared_ptr<const CompiledRoutes> CompiledRoutes::compileWith(
     failure.rethrowIfSet();
   }
   return table;
+}
+
+CompiledRoutes::PairRoute CompiledRoutes::routerPairRoute() const {
+  return [this](xgft::NodeIndex s, xgft::NodeIndex d, xgft::Route& route) {
+    const routing::Router& r = *router_;
+    route = r.route(s, d);
+    std::string error;
+    if (!xgft::validateRoute(r.topology(), s, d, route, &error)) {
+      throw std::invalid_argument("CompiledRoutes(" + r.name() +
+                                  "): " + error);
+    }
+    return true;
+  };
+}
+
+void CompiledRoutes::appendColumn(std::uint32_t guide,
+                                  const PairRoute& routeOf,
+                                  Chunk& chunk) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(numHosts_);
+  xgft::Route route;
+  std::uint32_t prevOff = 0;
+  std::uint32_t prevLen = 0;
+  bool havePrev = false;
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    bool routable = false;
+    if (pos != guide) {
+      const xgft::NodeIndex s = axis_ == Axis::kByDst ? pos : guide;
+      const xgft::NodeIndex d = axis_ == Axis::kByDst ? guide : pos;
+      routable = routeOf(s, d, route);
+    }
+    if (routable) {
+      const std::uint32_t len = static_cast<std::uint32_t>(route.up.size());
+      if (havePrev && prevLen == len &&
+          std::equal(route.up.begin(), route.up.end(),
+                     chunk.ports.begin() + prevOff)) {
+        continue;  // Extends the previous run.
+      }
+      prevOff = static_cast<std::uint32_t>(chunk.ports.size());
+      prevLen = len;
+      havePrev = true;
+      chunk.intervals.push_back({pos, prevOff, len});
+      chunk.ports.insert(chunk.ports.end(), route.up.begin(), route.up.end());
+    } else {  // Diagonal or override-declared unroutable: zero-length run.
+      if (havePrev && prevLen == 0) continue;
+      prevLen = 0;
+      havePrev = true;
+      chunk.intervals.push_back({pos, 0, 0});
+    }
+  }
+}
+
+std::unique_ptr<CompiledRoutes::Chunk> CompiledRoutes::makeChunk(
+    std::size_t idx, const PairRoute& routeOf) const {
+  auto chunk = std::make_unique<Chunk>();
+  const std::uint32_t gBegin = static_cast<std::uint32_t>(idx * kChunkCols);
+  const std::uint32_t gEnd = static_cast<std::uint32_t>(
+      std::min(numHosts_, (idx + 1) * static_cast<std::size_t>(kChunkCols)));
+  chunk->colOff.reserve(gEnd - gBegin + 1);
+  chunk->colOff.push_back(0);
+  for (std::uint32_t guide = gBegin; guide < gEnd; ++guide) {
+    appendColumn(guide, routeOf, *chunk);
+    chunk->colOff.push_back(
+        static_cast<std::uint32_t>(chunk->intervals.size()));
+  }
+  return chunk;
+}
+
+const CompiledRoutes::Chunk& CompiledRoutes::publishChunk(
+    std::size_t idx, std::unique_ptr<Chunk> chunk) const {
+  LockGuard lock(chunkMu_);
+  if (const Chunk* existing = chunks_[idx].load(std::memory_order_relaxed)) {
+    return *existing;  // Raced build: identical content, drop the duplicate.
+  }
+  compressedBytes_.fetch_add(
+      chunk->colOff.size() * sizeof(std::uint32_t) +
+          chunk->intervals.size() * sizeof(Interval) +
+          chunk->ports.size() * sizeof(std::uint32_t),
+      std::memory_order_relaxed);
+  builtChunks_.fetch_add(1, std::memory_order_relaxed);
+  const Chunk* raw = chunk.get();
+  chunkOwner_.push_back(std::move(chunk));
+  chunks_[idx].store(raw, std::memory_order_release);
+  return *raw;
+}
+
+const CompiledRoutes::Chunk& CompiledRoutes::chunkFor(
+    std::uint32_t guide) const {
+  const std::size_t idx = guide / kChunkCols;
+  if (const Chunk* built = chunks_[idx].load(std::memory_order_acquire)) {
+    return *built;
+  }
+  // First touch: build outside the lock (a concurrent first touch builds a
+  // bit-identical duplicate that publishChunk then discards).
+  return publishChunk(idx, makeChunk(idx, routerPairRoute()));
+}
+
+const CompiledRoutes::Interval& CompiledRoutes::intervalOf(
+    const Chunk& chunk, std::uint32_t localCol, std::uint32_t pos) const {
+  const std::uint32_t first = chunk.colOff[localCol];
+  // Branch-free lower bound over the column's sorted interval begins: every
+  // column covers rank 0, so count >= 1 and the loop lands on the last
+  // interval with begin <= pos.
+  const Interval* base = chunk.intervals.data() + first;
+  std::size_t count = chunk.colOff[localCol + 1] - first;
+  while (count > 1) {
+    const std::size_t half = count / 2;
+    base += (base[half].begin <= pos) ? half : 0;
+    count -= half;
+  }
+  return *base;
+}
+
+std::span<const std::uint32_t> CompiledRoutes::compressedLookup(
+    xgft::NodeIndex s, xgft::NodeIndex d) const {
+  const std::uint32_t guide = axis_ == Axis::kByDst ? d : s;
+  const std::uint32_t pos = axis_ == Axis::kByDst ? s : d;
+  const Chunk& chunk = chunkFor(guide);
+  const Interval& run = intervalOf(chunk, guide % kChunkCols, pos);
+  return {chunk.ports.data() + run.portsOff, run.len};
+}
+
+xgft::NodeIndex CompiledRoutes::shareRep(xgft::NodeIndex s,
+                                         xgft::NodeIndex d) const {
+  if (!compressed_ || axis_ == Axis::kBySrc || s == d) return s;
+  const Chunk& chunk = chunkFor(d);
+  const Interval& run = intervalOf(chunk, d % kChunkCols, s);
+  // Same interval => same up-ports; clipping to s's leaf group also pins
+  // the level-1 switch, so (rep, d)'s switch-tail path is bit-identical.
+  const std::uint32_t m1 = topology().params().m(1);
+  const xgft::NodeIndex leafBase = s - (s % m1);
+  return std::max<xgft::NodeIndex>(run.begin, leafBase);
+}
+
+void CompiledRoutes::compileAll(std::uint32_t threads) const {
+  if (!compressed_) return;
+  compileAllWith(routerPairRoute(), threads);
+}
+
+void CompiledRoutes::compileAllWith(const PairRoute& routeOf,
+                                    std::uint32_t threads) const {
+  std::vector<std::size_t> pending;
+  pending.reserve(numChunks_);
+  for (std::size_t i = 0; i < numChunks_; ++i) {
+    if (!chunks_[i].load(std::memory_order_acquire)) pending.push_back(i);
+  }
+  if (pending.empty()) return;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<std::uint32_t>(
+      std::min<std::size_t>(threads, pending.size()));
+  const auto buildRange = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t k = begin; k < end; ++k) {
+      publishChunk(pending[k], makeChunk(pending[k], routeOf));
+    }
+  };
+  if (threads <= 1) {
+    buildRange(0, pending.size());
+    return;
+  }
+  std::vector<std::thread> pool;
+  FailureSink failure;
+  pool.reserve(threads);
+  const std::size_t step = (pending.size() + threads - 1) / threads;
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    const std::size_t begin =
+        std::min(pending.size(), static_cast<std::size_t>(w) * step);
+    const std::size_t end = std::min(pending.size(), begin + step);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        buildRange(begin, end);
+      } catch (...) {
+        failure.capture(std::current_exception());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  failure.rethrowIfSet();
+}
+
+std::uint64_t CompiledRoutes::forwardingBytes() const {
+  if (!compressed_) {
+    return ports_.size() * sizeof(std::uint32_t) +
+           lens_.size() * sizeof(std::uint8_t);
+  }
+  return compressedBytes_.load(std::memory_order_relaxed) +
+         numChunks_ * sizeof(std::atomic<const Chunk*>);
+}
+
+std::size_t CompiledRoutes::builtChunks() const {
+  return builtChunks_.load(std::memory_order_relaxed);
 }
 
 xgft::Route CompiledRoutes::route(xgft::NodeIndex s, xgft::NodeIndex d) const {

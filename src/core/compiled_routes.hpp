@@ -1,57 +1,91 @@
-// compiled_routes.hpp — Flat per-(src, dst) forwarding tables compiled from
-// any Router.
+// compiled_routes.hpp — Per-(src, dst) forwarding tables compiled from any
+// Router, in a flat or an interval-compressed layout.
 //
 // Every simulated message used to pay a virtual Router::route(s, d) call
 // (plus route validation and hop expansion) on the replayer's hot path.  A
 // CompiledRoutes handle is the compile-once/route-many split packet-routing
-// simulators rely on: the table is built once per (topology, scheme, seed)
-// — in parallel when asked — by querying the router for every ordered host
-// pair, validating each route exactly once, and storing the ascending
-// port choices in one flat array:
+// simulators rely on: routes are built once per (topology, scheme, seed),
+// validated exactly once, and looked up by (s, d) afterwards.  Two layouts
+// serve two scales:
 //
-//   ports_[(s * numHosts + d) * stride + i]  =  up-port taken at level i,
-//   lens_ [ s * numHosts + d]                =  route length (= NCA level).
+//  * Flat (small topologies).  One dense O(H^2) array —
 //
-// The handle is immutable after compile() and therefore freely shared
-// across threads and campaign jobs (the engine memoizes it next to the
-// router).  sim::Network::addMessageCompiled consumes upPorts() spans
-// directly — a table lookup instead of virtual dispatch per message — and
-// the trace replayer goes one step further (Replayer::routeSetFor): the
-// span is expanded and interned into the network's RouteStore once per
-// (src, dst) pair, so repeat sends between the same endpoints are a pure
-// record append with no per-message table walk at all.  The same per-pair
-// interning backs the virtual-route fallback for topologies whose table
-// would exceed the engine's memory budget, which keeps route construction
-// off the per-message hot path in every mode.
+//      ports_[(s * numHosts + d) * stride + i]  =  up-port taken at level i,
+//      lens_ [ s * numHosts + d]                =  route length (NCA level),
+//
+//    compiled eagerly (in parallel when asked), O(1) lookup.
+//
+//  * Interval-compressed (large topologies).  The paper's oblivious schemes
+//    choose up-ports by arithmetic on node labels, so for a fixed guide
+//    column (the destination for d-mod-k-style schemes, the source for
+//    s-mod-k-style ones — chosen by deterministic sampling) the route is
+//    piecewise-constant in the other endpoint: consecutive ranks sharing
+//    the same up-port vector collapse into sorted half-open intervals, each
+//    carrying one copy of the ports.  lookup(s, d) is a branch-free binary
+//    search over the column's intervals.  Columns compile lazily in
+//    64-column chunks on first touch — a sweep job only pays for the
+//    destinations it routes to — and compileAll() preserves the eager path
+//    for replays that touch every pair.  Tables shrink from O(H^2) entries
+//    to O(H * levels * distinct-choices); schemes with per-pair randomness
+//    (Random) do not compress, which estimateCompressedBytes() detects so
+//    the engine can keep its virtual-routing fallback for them.
+//
+// The handle is immutable after compile() up to the lazily-built chunks,
+// which are published atomically and never mutated afterwards, so it is
+// freely shared across threads and campaign jobs (the engine memoizes it
+// next to the router).  sim::Network::addMessageCompiled consumes upPorts()
+// spans directly — a table lookup instead of virtual dispatch per message —
+// and the trace replayer goes one step further (RouteSetResolver): the span
+// is expanded and interned into the network's RouteStore once per shared
+// route set, so repeat sends are a pure record append with no per-message
+// table walk at all.  The same per-pair interning backs the virtual-route
+// fallback for topologies whose table would exceed every layout's memory
+// budget, which keeps route construction off the per-message hot path in
+// every mode.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "routing/router.hpp"
 #include "xgft/route.hpp"
 #include "xgft/topology.hpp"
 
 namespace core {
 
+/// Which representation compile() builds.  kAuto picks kFlat below an
+/// 8 MiB flat-table footprint and kCompressed above it, so small paper
+/// topologies keep the exact historical layout.
+enum class TableLayout : std::uint8_t { kAuto, kFlat, kCompressed };
+
 class CompiledRoutes {
  public:
-  /// Compiles the full ordered-pair table from @p router, splitting the
-  /// source rows across @p threads workers (0 means hardware concurrency;
-  /// the result is identical for any thread count).  Every route is
-  /// validated against the topology; a malformed route throws
-  /// std::invalid_argument.  The router (and through it the topology) is
-  /// kept alive by the returned handle.
+  /// Destinations per lazily-compiled chunk in the compressed layout.
+  static constexpr std::uint32_t kChunkCols = 64;
+
+  /// Compiles the ordered-pair table from @p router, splitting the work
+  /// across @p threads workers (0 means hardware concurrency; the result is
+  /// identical for any thread count).  Every route is validated against the
+  /// topology; a malformed route throws std::invalid_argument.  The router
+  /// (and through it the topology) is kept alive by the returned handle.
+  /// In the compressed layout nothing compiles up front: chunks build on
+  /// first lookup (see compileAll()).
   [[nodiscard]] static std::shared_ptr<const CompiledRoutes> compile(
-      std::shared_ptr<const routing::Router> router, std::uint32_t threads = 1);
+      std::shared_ptr<const routing::Router> router, std::uint32_t threads = 1,
+      TableLayout layout = TableLayout::kAuto);
 
   /// Per-pair override: the route to store for (s, d), or std::nullopt to
   /// mark the pair unroutable (upPorts() returns an empty span and
   /// unroutable() is true).  Called concurrently from the compile workers,
-  /// so it must be thread-safe; s != d always.
+  /// so it must be thread-safe; s != d always, and every ordered pair is
+  /// queried exactly once.
   using RouteOverride = std::function<std::optional<xgft::Route>(
       xgft::NodeIndex, xgft::NodeIndex)>;
 
@@ -59,33 +93,74 @@ class CompiledRoutes {
   /// router's own — the degraded-topology recompilation path
   /// (fault::compileDegraded).  Returned routes are validated exactly like
   /// compile(); nullopt pairs are recorded unroutable instead of throwing.
+  /// Overridden tables always compile eagerly — @p routeFor may reference
+  /// caller-stack state, so no lazy chunk may outlive this call.
   [[nodiscard]] static std::shared_ptr<const CompiledRoutes> compileWith(
       std::shared_ptr<const routing::Router> router,
-      const RouteOverride& routeFor, std::uint32_t threads = 1);
+      const RouteOverride& routeFor, std::uint32_t threads = 1,
+      TableLayout layout = TableLayout::kAuto);
 
-  /// Table size in bytes for a topology, before building — callers bound
-  /// memory with this (the engine falls back to virtual routing above its
-  /// limit).
+  /// Flat-layout size in bytes for a topology, before building — callers
+  /// bound memory with this (the engine tries the compressed layout above
+  /// its limit, then falls back to virtual routing).
   [[nodiscard]] static std::uint64_t tableBytes(const xgft::Topology& topo);
+
+  /// Deterministic sampled estimate of the compressed-layout footprint for
+  /// @p router's scheme: a handful of guide columns are compiled both ways
+  /// and the denser axis' per-column bytes extrapolate to the full table.
+  /// Schemes with per-pair randomness estimate near the flat size, which is
+  /// how the engine keeps its virtual-routing fallback for them.
+  [[nodiscard]] static std::uint64_t estimateCompressedBytes(
+      const routing::Router& router);
 
   /// The ascending port choices for (s, d); length == ncaLevel(s, d), empty
   /// when s == d — and also empty for pairs a compileWith override marked
-  /// unroutable.  Valid for the handle's lifetime.
+  /// unroutable.  Valid for the handle's lifetime.  In the compressed
+  /// layout a first touch of an uncompiled column builds its chunk (and may
+  /// throw what compilation would have thrown).
   [[nodiscard]] std::span<const std::uint32_t> upPorts(
       xgft::NodeIndex s, xgft::NodeIndex d) const {
-    const std::size_t pair = static_cast<std::size_t>(s) * numHosts_ + d;
-    return {ports_.data() + pair * stride_, lens_[pair]};
+    if (!compressed_) {
+      const std::size_t pair = static_cast<std::size_t>(s) * numHosts_ + d;
+      return {ports_.data() + pair * stride_, lens_[pair]};
+    }
+    return compressedLookup(s, d);
   }
 
   /// True iff a compileWith override declared (s, d) unreachable.  A valid
   /// route for s != d always has length ncaLevel(s, d) >= 1, so a zero
   /// length is unambiguous.
   [[nodiscard]] bool unroutable(xgft::NodeIndex s, xgft::NodeIndex d) const {
-    return s != d && lens_[static_cast<std::size_t>(s) * numHosts_ + d] == 0;
+    return s != d && upPorts(s, d).empty();
   }
 
   /// Materializes the xgft::Route for (s, d) — for analysis-style callers.
   [[nodiscard]] xgft::Route route(xgft::NodeIndex s, xgft::NodeIndex d) const;
+
+  /// Compiles every not-yet-built chunk (no-op in the flat layout), across
+  /// @p threads workers; chunk contents are thread-count independent.
+  /// Replay-style callers that touch all pairs use this to keep compilation
+  /// off the simulation path.
+  void compileAll(std::uint32_t threads = 1) const;
+
+  /// The representative source whose (rep, d) route set is bit-identical to
+  /// (s, d)'s: the start of s's source interval, clipped to s's leaf group
+  /// (same leaf switch + same up-ports => same switch-tail path).  Resolvers
+  /// key their per-pair memos by (rep, d) so every source in the interval
+  /// shares one interned route set.  s itself in the flat layout, in the
+  /// source-oriented compressed layout, and for s == d.
+  [[nodiscard]] xgft::NodeIndex shareRep(xgft::NodeIndex s,
+                                         xgft::NodeIndex d) const;
+
+  [[nodiscard]] bool compressed() const { return compressed_; }
+  /// Bytes currently resident for the forwarding state: the dense arrays in
+  /// the flat layout, the built chunks' intervals + port arenas in the
+  /// compressed one (grows as lazy chunks build; equals the full footprint
+  /// after compileAll()).
+  [[nodiscard]] std::uint64_t forwardingBytes() const;
+  /// Chunks built so far (always 0 in the flat layout).
+  [[nodiscard]] std::size_t builtChunks() const;
+  [[nodiscard]] std::size_t numChunks() const { return numChunks_; }
 
   [[nodiscard]] const routing::Router& router() const { return *router_; }
   [[nodiscard]] const xgft::Topology& topology() const {
@@ -95,13 +170,70 @@ class CompiledRoutes {
   [[nodiscard]] std::uint32_t stride() const { return stride_; }
 
  private:
+  /// Which endpoint indexes the compressed columns: guide = destination
+  /// (runs over sources — destination-oriented schemes like d-mod-k) or
+  /// guide = source (runs over destinations — s-mod-k and friends).
+  enum class Axis : std::uint8_t { kByDst, kBySrc };
+
+  /// One maximal run of ranks sharing a route within a guide column.
+  struct Interval {
+    std::uint32_t begin = 0;     ///< First rank of the run.
+    std::uint32_t portsOff = 0;  ///< Offset of the ports in Chunk::ports.
+    std::uint32_t len = 0;       ///< Route length; 0 = unroutable/diagonal.
+  };
+
+  /// kChunkCols consecutive guide columns, immutable once published.
+  struct Chunk {
+    std::vector<std::uint32_t> colOff;  ///< Per-local-column interval bounds.
+    std::vector<Interval> intervals;
+    std::vector<std::uint32_t> ports;
+  };
+
+  /// Route supplier used by every compile path: fills @p route for (s, d)
+  /// or returns false for an unroutable pair.
+  using PairRoute =
+      std::function<bool(xgft::NodeIndex, xgft::NodeIndex, xgft::Route&)>;
+
   explicit CompiledRoutes(std::shared_ptr<const routing::Router> router);
+
+  [[nodiscard]] std::span<const std::uint32_t> compressedLookup(
+      xgft::NodeIndex s, xgft::NodeIndex d) const;
+  [[nodiscard]] const Interval& intervalOf(const Chunk& chunk,
+                                           std::uint32_t guide,
+                                           std::uint32_t pos) const;
+  /// The chunk covering guide column @p guide, building it on first touch.
+  [[nodiscard]] const Chunk& chunkFor(std::uint32_t guide) const;
+  /// Appends column @p guide's intervals and ports to @p chunk.
+  void appendColumn(std::uint32_t guide, const PairRoute& routeOf,
+                    Chunk& chunk) const;
+  [[nodiscard]] std::unique_ptr<Chunk> makeChunk(
+      std::size_t idx, const PairRoute& routeOf) const;
+  /// Publishes @p chunk as chunk @p idx unless one is already installed.
+  const Chunk& publishChunk(std::size_t idx,
+                            std::unique_ptr<Chunk> chunk) const;
+  void compileAllWith(const PairRoute& routeOf, std::uint32_t threads) const;
+  [[nodiscard]] PairRoute routerPairRoute() const;
 
   std::shared_ptr<const routing::Router> router_;
   std::size_t numHosts_ = 0;
   std::uint32_t stride_ = 0;           ///< Tree height.
+
+  // Flat layout.
   std::vector<std::uint32_t> ports_;   ///< numHosts^2 * stride.
   std::vector<std::uint8_t> lens_;     ///< numHosts^2 route lengths.
+
+  // Compressed layout.
+  bool compressed_ = false;
+  Axis axis_ = Axis::kByDst;
+  std::size_t numChunks_ = 0;
+  /// Built chunks, published with release ordering; null until built.
+  std::unique_ptr<std::atomic<const Chunk*>[]> chunks_;
+  mutable Mutex chunkMu_;
+  /// Owns every published chunk (readers go through chunks_, never here).
+  mutable std::vector<std::unique_ptr<const Chunk>> chunkOwner_
+      XGFT_GUARDED_BY(chunkMu_);
+  mutable std::atomic<std::uint64_t> compressedBytes_{0};
+  mutable std::atomic<std::size_t> builtChunks_{0};
 };
 
 }  // namespace core

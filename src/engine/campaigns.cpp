@@ -113,6 +113,31 @@ void registerBuiltinCampaigns(core::Registry<CampaignInfo>& registry) {
   {
     CampaignInfo info;
     info.summary =
+        "scale-out open-loop tier: three-level trees up to 4096 hosts "
+        "(interval-compressed forwarding state)";
+    info.text = [](const CampaignOptions& opt) {
+      // The loadsweep methodology on the three-level scale-out tier, at two
+      // operating points (below and near the knee).  The 512-host tree
+      // still fits the flat table budget; the 4096-host tree does not
+      // (218 MB flat) and exercises the interval-compressed lazy path —
+      // its manifest reports the compressed cache counters and the
+      // forwarding-state memory block (xgft-manifest-v3).
+      std::ostringstream os;
+      const std::string scale = " msg_scale=" + formatShortest(opt.msgScale);
+      os << "# bigsweep: open-loop scale-out tier, XGFT(3;...) trees\n"
+         << "topo=xgft3:8:8:8:4:4:2 source=poisson:uniform"
+         << " load={0.3,0.6}" << scale
+         << " routing={d-mod-k,adaptive} seed=1\n"
+         << "topo=xgft3:16:16:16:1:8:8 source=poisson:uniform"
+         << " load={0.3,0.6}" << scale << " routing=d-mod-k seed=1\n";
+      return os.str();
+    };
+    registry.add("bigsweep", std::move(info));
+  }
+
+  {
+    CampaignInfo info;
+    info.summary =
         "small cross-scheme determinism probe (golden-CSV regression)";
     info.text = [](const CampaignOptions& opt) {
       // Every route mode (table, adaptive, spray) over two slimmings of a

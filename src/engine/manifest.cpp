@@ -154,12 +154,20 @@ std::string manifestToJson(const CampaignResults& results,
             });
 
   // Faulted campaigns bump the schema (per-job "faults" blocks, degraded
-  // cache counters); healthy campaigns emit v1 byte-for-byte.
+  // cache counters), and campaigns that consulted interval-compressed
+  // forwarding tables bump it again (compressed cache counters plus the
+  // campaign "forwarding" memory block); campaigns using neither emit v1
+  // byte-for-byte.  The compressed gate counts memo lookups, which are
+  // per-job deterministic — never thread-count dependent.
   const bool faulted = results.hasFaultJobs();
+  const bool compressed =
+      results.cache.compressedHits + results.cache.compressedMisses > 0;
   std::string out;
   JsonLines json(out);
   json.open("{");
-  json.str("schema", faulted ? "xgft-manifest-v2" : "xgft-manifest-v1");
+  json.str("schema", compressed ? "xgft-manifest-v3"
+                     : faulted  ? "xgft-manifest-v2"
+                                : "xgft-manifest-v1");
   json.openKeyed("campaign", "{");
   json.u64("jobs", results.jobs.size());
   if (opt.includeHost) {
@@ -180,7 +188,26 @@ std::string manifestToJson(const CampaignResults& results,
     json.u64("degraded_hits", results.cache.degradedHits);
     json.u64("degraded_misses", results.cache.degradedMisses);
   }
+  if (compressed) {
+    json.u64("compressed_hits", results.cache.compressedHits);
+    json.u64("compressed_misses", results.cache.compressedMisses);
+  }
   json.close("}");
+  if (compressed) {
+    // Deterministic memory picture: built chunks depend only on which pairs
+    // the jobs routed, and the per-job arena peak only on the workloads.
+    std::uint64_t arenaPeak = 0;
+    for (const JobResult* job : ordered) {
+      arenaPeak = std::max(
+          arenaPeak, job->routeArenaEntries * sizeof(std::uint32_t));
+    }
+    json.openKeyed("forwarding", "{");
+    json.u64("table_bytes_flat", results.forwarding.tableBytesFlat);
+    json.u64("table_bytes_compressed",
+             results.forwarding.tableBytesCompressed);
+    json.u64("route_arena_peak_bytes", arenaPeak);
+    json.close("}");
+  }
   json.close("}");
   json.openKeyed("jobs", "[");
   for (const JobResult* job : ordered) writeJob(json, *job, opt);

@@ -62,6 +62,11 @@ struct JobResult {
   sim::TimeNs latencyP99Ns = 0;
   sim::TimeNs latencyMaxNs = 0;
 
+  /// Interned route-arena footprint of this job's network at the end of
+  /// the run (uint32 entries; sim::RouteStore::arenaEntries).  Deterministic
+  /// — the manifest's forwarding block reports the campaign peak.
+  std::uint64_t routeArenaEntries = 0;
+
   /// Host wall-clock spent executing this job (manifests and the CLI
   /// progress line; never a CSV column — it is not deterministic).
   std::uint64_t wallNs = 0;
@@ -83,6 +88,19 @@ struct CacheStats {
   std::uint64_t referenceMisses = 0;
   std::uint64_t degradedHits = 0;  ///< Degraded (fault) forwarding tables.
   std::uint64_t degradedMisses = 0;
+  std::uint64_t compressedHits = 0;  ///< Interval-compressed tables.
+  std::uint64_t compressedMisses = 0;
+};
+
+/// Forwarding-state memory picture of one campaign run, aggregated over the
+/// cache's interval-compressed tables (engine::CampaignCache).  All sizes
+/// are deterministic: lazily-built chunks depend only on which pairs the
+/// workloads touched, never on thread count or scheduling.
+struct ForwardingStats {
+  /// What the same tables would occupy in the flat per-pair layout.
+  std::uint64_t tableBytesFlat = 0;
+  /// Resident bytes of the compressed tables (built chunks only).
+  std::uint64_t tableBytesCompressed = 0;
 };
 
 /// The outcome of a whole campaign.
@@ -95,6 +113,7 @@ struct CampaignResults {
   std::uint32_t simThreadsUsed = 0;
   std::uint64_t wallTimeNs = 0;  ///< Host wall-clock of the pool run.
   CacheStats cache;
+  ForwardingStats forwarding;  ///< Empty unless compressed tables were used.
 
   /// Sorts jobs by index (idempotent; run() already leaves them sorted).
   void sortByIndex();

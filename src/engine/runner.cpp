@@ -133,6 +133,26 @@ std::shared_ptr<const core::CompiledRoutes> CampaignCache::compiledRoutes(
   });
 }
 
+std::shared_ptr<const core::CompiledRoutes> CampaignCache::compressedRoutes(
+    const ExperimentSpec& spec,
+    const std::shared_ptr<const routing::Router>& router,
+    std::uint64_t maxBytes) {
+  return compressed_.get(
+      routerKey(spec, router->topology()),
+      [&]() -> std::shared_ptr<const core::CompiledRoutes> {
+        // Deterministic sampled estimate first: a scheme that does not
+        // compress (per-pair randomness) would blow the budget chunk by
+        // chunk at simulation time, so refuse up front — the memoized
+        // nullptr keeps such jobs on the virtual-routing path.
+        if (core::CompiledRoutes::estimateCompressedBytes(*router) >
+            maxBytes) {
+          return nullptr;
+        }
+        return core::CompiledRoutes::compile(router, /*threads=*/1,
+                                             core::TableLayout::kCompressed);
+      });
+}
+
 std::shared_ptr<const core::CompiledRoutes> CampaignCache::degradedRoutes(
     const ExperimentSpec& spec,
     const std::shared_ptr<const routing::Router>& router,
@@ -193,7 +213,26 @@ CacheStats CampaignCache::stats() const {
     s.degradedHits = degraded_.hits;
     s.degradedMisses = degraded_.misses;
   }
+  {
+    core::LockGuard lock(compressed_.mu);
+    s.compressedHits = compressed_.hits;
+    s.compressedMisses = compressed_.misses;
+  }
   return s;
+}
+
+ForwardingStats CampaignCache::forwardingStats() const {
+  ForwardingStats f;
+  core::LockGuard lock(compressed_.mu);
+  // std::map: ordered iteration, deterministic sums.  Called after the pool
+  // joined, so every future is ready (failed builds erased their entries).
+  for (const auto& [key, future] : compressed_.entries) {
+    const std::shared_ptr<const core::CompiledRoutes> table = future.get();
+    if (!table) continue;  // Estimate exceeded the budget (virtual fallback).
+    f.tableBytesFlat += core::CompiledRoutes::tableBytes(table->topology());
+    f.tableBytesCompressed += table->forwardingBytes();
+  }
+  return f;
 }
 
 namespace {
@@ -245,10 +284,18 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
 
   std::shared_ptr<const core::CompiledRoutes> compiled;
   if (scheme.mode == core::RouteMode::kTable &&
-      (opt.compileRoutes || !plan.empty()) &&
-      core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
-    compiled = cache.compiledRoutes(spec, router,
-                                    std::max(1u, opt.compileThreads));
+      (opt.compileRoutes || !plan.empty())) {
+    if (core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
+      compiled = cache.compiledRoutes(spec, router,
+                                      std::max(1u, opt.compileThreads));
+    } else if (plan.empty()) {
+      // Flat table over budget: try the interval-compressed layout, left
+      // lazy on purpose — an open-loop sweep compiles only the destination
+      // chunks its source actually touches.  nullptr (scheme does not
+      // compress either) keeps the virtual-routing fallback.
+      compiled = cache.compressedRoutes(spec, router,
+                                        opt.maxCompiledTableBytes);
+    }
   }
   // The t = 0 degraded table replaces the healthy one for static failures;
   // timed-only plans start healthy and swap tables at their transitions.
@@ -295,6 +342,7 @@ void runOpenLoopJob(const ExperimentSpec& spec, CampaignCache& cache,
 
   result.makespanNs = r.lastDeliveryNs;
   result.net = r.stats;
+  result.routeArenaEntries = r.routeArenaEntries;
   result.utilMax = r.utilMax;
   result.utilMean = r.utilMean;
   result.openLoop = true;
@@ -352,10 +400,19 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
     // (src, dst) pair rather than per message (Replayer::routeSetFor), so
     // the fallback is off every workload's per-message hot path.
     std::shared_ptr<const core::CompiledRoutes> compiled;
-    if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes &&
-        core::CompiledRoutes::tableBytes(*topo) <= opt.maxCompiledTableBytes) {
-      compiled = cache.compiledRoutes(spec, router,
-                                      std::max(1u, opt.compileThreads));
+    if (scheme.mode == core::RouteMode::kTable && opt.compileRoutes) {
+      if (core::CompiledRoutes::tableBytes(*topo) <=
+          opt.maxCompiledTableBytes) {
+        compiled = cache.compiledRoutes(spec, router,
+                                        std::max(1u, opt.compileThreads));
+      } else {
+        compiled = cache.compressedRoutes(spec, router,
+                                          opt.maxCompiledTableBytes);
+        // Closed-loop replay touches essentially every pair of the
+        // workload; build the remaining chunks eagerly (and in parallel)
+        // rather than one lazy miss at a time on the simulation path.
+        if (compiled) compiled->compileAll(std::max(1u, opt.compileThreads));
+      }
     }
 
     // Closed-loop fault path: static plans only.  The degraded table is
@@ -400,6 +457,7 @@ JobResult runJob(const ExperimentSpec& spec, std::uint32_t jobIndex,
         degradedTable ? degradedTable.get() : compiled.get());
     result.makespanNs = replayer.run();
     result.net = net.stats();
+    result.routeArenaEntries = net.routes().arenaEntries();
 
     const sim::WireUtilization util =
         sim::wireUtilization(net, result.makespanNs);
@@ -547,6 +605,7 @@ CampaignResults Runner::run(const std::vector<ExperimentSpec>& specs) {
   results.threadsUsed = threads;
   results.simThreadsUsed = jobOpt.simThreads;
   results.cache = cache_.stats();
+  results.forwarding = cache_.forwardingStats();
   results.wallTimeNs = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)

@@ -65,6 +65,19 @@ class CampaignCache {
       const std::shared_ptr<const routing::Router>& router,
       std::uint32_t threads);
 
+  /// The interval-compressed forwarding table for @p router — the fallback
+  /// for topologies whose flat table exceeds the engine's memory budget.
+  /// Compilation is lazy (64-destination chunks build on first touch, so a
+  /// sweep only pays for pairs it routes); closed-loop callers eager-build
+  /// via CompiledRoutes::compileAll.  Returns (and memoizes) nullptr when
+  /// even the compressed layout's sampled estimate exceeds @p maxBytes —
+  /// schemes with per-pair randomness (Random) do not compress, and they
+  /// keep the virtual-routing fallback exactly as before.
+  [[nodiscard]] std::shared_ptr<const core::CompiledRoutes> compressedRoutes(
+      const ExperimentSpec& spec,
+      const std::shared_ptr<const routing::Router>& router,
+      std::uint64_t maxBytes);
+
   /// The degraded forwarding table for @p router under @p plan's t = 0
   /// failed-link set (fault::compileDegraded).  Keyed by the router key
   /// plus the canonical plan spec, the unreachable policy and — only for
@@ -89,6 +102,11 @@ class CampaignCache {
 
   [[nodiscard]] CacheStats stats() const;
 
+  /// Aggregate memory picture of the compressed tables built so far: their
+  /// resident (built-chunk) bytes and the flat-layout bytes the same
+  /// topologies would have cost.  Deterministic for a given campaign.
+  [[nodiscard]] ForwardingStats forwardingStats() const;
+
  private:
   template <typename T>
   struct Memo {
@@ -107,6 +125,7 @@ class CampaignCache {
   Memo<std::shared_ptr<const xgft::Topology>> topologies_;
   Memo<std::shared_ptr<const routing::Router>> routers_;
   Memo<std::shared_ptr<const core::CompiledRoutes>> tables_;
+  Memo<std::shared_ptr<const core::CompiledRoutes>> compressed_;
   Memo<std::shared_ptr<const core::CompiledRoutes>> degraded_;
   Memo<sim::TimeNs> references_;
 };

@@ -62,8 +62,8 @@ bool DegradedTopology::routeBlocked(xgft::NodeIndex s, xgft::NodeIndex d,
 
 DegradedRoutes compileDegraded(std::shared_ptr<const routing::Router> router,
                                const DegradedTopology& degraded,
-                               UnreachablePolicy policy,
-                               std::uint32_t threads) {
+                               UnreachablePolicy policy, std::uint32_t threads,
+                               core::TableLayout layout) {
   if (!router) {
     throw std::invalid_argument("compileDegraded: null router");
   }
@@ -103,7 +103,7 @@ DegradedRoutes compileDegraded(std::shared_ptr<const routing::Router> router,
   };
 
   out.table = core::CompiledRoutes::compileWith(std::move(router), routeFor,
-                                                threads);
+                                                threads, layout);
   out.unreachable = unreachable.takeSorted();
   return out;
 }

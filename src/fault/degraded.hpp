@@ -78,11 +78,15 @@ struct DegradedRoutes {
 /// Recompiles @p router's forwarding tables around @p degraded's failed
 /// links (see the header comment for the pair-by-pair rules).  Deterministic
 /// for any @p threads.  Throws std::invalid_argument for unreachable pairs
-/// under kThrow, and propagates the router's own errors.
+/// under kThrow, and propagates the router's own errors.  @p layout picks
+/// the table representation exactly as for CompiledRoutes::compile();
+/// degraded tables always compile eagerly (the degraded view is not kept
+/// alive by the table), so lazy chunking does not apply.
 [[nodiscard]] DegradedRoutes compileDegraded(
     std::shared_ptr<const routing::Router> router,
     const DegradedTopology& degraded, UnreachablePolicy policy,
-    std::uint32_t threads = 1);
+    std::uint32_t threads = 1,
+    core::TableLayout layout = core::TableLayout::kAuto);
 
 /// Checks that the scheme @p routing can route on a degraded view (table
 /// mode).  Returns its SchemeInfo; throws std::invalid_argument in the

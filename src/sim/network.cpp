@@ -110,6 +110,7 @@ MsgId Network::addRecord(xgft::NodeIndex src, xgft::NodeIndex dst, Bytes bytes,
     const std::span<const RouteId> routes = routes_.set(set);
     m.setSize = static_cast<std::uint32_t>(routes.size());
     m.route0 = routes[0];
+    m.hostPort = globalPort(0, src, routes_.setFirstUp(set));
   }
   m.spraySeed = spraySeed;
   m.policy = policy;
@@ -130,10 +131,13 @@ RouteSetId Network::internCompiledPath(xgft::NodeIndex src,
   if (src == dst) return RouteStore::kNone;
   // Same walk as hopsOf(), minus the Route materialization and the
   // re-validation (the compiled table was validated when it was built).
+  // Only the switch tail is interned — the host hop (local port upPorts[0],
+  // since upPortBase(0) == 0) goes into the set, so sources whose compiled
+  // tails coincide (same leaf group, same up-ports) share one path.
   const std::uint32_t L = static_cast<std::uint32_t>(upPorts.size());
   scratchPath_.clear();
-  xgft::NodeIndex node = src;
-  for (std::uint32_t i = 0; i < L; ++i) {
+  xgft::NodeIndex node = topo_->parentIndex(0, src, upPorts[0]);
+  for (std::uint32_t i = 1; i < L; ++i) {
     scratchPath_.push_back(
         globalPort(i, node, topo_->upPortBase(i) + upPorts[i]));
     node = topo_->parentIndex(i, node, upPorts[i]);
@@ -144,7 +148,7 @@ RouteSetId Network::internCompiledPath(xgft::NodeIndex src,
     node = topo_->childIndex(j, node, port);
   }
   scratchSet_.assign(1, routes_.internPath(scratchPath_));
-  return routes_.internSet(scratchSet_);
+  return routes_.internSet(upPorts[0], scratchSet_);
 }
 
 MsgId Network::addMessageCompiled(xgft::NodeIndex src, xgft::NodeIndex dst,
@@ -160,25 +164,28 @@ RouteSetId Network::internRoutes(xgft::NodeIndex src, xgft::NodeIndex dst,
   }
   if (src == dst) return RouteStore::kNone;
   scratchSet_.clear();
-  std::uint32_t firstHop = kNil;
+  std::uint32_t firstUp = kNil;
   for (const xgft::Route& route : routes) {
     std::string error;
     if (!validateRoute(*topo_, src, dst, route, &error)) {
       throw std::invalid_argument("addMessage: " + error);
     }
+    // A valid route for src != dst has >= 1 hop; the first one leaves the
+    // source host and lives in the set, not the interned (tail) path.
     scratchPath_.clear();
     for (const xgft::Hop& hop : hopsOf(*topo_, src, dst, route)) {
       scratchPath_.push_back(globalPort(hop.level, hop.node, hop.outPort));
     }
-    if (firstHop == kNil) {
-      firstHop = scratchPath_[0];
-    } else if (scratchPath_[0] != firstHop) {
+    if (firstUp == kNil) {
+      firstUp = route.up[0];
+    } else if (route.up[0] != firstUp) {
       throw std::invalid_argument(
           "addMessageMultipath: routes must share the first-hop port");
     }
-    scratchSet_.push_back(routes_.internPath(scratchPath_));
+    scratchSet_.push_back(routes_.internPath(
+        std::span<const std::uint32_t>(scratchPath_).subspan(1)));
   }
-  return routes_.internSet(scratchSet_);
+  return routes_.internSet(firstUp, scratchSet_);
 }
 
 MsgId Network::addMessageMultipath(xgft::NodeIndex src, xgft::NodeIndex dst,
@@ -213,9 +220,11 @@ MsgId Network::addMessageAdaptive(xgft::NodeIndex src, xgft::NodeIndex dst,
     // for w1 > 1 messages stripe across NIC ports by id).
     const std::uint32_t port =
         static_cast<std::uint32_t>(messages_.size() % topo_->params().w(1));
-    scratchPath_.assign(1, globalPort(0, src, port));
+    // Adaptive segments resolve every switch port on the fly, so the tail
+    // path is empty; only the NIC port (in the set) is predetermined.
+    scratchPath_.clear();
     scratchSet_.assign(1, routes_.internPath(scratchPath_));
-    set = routes_.internSet(scratchSet_);
+    set = routes_.internSet(port, scratchSet_);
   }
   return addRecord(src, dst, bytes, set, SprayPolicy::kRoundRobin, 1,
                    /*adaptive=*/true);
@@ -581,7 +590,7 @@ void Network::handleRelease(MsgId msg) {
     if (probe_ != nullptr) probe_->onMessageDelivered(msg, now_);
     return;
   }
-  const std::uint32_t hostPort = routes_.path(m.route0)[0];
+  const std::uint32_t hostPort = m.hostPort;
   activePushBack(ports_[hostPort], msg);
   tryInjectHost(hostPort);
 }
@@ -748,9 +757,12 @@ void Network::tryAdvanceInput(std::uint32_t gInPort) {
   if (port.transferring || port.inHead == kNil) return;
   const std::uint32_t seg = port.inHead;
   Segment& segment = segments_[seg];
+  // Paths store switch tails (no host hop), so the port taken after the
+  // segment's hop-th arrival is tail word hop - 1 (hop >= 1 here: it was
+  // incremented when the segment reached this input).
   const std::uint32_t out = segAdaptive(segment)
                                 ? resolveAdaptive(gInPort, segment)
-                                : pathOf(segment)[segment.hop];
+                                : pathOf(segment)[segment.hop - 1];
   segment.resolvedOut = out;
   advanceInputTo(gInPort, seg, out);
 }

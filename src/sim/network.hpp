@@ -367,6 +367,7 @@ class Network {
     RouteSetId set = RouteStore::kNone;  ///< Candidate routes (kNone: local).
     std::uint32_t setSize = 0;           ///< |set| (0 for local delivery).
     RouteId route0 = 0;                  ///< set[0], inline.
+    std::uint32_t hostPort = 0;  ///< Source NIC gport (paths store tails).
     std::uint32_t nextActive = kNil;     ///< Host-adapter round-robin link.
     std::uint64_t spraySeed = 1;
     TimeNs deliveredAt = 0;

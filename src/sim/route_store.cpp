@@ -64,8 +64,11 @@ RouteId RouteStore::internPath(std::span<const std::uint32_t> gports) {
   return intern(gports, pathData_, paths_, pathIndex_, "path");
 }
 
-RouteSetId RouteStore::internSet(std::span<const RouteId> routes) {
-  return intern(routes, setData_, sets_, setIndex_, "route-set");
+RouteSetId RouteStore::internSet(std::uint32_t firstUp,
+                                 std::span<const RouteId> routes) {
+  scratch_.assign(1, firstUp);
+  scratch_.insert(scratch_.end(), routes.begin(), routes.end());
+  return intern(scratch_, setData_, sets_, setIndex_, "route-set");
 }
 
 }  // namespace sim

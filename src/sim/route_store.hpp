@@ -8,9 +8,20 @@
 // counterpart for routes: paths live once in one contiguous uint32 arena,
 // deduplicated by content, and messages/segments refer to them by index —
 //
-//   path  (RouteId):    one global-output-port sequence, hop by hop,
-//   set (RouteSetId):   an ordered list of RouteIds (a multipath message's
-//                       candidate routes; order matters for spraying).
+//   path  (RouteId):    one global-output-port sequence, switch tail only —
+//                       the hops *after* the source host's NIC port,
+//   set (RouteSetId):   the source NIC port all candidates leave through,
+//                       then an ordered list of RouteIds (a multipath
+//                       message's candidate routes; order matters for
+//                       spraying).
+//
+// Paths deliberately exclude the first (host) hop: that port is unique per
+// source, so storing it inside the path would defeat deduplication across
+// the sources of an interval-compressed forwarding table, whose switch
+// tails are bit-identical within a leaf group.  It lives once per *set*
+// instead — word 0 of the set slice, so it participates in content
+// interning (equal route lists leaving through different NIC ports stay
+// distinct sets) — and messages cache the expanded global port.
 //
 // Ids are dense uint32 handles; spans stay valid for the store's lifetime
 // (arenas only grow).  Exceeding the 32-bit arena or id space throws
@@ -39,12 +50,16 @@ class RouteStore {
   /// refuse such messages (InjectionOptions::onDrop), not enqueue them.
   static constexpr std::uint32_t kUnroutable = 0xfffffffeu;
 
-  /// Interns one hop-by-hop global-port path; returns the id of the
-  /// existing copy when an identical path was interned before.
+  /// Interns one switch-tail global-port path (no host hop; empty for
+  /// adaptive messages, whose switches pick ports on the fly); returns the
+  /// id of the existing copy when an identical path was interned before.
   [[nodiscard]] RouteId internPath(std::span<const std::uint32_t> gports);
 
-  /// Interns an ordered route-id list (deduplicated like paths).
-  [[nodiscard]] RouteSetId internSet(std::span<const RouteId> routes);
+  /// Interns an ordered route-id list (deduplicated like paths) together
+  /// with @p firstUp, the local NIC port every candidate leaves the source
+  /// host through.
+  [[nodiscard]] RouteSetId internSet(std::uint32_t firstUp,
+                                     std::span<const RouteId> routes);
 
   [[nodiscard]] std::span<const std::uint32_t> path(RouteId id) const {
     const Slice s = paths_[id];
@@ -52,7 +67,11 @@ class RouteStore {
   }
   [[nodiscard]] std::span<const RouteId> set(RouteSetId id) const {
     const Slice s = sets_[id];
-    return {setData_.data() + s.off, s.len};
+    return {setData_.data() + s.off + 1, s.len - 1};
+  }
+  /// The local source-NIC port of every route in the set.
+  [[nodiscard]] std::uint32_t setFirstUp(RouteSetId id) const {
+    return setData_[sets_[id].off];
   }
 
   [[nodiscard]] std::size_t numPaths() const { return paths_.size(); }
@@ -81,6 +100,7 @@ class RouteStore {
   std::vector<Slice> paths_;
   std::vector<std::uint32_t> setData_;
   std::vector<Slice> sets_;
+  std::vector<std::uint32_t> scratch_;  ///< internSet staging buffer.
   // Content hash -> candidate ids (same-hash collisions are resolved by
   // comparing the stored bytes).
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> pathIndex_;

@@ -457,7 +457,7 @@ void ParallelRunner::classify(std::size_t begin, std::size_t end) {
         const Network::Message& m = net.messages_[e.a];
         info.owner = m.src == m.dst
                          ? nodeShard_[net.topology().globalId(0, m.src)]
-                         : portShard_[net.routes_.path(m.route0)[0]];
+                         : portShard_[m.hostPort];
         break;
       }
       case Kind::kWireFree:
@@ -627,7 +627,7 @@ void ParallelRunner::pHandleRelease(Ctx& c, MsgId msgId) {
     if (n.sink_ != nullptr) sinkCalls_[c.pos] = SinkCall{msgId, c.now, true};
     return;
   }
-  const std::uint32_t hostPort = n.routes_.path(m.route0)[0];
+  const std::uint32_t hostPort = m.hostPort;
   n.activePushBack(n.ports_[hostPort], msgId);
   pTryInjectHost(c, hostPort);
 }
@@ -744,9 +744,11 @@ void ParallelRunner::pTryAdvanceInput(Ctx& c, std::uint32_t gInPort) {
   if (port.transferring || port.inHead == kNil) return;
   const std::uint32_t seg = port.inHead;
   Network::Segment& segment = n.segments_[seg];
+  // Tail paths: word hop - 1 is the port taken after the hop-th arrival
+  // (hop >= 1 here), mirroring Network::tryAdvanceInput.
   const std::uint32_t out = n.segAdaptive(segment)
                                 ? n.resolveAdaptive(gInPort, segment)
-                                : n.pathOf(segment)[segment.hop];
+                                : n.pathOf(segment)[segment.hop - 1];
   segment.resolvedOut = out;
   pAdvanceInputTo(c, gInPort, seg, out);
 }

@@ -78,6 +78,10 @@ struct OpenLoopResult {
   sim::TimeNs lastDeliveryNs = 0;
   sim::NetworkStats stats;
 
+  /// Interned route-arena footprint at the end of the run (uint32 entries
+  /// across the path + set arenas; sim::RouteStore::arenaEntries).
+  std::size_t routeArenaEntries = 0;
+
   /// Wire utilization over the whole run (warmup through drain), from
   /// Network::wireBusyNs: busiest wire and the mean over wires that
   /// carried traffic.

@@ -54,7 +54,14 @@ sim::InjectionOptions injectionOptions(RouteSetResolver& resolver) {
 
 sim::RouteSetId RouteSetResolver::setFor(xgft::NodeIndex src,
                                          xgft::NodeIndex dst) {
-  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  // Compiled tables memoize per share-representative instead of per source:
+  // every source in the same forwarding interval and leaf group maps to one
+  // interned set (identical NIC port + switch tail), so the memo and the
+  // route arenas stay O(intervals), not O(pairs).  shareRep == src for flat
+  // tables, making this the exact historical key there.
+  const xgft::NodeIndex srcKey =
+      compiled_ != nullptr ? compiled_->shareRep(src, dst) : src;
+  const std::uint64_t key = (static_cast<std::uint64_t>(srcKey) << 32) | dst;
   const auto it = pairSets_.find(key);
   if (it != pairSets_.end()) return it->second;
   sim::RouteSetId set;

@@ -31,6 +31,14 @@ void registerBuiltinTopologies(core::Registry<core::TopologyInfo>& registry) {
         spec.requireArity(3);
         return xgft2(spec.argU32(0), spec.argU32(1), spec.argU32(2));
       });
+  add(registry, "xgft3", "xgft3:M1:M2:M3:W1:W2:W3",
+      "three-level XGFT(3; M1,M2,M3; W1,W2,W3) — the scale-out tier "
+      "(xgft3:16:16:16:1:8:8 is 4096 hosts)",
+      [](const SpecName& spec) {
+        spec.requireArity(6);
+        return Params({spec.argU32(0), spec.argU32(1), spec.argU32(2)},
+                      {spec.argU32(3), spec.argU32(4), spec.argU32(5)});
+      });
   add(registry, "kary", "kary:K:N", "k-ary n-tree (full bisection)",
       [](const SpecName& spec) {
         spec.requireArity(2);

@@ -1,15 +1,21 @@
 // Tests for core::CompiledRoutes: the flat table agrees with the source
 // router on every ordered pair, parallel compilation is thread-count
-// independent, and the simulator's compiled fast path reproduces the
+// independent, the interval-compressed layout is pair-for-pair equivalent
+// to the flat one for every registered table scheme, lazy chunks build
+// exactly once, and the simulator's compiled fast path reproduces the
 // virtual path's results exactly.
 #include "core/compiled_routes.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "trace/harness.hpp"
+#include "xgft/params.hpp"
 
 namespace core {
 namespace {
@@ -105,6 +111,153 @@ TEST(CompiledRoutes, CompiledReplayMatchesVirtualReplayExactly) {
     EXPECT_EQ(net.stats().eventsProcessed, virtualRun.stats.eventsProcessed)
         << scheme;
   }
+}
+
+/// Every registered table-mode scheme name (adaptive/spray have no tables).
+std::vector<std::string> tableSchemes() {
+  std::vector<std::string> out;
+  for (const std::string& name : *schemeRegistry().names()) {
+    if (schemeRegistry().at(name).mode == RouteMode::kTable) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+void expectSamePorts(const CompiledRoutes& a, const CompiledRoutes& b,
+                     const std::string& label) {
+  const xgft::Count n = a.numHosts();
+  ASSERT_EQ(b.numHosts(), n) << label;
+  for (xgft::NodeIndex s = 0; s < n; ++s) {
+    for (xgft::NodeIndex d = 0; d < n; ++d) {
+      const std::span<const std::uint32_t> lhs = a.upPorts(s, d);
+      const std::span<const std::uint32_t> rhs = b.upPorts(s, d);
+      ASSERT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end()))
+          << label << " (" << s << " -> " << d << ")";
+      ASSERT_EQ(a.unroutable(s, d), b.unroutable(s, d))
+          << label << " (" << s << " -> " << d << ")";
+    }
+  }
+}
+
+TEST(CompiledRoutesCompressed, MatchesFlatForEverySchemeAndTier) {
+  // The hard contract of the compressed layout: pair-for-pair identical
+  // lookups for every registered table scheme, on the paper's slimmed tree,
+  // a mid-size two-level tree and a small three-level (scale-out tier)
+  // tree.
+  const std::vector<xgft::Params> tiers = {
+      xgft::xgft2(16, 16, 10),             // paper-slim
+      xgft::xgft2(8, 8, 4),
+      xgft::Params({4, 4, 4}, {2, 2, 2}),  // xgft3:4:4:4:2:2:2
+  };
+  for (const xgft::Params& params : tiers) {
+    const auto topo = std::make_shared<const xgft::Topology>(params);
+    for (const std::string& scheme : tableSchemes()) {
+      const auto router = makeRouter(topo, scheme, 5);
+      const auto flat =
+          CompiledRoutes::compile(router, 1, TableLayout::kFlat);
+      const auto packed =
+          CompiledRoutes::compile(router, 2, TableLayout::kCompressed);
+      ASSERT_FALSE(flat->compressed());
+      ASSERT_TRUE(packed->compressed());
+      expectSamePorts(*flat, *packed,
+                      scheme + " on " + topo->params().toString());
+    }
+  }
+}
+
+TEST(CompiledRoutesCompressed, ChunksBuildLazilyAndExactlyOnce) {
+  // 256 hosts = 4 chunks of 64 guide columns.  Nothing builds up front;
+  // the first and the last pair build their own chunks only, a re-touch
+  // builds nothing, and compileAll() finishes the rest.
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(16, 16, 10));
+  const auto router = makeRouter(topo, "d-mod-k");
+  const auto table =
+      CompiledRoutes::compile(router, 1, TableLayout::kCompressed);
+  ASSERT_TRUE(table->compressed());
+  ASSERT_EQ(table->numChunks(), 4u);
+  EXPECT_EQ(table->builtChunks(), 0u);
+
+  (void)table->upPorts(0, 0);  // Diagonal lookups build their chunk too.
+  EXPECT_EQ(table->builtChunks(), 1u);
+  const xgft::NodeIndex last = topo->numHosts() - 1;
+  (void)table->upPorts(last, last);
+  EXPECT_EQ(table->builtChunks(), 2u);
+
+  EXPECT_EQ(table->route(0, last), router->route(0, last));
+  const std::uint64_t bytesBefore = table->forwardingBytes();
+  const std::size_t chunksBefore = table->builtChunks();
+  (void)table->upPorts(0, last);  // Re-touch: both endpoint chunks exist.
+  EXPECT_EQ(table->builtChunks(), chunksBefore);
+  EXPECT_EQ(table->forwardingBytes(), bytesBefore);
+
+  table->compileAll(2);
+  EXPECT_EQ(table->builtChunks(), table->numChunks());
+  EXPECT_GT(table->forwardingBytes(), bytesBefore);
+  const auto flat = CompiledRoutes::compile(router, 1, TableLayout::kFlat);
+  expectSamePorts(*flat, *table, "d-mod-k after compileAll");
+}
+
+TEST(CompiledRoutesCompressed, CompileAllIsThreadCountIndependent) {
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(8, 8, 4));
+  const auto router = makeRouter(topo, "Random", 3);
+  const auto serial =
+      CompiledRoutes::compile(router, 1, TableLayout::kCompressed);
+  const auto threaded =
+      CompiledRoutes::compile(router, 1, TableLayout::kCompressed);
+  serial->compileAll(1);
+  threaded->compileAll(4);
+  EXPECT_EQ(serial->forwardingBytes(), threaded->forwardingBytes());
+  expectSamePorts(*serial, *threaded, "Random compileAll 1 vs 4");
+}
+
+TEST(CompiledRoutesCompressed, ShareRepPreservesRoutesWithinLeafGroups) {
+  // shareRep(s, d) must name a source in s's leaf group whose up-port
+  // vector to d is bit-identical — that is what lets resolvers share one
+  // interned route set across the whole interval.
+  const auto topo = std::make_shared<const xgft::Topology>(
+      xgft::Params({4, 4, 4}, {2, 2, 2}));
+  const std::uint32_t m1 = topo->params().m(1);
+  for (const char* scheme : {"d-mod-k", "s-mod-k", "r-NCA-u"}) {
+    const auto table = CompiledRoutes::compile(makeRouter(topo, scheme, 9), 1,
+                                               TableLayout::kCompressed);
+    const xgft::Count n = topo->numHosts();
+    for (xgft::NodeIndex s = 0; s < n; ++s) {
+      for (xgft::NodeIndex d = 0; d < n; ++d) {
+        const xgft::NodeIndex rep = table->shareRep(s, d);
+        ASSERT_LE(rep, s);
+        ASSERT_GE(rep, s - (s % m1)) << "rep left s's leaf group";
+        const auto a = table->upPorts(rep, d);
+        const auto b = table->upPorts(s, d);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+            << scheme << " (" << s << " -> " << d << " rep " << rep << ")";
+      }
+    }
+  }
+}
+
+TEST(CompiledRoutesCompressed, EstimateSeparatesCompressibleSchemes) {
+  // The engine's gate: label-arithmetic schemes estimate far below the
+  // per-pair-random ones, which stay on the virtual fallback.
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(16, 16, 8));
+  const std::uint64_t dmodk =
+      CompiledRoutes::estimateCompressedBytes(*makeRouter(topo, "d-mod-k"));
+  const std::uint64_t random =
+      CompiledRoutes::estimateCompressedBytes(*makeRouter(topo, "Random", 3));
+  EXPECT_LT(dmodk * 8, random);
+}
+
+TEST(CompiledRoutes, AutoLayoutKeepsSmallTopologiesFlat) {
+  // Paper-scale trees stay on the exact historical layout under kAuto.
+  const auto topo =
+      std::make_shared<const xgft::Topology>(xgft::xgft2(16, 16, 10));
+  const auto table = CompiledRoutes::compile(makeRouter(topo, "d-mod-k"), 1);
+  EXPECT_FALSE(table->compressed());
+  EXPECT_EQ(table->forwardingBytes(),
+            CompiledRoutes::tableBytes(*topo));
 }
 
 TEST(CompiledRoutes, RejectsForeignTopologies) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/scenario.hpp"
@@ -123,6 +124,38 @@ TEST(DegradedRouting, EveryTableSchemeCompilesAroundFailures) {
     expectTableAvoidsFailures(*degraded.table, view, topo);
   }
   EXPECT_FALSE(first);  // At least one table scheme is registered.
+}
+
+TEST(DegradedRouting, CompressedLayoutMatchesFlatAroundFailures) {
+  // The interval-compressed layout must reproduce the flat degraded table
+  // pair-for-pair: same surviving routes, same unreachable set (compressed
+  // len-0 runs cover both the diagonal and dropped pairs).
+  const Topology topo(xgft::Params({4, 4}, {2, 2}));
+  const FaultPlan plan = makeFaultPlan("links:25", topo, 5);
+  const DegradedTopology view(topo, plan.failedAt(0));
+  for (const char* scheme : {"d-mod-k", "Random"}) {
+    SCOPED_TRACE(scheme);
+    const DegradedRoutes flat =
+        compileDegraded(buildScheme(scheme, topo), view,
+                        UnreachablePolicy::kDrop, 1, core::TableLayout::kFlat);
+    const DegradedRoutes packed = compileDegraded(
+        buildScheme(scheme, topo), view, UnreachablePolicy::kDrop, 2,
+        core::TableLayout::kCompressed);
+    EXPECT_FALSE(flat.table->compressed());
+    ASSERT_TRUE(packed.table->compressed());
+    EXPECT_EQ(packed.unreachable, flat.unreachable);
+    // Overridden tables compile eagerly — no chunk may outlive the view.
+    EXPECT_EQ(packed.table->builtChunks(), packed.table->numChunks());
+    for (xgft::NodeIndex s = 0; s < topo.numHosts(); ++s) {
+      for (xgft::NodeIndex d = 0; d < topo.numHosts(); ++d) {
+        const auto a = flat.table->upPorts(s, d);
+        const auto b = packed.table->upPorts(s, d);
+        ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+            << s << " -> " << d;
+      }
+    }
+    expectTableAvoidsFailures(*packed.table, view, topo);
+  }
 }
 
 TEST(DegradedRouting, HealthyRoutesAreKeptVerbatim) {

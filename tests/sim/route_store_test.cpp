@@ -48,14 +48,30 @@ TEST(RouteStore, SetsDeduplicateByContentAndKeepOrder) {
   const RouteId r1 = store.internPath(std::vector<std::uint32_t>{2});
   const std::vector<RouteId> ab{r0, r1};
   const std::vector<RouteId> ba{r1, r0};
-  const RouteSetId sab = store.internSet(ab);
-  EXPECT_EQ(store.internSet(ab), sab);
+  const RouteSetId sab = store.internSet(3, ab);
+  EXPECT_EQ(store.internSet(3, ab), sab);
   // Order matters for spraying: a reversed set is a different set.
-  EXPECT_NE(store.internSet(ba), sab);
+  EXPECT_NE(store.internSet(3, ba), sab);
   const std::span<const RouteId> got = store.set(sab);
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], r0);
   EXPECT_EQ(got[1], r1);
+  EXPECT_EQ(store.setFirstUp(sab), 3u);
+}
+
+TEST(RouteStore, SetsWithDifferentNicPortsStayDistinct) {
+  // Adaptive messages share one (empty) tail path yet must keep one set per
+  // source NIC port: the port participates in the set's interned content.
+  RouteStore store;
+  const RouteId tail = store.internPath(std::vector<std::uint32_t>{});
+  const std::vector<RouteId> one{tail};
+  const RouteSetId s0 = store.internSet(0, one);
+  const RouteSetId s1 = store.internSet(1, one);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(store.internSet(0, one), s0);
+  EXPECT_EQ(store.setFirstUp(s0), 0u);
+  EXPECT_EQ(store.setFirstUp(s1), 1u);
+  EXPECT_TRUE(store.set(s0).size() == 1 && store.set(s0)[0] == tail);
 }
 
 TEST(RouteStore, ManyCollidingLengthsStayConsistent) {

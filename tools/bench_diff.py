@@ -10,6 +10,12 @@ file is Google Benchmark's --benchmark_out JSON.  The script renders a
 markdown comparison table to stdout and emits a GitHub `::warning::`
 annotation for every benchmark that regressed by more than REGRESSION_PCT.
 
+A baseline entry may additionally carry `after_<counter>_bytes` memory
+fields (e.g. `after_compressed_bytes`); each is compared against the
+same-named gbench counter of the raw run as its own lower-is-better row.
+Memory counters are deterministic, but they share the one regression
+threshold: a >10% footprint growth flags exactly like a slowdown.
+
 Benchmarks present in only one of the two files are reported explicitly:
 baseline-only ones as "gone" (deleted or renamed — update the baseline),
 raw-only ones as "new" (not yet curated into the baseline).  Neither state
@@ -61,6 +67,14 @@ def to_unit(value_ns_like, time_unit, target):
     scale_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[time_unit]
     ns = value_ns_like * scale_to_ns
     return ns / {"us": 1e3, "ms": 1e6}[target]
+
+
+def fmt_bytes(value):
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.2f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.2f} KiB"
+    return f"{value:.0f} B"
 
 
 def fresh_cell(fresh):
@@ -115,6 +129,33 @@ def self_check():
         checks.append(("two empty inputs pass", proc.returncode == 0
                        and "micro_sim" in proc.stdout, proc.returncode,
                        proc.stderr.strip()))
+        # Memory fields: an unchanged counter passes, a grown one gates.
+        mem_base = os.path.join(tmp, "mem_base.json")
+        with open(mem_base, "w") as f:
+            json.dump({"benchmarks": [{"name": "BM_Mem", "after_ms": 1.0,
+                                       "after_compressed_bytes": 1000}]}, f)
+        mem_raw = os.path.join(tmp, "mem_raw.json")
+        with open(mem_raw, "w") as f:
+            json.dump({"benchmarks": [{"name": "BM_Mem", "real_time": 1.0,
+                                       "time_unit": "ms",
+                                       "compressed_bytes": 1000.0}]}, f)
+        proc = subprocess.run([sys.executable, script, "--fail-regressed",
+                               mem_base, mem_raw],
+                              capture_output=True, text=True)
+        checks.append(("unchanged memory counter passes",
+                       proc.returncode == 0
+                       and "BM_Mem [compressed_bytes]" in proc.stdout,
+                       proc.returncode, proc.stderr.strip()))
+        with open(mem_raw, "w") as f:
+            json.dump({"benchmarks": [{"name": "BM_Mem", "real_time": 1.0,
+                                       "time_unit": "ms",
+                                       "compressed_bytes": 2000.0}]}, f)
+        proc = subprocess.run([sys.executable, script, "--fail-regressed",
+                               mem_base, mem_raw],
+                              capture_output=True, text=True)
+        checks.append(("grown memory counter gates", proc.returncode == 1
+                       and "compressed_bytes grew" in proc.stderr,
+                       proc.returncode, proc.stderr.strip()))
 
     failed = 0
     for name, ok, code, err in checks:
@@ -156,8 +197,11 @@ def main():
             delta_pct = (new - base) / base * 100.0
             rows.append((name, f"{base / 1e6:.2f} M/s", f"{new / 1e6:.2f} M/s",
                          delta_pct))
-            regressed = delta_pct < -REGRESSION_PCT
-        else:
+            if delta_pct < -REGRESSION_PCT:
+                warnings.append(
+                    f"{name}: {abs(delta_pct):.1f}% slower than the "
+                    f"committed BENCH_sim.json baseline")
+        elif "after_ms" in bench or "after_us" in bench:
             unit = "ms" if "after_ms" in bench else "us"
             base = float(bench[f"after_{unit}"])
             new = to_unit(float(fresh["real_time"]),
@@ -166,11 +210,26 @@ def main():
             delta_pct = (base - new) / base * 100.0
             rows.append((name, f"{base:.2f} {unit}", f"{new:.2f} {unit}",
                          delta_pct))
-            regressed = delta_pct < -REGRESSION_PCT
-        if regressed:
-            warnings.append(
-                f"{name}: {abs(delta_pct):.1f}% slower than the committed "
-                f"BENCH_sim.json baseline")
+            if delta_pct < -REGRESSION_PCT:
+                warnings.append(
+                    f"{name}: {abs(delta_pct):.1f}% slower than the "
+                    f"committed BENCH_sim.json baseline")
+        # Memory fields: after_<counter>_bytes vs the raw run's same-named
+        # gbench counter (a top-level key in the benchmark dict).
+        for key in sorted(bench):
+            if not (key.startswith("after_") and key.endswith("_bytes")):
+                continue
+            counter = key[len("after_"):]
+            base = float(bench[key])
+            new = float(fresh.get(counter, 0.0))
+            # Lower is better, like wall-clock.
+            delta_pct = (base - new) / base * 100.0
+            rows.append((f"{name} [{counter}]", fmt_bytes(base),
+                         fmt_bytes(new), delta_pct))
+            if delta_pct < -REGRESSION_PCT:
+                warnings.append(
+                    f"{name}: {counter} grew {abs(delta_pct):.1f}% over the "
+                    f"committed BENCH_sim.json baseline")
     new_benches = [name for name in raw if name not in baseline_names]
 
     print("## micro_sim vs committed BENCH_sim.json baseline\n")
